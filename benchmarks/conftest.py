@@ -1,0 +1,40 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper and writes the
+rows it produced to ``benchmarks/results/<name>.txt`` so the numbers can be
+compared against the paper after a run (see EXPERIMENTS.md).
+
+Set ``ATOMIQUE_FULL=1`` to run the full paper-scale workloads; the default
+is a scaled-down grid that preserves every qualitative shape while keeping
+the whole suite to a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when the paper-scale configuration was requested."""
+    return os.environ.get("ATOMIQUE_FULL", "0") == "1"
+
+
+@pytest.fixture
+def record_rows():
+    """Write a list of row-dicts as an aligned table and echo it."""
+
+    def _record(name: str, rows: list[dict[str, object]]) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table = format_table(rows)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        print(f"\n=== {name} ===\n{table}")
+        return table
+
+    return _record

@@ -1,0 +1,53 @@
+"""Explore the atom-movement physics model (Sec. IV of the paper).
+
+Shows (1) the constant-jerk heating model and the paper's reference
+delta-n_vib values, (2) the erf atom-loss curve, (3) how the time-per-move
+trade-off (heating vs decoherence) produces the ~300 us optimum of Fig. 18a
+on a real compiled workload.
+
+Run:  python examples/movement_physics.py
+"""
+
+from repro.baselines import compile_on_atomique
+from repro.core.compiler import AtomiqueConfig
+from repro.core.router import RouterConfig
+from repro.experiments import params_for, raa_for
+from repro.generators import qaoa_regular
+from repro.hardware import RAAArchitecture
+from repro.hardware.parameters import neutral_atom_params
+from repro.noise import atom_loss_probability
+
+
+def main() -> None:
+    params = neutral_atom_params()
+
+    print("heating per move (constant-jerk profile, Sec. IV):")
+    for hops in (1, 2, 5, 10):
+        dn = params.delta_n_vib(hops * params.atom_distance)
+        print(f"  {hops:2d} hop(s) ({hops * 15} um): delta n_vib = {dn:.4f}")
+
+    print("\natom survival per move vs vibrational quantum number:")
+    for nv in (5, 15, 20, 25, 30, 33):
+        p = 1.0 - atom_loss_probability(nv, params)
+        print(f"  n_vib = {nv:4.1f}: survival = {p:.6f}")
+
+    print("\ntime-per-move trade-off on QAOA-regu5-40 (Fig. 18a):")
+    circuit = qaoa_regular(40, 5, seed=40)
+    base = raa_for(circuit)
+    for t_move in (100e-6, 200e-6, 300e-6, 500e-6, 1000e-6):
+        p = params_for("t_per_move", t_move)
+        arch = RAAArchitecture(base.slm_shape, base.aod_shapes, p)
+        cfg = AtomiqueConfig(router=RouterConfig())
+        m = compile_on_atomique(circuit, arch, cfg)
+        bd = m.fidelity.breakdown()
+        print(
+            f"  T_move = {t_move * 1e6:6.0f} us: fidelity = "
+            f"{m.total_fidelity:.4f}  "
+            f"(-logF heating {bd['Move Heating']:.4f}, "
+            f"loss {bd['Move Atom Loss']:.4f}, "
+            f"decoherence {bd['Move Decoherence']:.4f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Compile an OpenQASM 2.0 program end to end.
+
+Parses a QASM string (as exported by Qiskit or QASMBench), compiles it for
+the RAA, and emits both the transpiled circuit (back as QASM) and the
+executable stage program — the workflow a downstream user of this library
+would follow for their own benchmark files.
+
+Run:  python examples/qasm_workflow.py [path/to/file.qasm]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.circuits import emit_qasm, parse_qasm
+from repro.core import AtomiqueCompiler
+from repro.hardware import RAAArchitecture
+from repro.noise import estimate_raa_fidelity
+
+DEMO_QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[6];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+rz(pi/4) q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+rzz(pi/8) q[0], q[5];
+rzz(pi/8) q[1], q[4];
+cp(pi/2) q[2], q[5];
+measure q[0] -> c[0];
+measure q[5] -> c[5];
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        text = Path(sys.argv[1]).read_text()
+        name = Path(sys.argv[1]).stem
+    else:
+        text, name = DEMO_QASM, "demo"
+    circuit = parse_qasm(text, name=name)
+    print(f"parsed {name!r}: {circuit.num_qubits} qubits, {len(circuit)} ops")
+
+    architecture = RAAArchitecture.default(side=10, num_aods=2)
+    result = AtomiqueCompiler(architecture).compile(circuit)
+    fidelity = estimate_raa_fidelity(result.program, architecture.params)
+
+    print(
+        f"compiled: {result.num_2q_gates} 2Q gates in {result.depth} stages, "
+        f"fidelity {fidelity.total:.4f}"
+    )
+
+    print("\ntranspiled circuit (QASM):")
+    print(emit_qasm(result.transpiled))
+
+    print("stage program:")
+    for i, stage in enumerate(result.program.stages):
+        parts = []
+        if stage.one_qubit_gates:
+            parts.append(f"{len(stage.one_qubit_gates)} Raman pulses")
+        if stage.moves:
+            parts.append(f"{len(stage.moves)} AOD line moves")
+        if stage.gates:
+            parts.append(f"Rydberg pulse on {len(stage.gates)} pair(s)")
+        if stage.cooling:
+            parts.append(f"cooling swap x{len(stage.cooling)}")
+        print(f"  stage {i:3d}: " + ", ".join(parts))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: compile a circuit for a reconfigurable neutral atom array.
+
+Builds a small GHZ+QAOA-flavoured circuit, compiles it with Atomique on the
+paper's default architecture (10x10 SLM + two 10x10 AODs), and prints the
+headline metrics plus the first few executable stages.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuits import QuantumCircuit
+from repro.core import AtomiqueCompiler
+from repro.hardware import RAAArchitecture
+from repro.noise import estimate_raa_fidelity
+
+
+def build_circuit() -> QuantumCircuit:
+    """An 8-qubit circuit mixing local and long-range entanglement."""
+    circ = QuantumCircuit(8, "quickstart")
+    circ.h(0)
+    for q in range(7):
+        circ.cx(q, q + 1)  # GHZ ladder
+    for a, b in [(0, 4), (1, 5), (2, 6), (3, 7)]:
+        circ.rzz(0.5, a, b)  # long-range ZZ layer
+    for q in range(8):
+        circ.rx(0.3, q)
+    return circ
+
+
+def main() -> None:
+    circuit = build_circuit()
+    architecture = RAAArchitecture.default(side=10, num_aods=2)
+    compiler = AtomiqueCompiler(architecture)
+
+    result = compiler.compile(circuit)
+    fidelity = estimate_raa_fidelity(result.program, architecture.params)
+
+    print(f"circuit            : {circuit.name}")
+    print(f"logical 2Q gates   : {circuit.num_2q_gates}")
+    print(f"compiled 2Q gates  : {result.num_2q_gates}")
+    print(f"2Q depth (stages)  : {result.depth}")
+    print(f"SWAPs inserted     : {result.num_swaps}")
+    print(f"estimated fidelity : {fidelity.total:.4f}")
+    print(f"execution time     : {result.execution_time() * 1e3:.2f} ms")
+    print(f"compile time       : {result.compile_seconds * 1e3:.1f} ms")
+
+    print("\nqubit placements (array, row, col):")
+    for q in range(circuit.num_qubits):
+        loc = result.locations[q]
+        kind = "SLM " if loc.is_slm else f"AOD{loc.array}"
+        print(f"  q{q}: {kind} ({loc.row}, {loc.col})")
+
+    print("\nfirst three Rydberg stages:")
+    shown = 0
+    for i, stage in enumerate(result.program.stages):
+        if not stage.gates:
+            continue
+        pairs = ", ".join(
+            f"(q{g.qubit_a}, q{g.qubit_b})@{g.site}" for g in stage.gates
+        )
+        print(f"  stage {i}: {len(stage.moves)} moves, gates {pairs}")
+        shown += 1
+        if shown == 3:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,3 @@
+"""Atomique reproduction: a quantum compiler for reconfigurable neutral atom arrays."""
+
+__version__ = "1.0.0"

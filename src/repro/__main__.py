@@ -1,0 +1,102 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compile   compile an OpenQASM 2.0 file for an RAA and print metrics
+          (optionally dump the stage program as JSON)
+compare   compile a QASM file on all five architectures (mini Fig. 13)
+bench     print Table II statistics for the built-in benchmark suites
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _load_circuit(path: str):
+    from .circuits import parse_qasm
+
+    text = Path(path).read_text()
+    return parse_qasm(text, name=Path(path).stem)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from .core import AtomiqueCompiler
+    from .core.serialize import dumps
+    from .hardware import RAAArchitecture
+    from .noise import estimate_raa_fidelity
+
+    circuit = _load_circuit(args.qasm)
+    arch = RAAArchitecture.default(side=args.side, num_aods=args.aods)
+    result = AtomiqueCompiler(arch).compile(circuit)
+    fidelity = estimate_raa_fidelity(result.program, arch.params)
+    print(f"circuit          : {circuit.name} ({circuit.num_qubits} qubits)")
+    print(f"2Q gates         : {result.num_2q_gates}")
+    print(f"2Q depth         : {result.depth}")
+    print(f"SWAPs inserted   : {result.num_swaps}")
+    print(f"fidelity         : {fidelity.total:.4f}")
+    print(f"execution time   : {result.execution_time() * 1e3:.2f} ms")
+    print(f"compile time     : {result.compile_seconds * 1e3:.1f} ms")
+    if args.output:
+        Path(args.output).write_text(dumps(result.program, indent=2))
+        print(f"stage program written to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .experiments import ARCHITECTURES, compile_on, raa_for
+
+    circuit = _load_circuit(args.qasm)
+    rows = []
+    for arch in ARCHITECTURES:
+        raa = raa_for(circuit) if arch == "Atomique" else None
+        m = compile_on(arch, circuit, raa=raa)
+        rows.append(m.row())
+    print(format_table(rows))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .experiments import benchmark_statistics
+
+    print(format_table(benchmark_statistics()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atomique: quantum compiler for reconfigurable atom arrays",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a QASM file for an RAA")
+    p_compile.add_argument("qasm", help="OpenQASM 2.0 input file")
+    p_compile.add_argument("--side", type=int, default=10, help="array side")
+    p_compile.add_argument("--aods", type=int, default=2, help="number of AODs")
+    p_compile.add_argument("-o", "--output", help="write stage program JSON here")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_compare = sub.add_parser(
+        "compare", help="compile on all five architectures"
+    )
+    p_compare.add_argument("qasm", help="OpenQASM 2.0 input file")
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_bench = sub.add_parser("bench", help="print Table II suite statistics")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Metrics records, geometric means, and table formatting for experiments."""
+
+from .metrics import (
+    CompiledMetrics,
+    format_table,
+    geometric_mean,
+    improvement_ratio,
+)
+
+__all__ = [
+    "CompiledMetrics",
+    "format_table",
+    "geometric_mean",
+    "improvement_ratio",
+]

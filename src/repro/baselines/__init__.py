@@ -1,0 +1,39 @@
+"""Comparison compilers: FAA variants, superconducting, Geyser, solver proxies, Q-Pilot, ablations."""
+
+from .ablations import ablation_configs, run_ablation
+from .atomique_adapter import compile_on_atomique, metrics_from_result
+from .faa_compiler import compile_on_faa
+from .geyser import atomique_pulse_count, block_circuit, geyser_pulse_count
+from .qpilot import compile_on_qpilot, compile_qsim_on_qpilot, greedy_edge_coloring, mediated_qaoa_circuit
+from .solver import (
+    SolverTimeout,
+    exact_bipartition,
+    solver_architecture,
+    tan_iterp_compile,
+    tan_solver_compile,
+)
+from .superconducting import compile_on_superconducting
+from .transfer import compile_with_transfers, segment_circuit
+
+__all__ = [
+    "SolverTimeout",
+    "ablation_configs",
+    "atomique_pulse_count",
+    "block_circuit",
+    "compile_on_atomique",
+    "compile_on_faa",
+    "compile_on_qpilot",
+    "compile_on_superconducting",
+    "compile_with_transfers",
+    "exact_bipartition",
+    "compile_qsim_on_qpilot",
+    "greedy_edge_coloring",
+    "mediated_qaoa_circuit",
+    "geyser_pulse_count",
+    "metrics_from_result",
+    "run_ablation",
+    "segment_circuit",
+    "solver_architecture",
+    "tan_iterp_compile",
+    "tan_solver_compile",
+]

@@ -1,0 +1,72 @@
+"""Fig. 21 ablation configurations: cumulative technique breakdown.
+
+The paper's baseline replaces each Atomique technique with a naive one —
+dense array mapping, random atom mapping, serial (one gate per stage)
+routing — and adds the real techniques back cumulatively:
+
+1. ``baseline``        — dense + random + serial;
+2. ``+array_mapper``   — maxkcut + random + serial;
+3. ``+atom_mapper``    — maxkcut + loadbalance + serial;
+4. ``+router``         — maxkcut + loadbalance + parallel (full Atomique).
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import CompiledMetrics
+from ..circuits.circuit import QuantumCircuit
+from ..core.compiler import AtomiqueConfig
+from ..core.router import RouterConfig
+from ..hardware.raa import RAAArchitecture
+from .atomique_adapter import compile_on_atomique
+
+ABLATION_STEPS: list[tuple[str, AtomiqueConfig]] = []
+
+
+def ablation_configs() -> list[tuple[str, AtomiqueConfig]]:
+    """The four cumulative configurations, in order."""
+    return [
+        (
+            "baseline",
+            AtomiqueConfig(
+                array_mapper="dense",
+                atom_mapper="random",
+                router=RouterConfig(serial=True),
+            ),
+        ),
+        (
+            "+array_mapper",
+            AtomiqueConfig(
+                array_mapper="maxkcut",
+                atom_mapper="random",
+                router=RouterConfig(serial=True),
+            ),
+        ),
+        (
+            "+atom_mapper",
+            AtomiqueConfig(
+                array_mapper="maxkcut",
+                atom_mapper="loadbalance",
+                router=RouterConfig(serial=True),
+            ),
+        ),
+        (
+            "+router",
+            AtomiqueConfig(
+                array_mapper="maxkcut",
+                atom_mapper="loadbalance",
+                router=RouterConfig(serial=False),
+            ),
+        ),
+    ]
+
+
+def run_ablation(
+    circuit: QuantumCircuit,
+    architecture: RAAArchitecture | None = None,
+) -> list[CompiledMetrics]:
+    """Compile *circuit* under each cumulative configuration."""
+    arch = architecture or RAAArchitecture.default()
+    out: list[CompiledMetrics] = []
+    for label, cfg in ablation_configs():
+        out.append(compile_on_atomique(circuit, arch, cfg, label=label))
+    return out

@@ -1,0 +1,48 @@
+"""Adapter producing the uniform :class:`CompiledMetrics` from Atomique runs."""
+
+from __future__ import annotations
+
+from ..analysis.metrics import CompiledMetrics
+from ..circuits.circuit import QuantumCircuit
+from ..core.compiler import AtomiqueCompiler, AtomiqueConfig, CompileResult
+from ..hardware.raa import RAAArchitecture
+from ..noise.fidelity import estimate_raa_fidelity
+
+
+def metrics_from_result(
+    result: CompileResult, benchmark: str, label: str = "Atomique"
+) -> CompiledMetrics:
+    """Score a finished :class:`CompileResult`."""
+    params = result.architecture.params
+    fidelity = estimate_raa_fidelity(result.program, params)
+    return CompiledMetrics(
+        benchmark=benchmark,
+        architecture=label,
+        num_qubits=result.transpiled.num_qubits,
+        num_2q_gates=result.num_2q_gates,
+        num_1q_gates=result.num_1q_gates,
+        depth=result.depth,
+        fidelity=fidelity,
+        additional_cnots=result.additional_cnots,
+        compile_seconds=result.compile_seconds,
+        execution_seconds=result.execution_time(),
+        extras={
+            "num_swaps": float(result.num_swaps),
+            "avg_move_distance_m": result.avg_move_distance(),
+            "total_move_distance_m": result.total_move_distance(),
+            "overlap_rejections": float(result.program.overlap_rejections),
+            "cooling_events": float(result.program.num_cooling_events),
+        },
+    )
+
+
+def compile_on_atomique(
+    circuit: QuantumCircuit,
+    architecture: RAAArchitecture | None = None,
+    config: AtomiqueConfig | None = None,
+    label: str = "Atomique",
+) -> CompiledMetrics:
+    """Compile with Atomique and score (the default RAA is 10x10, 2 AODs)."""
+    arch = architecture or RAAArchitecture.default()
+    result = AtomiqueCompiler(arch, config).compile(circuit)
+    return metrics_from_result(result, circuit.name, label)

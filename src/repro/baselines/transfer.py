@@ -1,0 +1,171 @@
+"""Transfer-based compilation: resolve intra-array gates by moving atoms
+between traps instead of inserting SWAP gates.
+
+The paper criticizes solver-based prior work for neglecting "the detrimental
+impact of atom transfers between the SLM and AOD arrays; such atom transfers
+can lead to atom loss ... significant in iterative algorithms like QAOA or
+trotterized quantum simulations".  This module makes that comparison
+executable: an Atomique variant that *re-partitions* the qubit-array
+assignment whenever the front of the circuit stops being executable,
+physically transferring the reassigned atoms (15 us and 0.68% loss chance
+per transfer, Table I) instead of paying 3 CZ per SWAP.
+
+Pipeline: segment the circuit greedily — each segment gets its own MAX
+k-cut assignment computed on the segment's gates; qubits whose array differs
+from the previous segment count as transfers.  Each segment routes with the
+standard high-parallelism router.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.metrics import CompiledMetrics
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.dag import DAGCircuit
+from ..circuits.decompose import lower_to_two_qubit
+from ..core.array_mapper import gate_frequency_matrix, max_k_cut_assignment
+from ..core.atom_mapper import map_qubits_to_atoms
+from ..core.instructions import RAAProgram
+from ..core.router import HighParallelismRouter, RouterConfig
+from ..hardware.raa import RAAArchitecture
+from ..noise.fidelity import estimate_raa_fidelity
+
+
+def segment_circuit(
+    circuit: QuantumCircuit,
+    architecture: RAAArchitecture,
+    gamma: float = 0.95,
+) -> tuple[list[tuple[QuantumCircuit, list[int]]], int]:
+    """Split *circuit* into maximal inter-array-executable segments.
+
+    Returns ``(segments, num_transfers)`` where each segment carries its own
+    qubit-array assignment.  A segment ends when the next unexecuted gate is
+    intra-array under the current assignment; the remaining circuit is then
+    re-partitioned and the differing qubits are transferred.
+    """
+    caps = architecture.array_capacities()
+    n = circuit.num_qubits
+
+    remaining = circuit
+    segments: list[tuple[QuantumCircuit, list[int]]] = []
+    prev_assignment: list[int] | None = None
+    num_transfers = 0
+    guard = 0
+
+    while len(remaining) > 0:
+        guard += 1
+        if guard > len(circuit) + 2:  # pragma: no cover - safety net
+            raise RuntimeError("segmentation failed to make progress")
+        weights = gate_frequency_matrix(remaining, gamma=gamma)
+        assignment = max_k_cut_assignment(weights, caps)
+        if prev_assignment is not None:
+            num_transfers += sum(
+                1 for a, b in zip(prev_assignment, assignment) if a != b
+            )
+        # Consume the longest executable prefix (DAG order, greedy).
+        dag = DAGCircuit(remaining)
+        segment = QuantumCircuit(n, f"{circuit.name}-seg{len(segments)}")
+        progress = True
+        while progress and not dag.done:
+            progress = False
+            for idx, g in dag.front_gates():
+                if g.is_two_qubit and assignment[g.qubits[0]] == assignment[g.qubits[1]]:
+                    continue
+                segment.append(g)
+                dag.execute(idx)
+                progress = True
+        leftovers = QuantumCircuit(n, remaining.name)
+        executed_count = len(segment)
+        if executed_count == 0:
+            # The re-partition could not free the front gate (e.g. a qubit
+            # pair welded together by every remaining gate); force-split by
+            # transferring one endpoint of the first blocked gate.
+            idx, g = next(
+                (i, g) for i, g in dag.front_gates() if g.is_two_qubit
+            )
+            q = g.qubits[0]
+            target = (assignment[q] + 1) % len(caps)
+            assignment[q] = target
+            num_transfers += 1
+            continue
+        # gather unexecuted gates in original order
+        executed_ids = set()
+        dag2 = DAGCircuit(remaining)
+        seg_iter = list(segment.gates)
+        # replay to find which indices were executed
+        for gate in seg_iter:
+            for idx, g2 in dag2.front_gates():
+                if g2 is gate or (
+                    g2.name == gate.name
+                    and g2.qubits == gate.qubits
+                    and g2.params == gate.params
+                    and idx not in executed_ids
+                ):
+                    executed_ids.add(idx)
+                    dag2.execute(idx)
+                    break
+        for idx, g2 in enumerate(
+            [g for g in remaining.gates if not g.is_directive]
+        ):
+            if idx not in executed_ids:
+                leftovers.append(g2)
+        segments.append((segment, assignment))
+        prev_assignment = assignment
+        remaining = leftovers
+    return segments, num_transfers
+
+
+def compile_with_transfers(
+    circuit: QuantumCircuit,
+    architecture: RAAArchitecture | None = None,
+    seed: int = 7,
+) -> CompiledMetrics:
+    """Compile using atom transfers instead of SWAP insertion."""
+    t0 = time.perf_counter()
+    arch = architecture or RAAArchitecture.default()
+    native = lower_to_two_qubit(circuit.without_directives())
+    segments, num_transfers = segment_circuit(native, arch)
+
+    all_stages = []
+    n_vib_final: dict[int, float] = {}
+    loss_log: list[float] = []
+    overlaps = 0
+    locations = {}
+    for segment, assignment in segments:
+        locs = map_qubits_to_atoms(segment, assignment, arch)
+        router = HighParallelismRouter(arch, locs, RouterConfig(seed=seed))
+        program = router.route(segment)
+        all_stages.extend(program.stages)
+        n_vib_final.update(program.n_vib_final)
+        loss_log.extend(program.atom_loss_log)
+        overlaps += program.overlap_rejections
+        locations = locs
+
+    program = RAAProgram(
+        stages=all_stages,
+        num_qubits=native.num_qubits,
+        qubit_locations=locations,
+        n_vib_final=n_vib_final,
+        atom_loss_log=loss_log,
+        num_transfers=num_transfers,
+        overlap_rejections=overlaps,
+        compile_seconds=time.perf_counter() - t0,
+    )
+    fidelity = estimate_raa_fidelity(program, arch.params)
+    return CompiledMetrics(
+        benchmark=circuit.name,
+        architecture="Atomique-Transfer",
+        num_qubits=circuit.num_qubits,
+        num_2q_gates=program.num_2q_gates,
+        num_1q_gates=program.num_1q_gates,
+        depth=program.two_qubit_depth,
+        fidelity=fidelity,
+        additional_cnots=0,
+        compile_seconds=program.compile_seconds,
+        execution_seconds=program.execution_time(arch.params),
+        extras={
+            "num_transfers": float(num_transfers),
+            "num_segments": float(len(segments)),
+        },
+    )

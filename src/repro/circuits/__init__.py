@@ -1,0 +1,26 @@
+"""Quantum-circuit substrate: IR, DAG, QASM I/O, basis lowering, generators."""
+
+from .circuit import CircuitError, QuantumCircuit
+from .dag import DAGCircuit
+from .decompose import cancel_adjacent_2q_pairs, lower_to_basis, merge_1q_runs
+from .gates import Gate, GateError, gate_matrix, matrices_equal_up_to_phase
+from .qasm import QASMError, emit_qasm, parse_qasm
+from .random_circuits import quantum_volume_circuit, random_circuit
+
+__all__ = [
+    "CircuitError",
+    "DAGCircuit",
+    "Gate",
+    "GateError",
+    "QASMError",
+    "QuantumCircuit",
+    "cancel_adjacent_2q_pairs",
+    "emit_qasm",
+    "gate_matrix",
+    "lower_to_basis",
+    "matrices_equal_up_to_phase",
+    "merge_1q_runs",
+    "parse_qasm",
+    "quantum_volume_circuit",
+    "random_circuit",
+]

@@ -1,0 +1,138 @@
+"""Dependency DAG over a circuit's gates.
+
+The router and SABRE both consume circuits through this view: the *front
+layer* is the set of gates with no unexecuted predecessor, exactly as defined
+in the paper (Sec. III-C) and in Li et al.'s SABRE.
+
+The DAG is the standard wire-dependency DAG: gate ``g2`` depends on ``g1``
+when they share a qubit and ``g1`` precedes ``g2`` in program order (with the
+transitive closure implied by intermediate gates on the shared wire).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+
+class DAGCircuit:
+    """Wire-dependency DAG with an executable-front-layer API.
+
+    Nodes are integer gate indices into ``self.gates``.  Construction is
+    O(gates x arity); each "execute" is O(out-degree).
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.gates: list[Gate] = [g for g in circuit.gates if not g.is_directive]
+        n = len(self.gates)
+        self.successors: list[list[int]] = [[] for _ in range(n)]
+        self.predecessor_count: list[int] = [0] * n
+        last_on_wire: dict[int, int] = {}
+        for i, g in enumerate(self.gates):
+            for q in g.qubits:
+                prev = last_on_wire.get(q)
+                if prev is not None:
+                    self.successors[prev].append(i)
+                    self.predecessor_count[i] += 1
+                last_on_wire[q] = i
+        self._remaining_preds = list(self.predecessor_count)
+        self._front: set[int] = {i for i in range(n) if self._remaining_preds[i] == 0}
+        self._executed: list[bool] = [False] * n
+        self._num_executed = 0
+
+    # -- front layer ----------------------------------------------------------
+
+    @property
+    def front_layer(self) -> set[int]:
+        """Indices of gates whose predecessors have all executed."""
+        return self._front
+
+    def front_gates(self) -> list[tuple[int, Gate]]:
+        """``(index, gate)`` pairs of the current front layer, sorted by index."""
+        return [(i, self.gates[i]) for i in sorted(self._front)]
+
+    def execute(self, index: int) -> list[int]:
+        """Mark gate *index* executed; return indices newly added to the front."""
+        if index not in self._front:
+            raise ValueError(f"gate {index} is not in the front layer")
+        self._front.discard(index)
+        self._executed[index] = True
+        self._num_executed += 1
+        newly: list[int] = []
+        for succ in self.successors[index]:
+            self._remaining_preds[succ] -= 1
+            if self._remaining_preds[succ] == 0:
+                self._front.add(succ)
+                newly.append(succ)
+        return newly
+
+    def execute_many(self, indices: Iterable[int]) -> None:
+        """Execute several front-layer gates."""
+        for i in list(indices):
+            self.execute(i)
+
+    @property
+    def done(self) -> bool:
+        """True when every gate has been executed."""
+        return self._num_executed == len(self.gates)
+
+    @property
+    def num_remaining(self) -> int:
+        """Number of unexecuted gates."""
+        return len(self.gates) - self._num_executed
+
+    def reset(self) -> None:
+        """Return the DAG to the initial (nothing-executed) state."""
+        self._remaining_preds = list(self.predecessor_count)
+        self._front = {
+            i for i in range(len(self.gates)) if self._remaining_preds[i] == 0
+        }
+        self._executed = [False] * len(self.gates)
+        self._num_executed = 0
+
+    # -- static analyses --------------------------------------------------------
+
+    def topological_layers(self) -> list[list[int]]:
+        """ASAP layers: each layer's gates have all predecessors in earlier layers."""
+        remaining = list(self.predecessor_count)
+        layer = deque(i for i in range(len(self.gates)) if remaining[i] == 0)
+        layers: list[list[int]] = []
+        while layer:
+            layers.append(sorted(layer))
+            nxt: deque[int] = deque()
+            for i in layers[-1]:
+                for s in self.successors[i]:
+                    remaining[s] -= 1
+                    if remaining[s] == 0:
+                        nxt.append(s)
+            layer = nxt
+        return layers
+
+    def gate_layer_index(self) -> list[int]:
+        """ASAP layer number for every gate (used by the gamma^layer decay)."""
+        out = [0] * len(self.gates)
+        for li, layer in enumerate(self.topological_layers()):
+            for i in layer:
+                out[i] = li
+        return out
+
+    def descendants_count(self) -> list[int]:
+        """Number of (not necessarily distinct-path) reachable successors per gate.
+
+        Computed on the transitive reduction we store; used as a criticality
+        hint by schedulers.
+        """
+        n = len(self.gates)
+        reach = [set() for _ in range(n)]
+        order: list[int] = [i for layer in self.topological_layers() for i in layer]
+        for i in reversed(order):
+            acc: set[int] = set()
+            for s in self.successors[i]:
+                acc.add(s)
+                acc |= reach[s]
+            reach[i] = acc
+        return [len(r) for r in reach]

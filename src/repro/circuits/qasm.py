@@ -1,0 +1,243 @@
+"""OpenQASM 2.0 subset parser and emitter.
+
+Supports the subset needed for benchmark interchange: a single quantum
+register, the standard-library gates in :mod:`repro.circuits.gates`,
+``measure``, ``barrier``, and arithmetic parameter expressions built from
+numbers, ``pi``, ``+ - * /``, parentheses and unary minus.
+
+Custom ``gate`` definitions, ``if`` statements and ``opaque`` declarations are
+not supported (none of the paper's benchmarks require them after
+transpilation).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .circuit import QuantumCircuit
+from .gates import BARRIER, GATE_NUM_PARAMS, MEASURE, Gate
+
+
+class QASMError(ValueError):
+    """Raised on malformed QASM input."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(\d+(?:\.\d*)?(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)|(pi)|([+\-*/()]))"
+)
+
+
+def _eval_expr(text: str) -> float:
+    """Evaluate a QASM parameter expression safely (no ``eval``)."""
+    tokens: list[str] = []
+    pos = 0
+    text = text.strip()
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise QASMError(f"bad expression: {text!r} at {pos}")
+        tokens.append(m.group(0).strip())
+        pos = m.end()
+
+    # Recursive-descent: expr := term (('+'|'-') term)*
+    #                    term := factor (('*'|'/') factor)*
+    #                    factor := ['-'] (number | pi | '(' expr ')')
+    idx = 0
+
+    def peek() -> str | None:
+        return tokens[idx] if idx < len(tokens) else None
+
+    def take() -> str:
+        nonlocal idx
+        tok = tokens[idx]
+        idx += 1
+        return tok
+
+    def factor() -> float:
+        tok = peek()
+        if tok is None:
+            raise QASMError(f"unexpected end of expression: {text!r}")
+        if tok == "-":
+            take()
+            return -factor()
+        if tok == "+":
+            take()
+            return factor()
+        if tok == "(":
+            take()
+            val = expr()
+            if peek() != ")":
+                raise QASMError(f"missing ')' in {text!r}")
+            take()
+            return val
+        if tok == "pi":
+            take()
+            return math.pi
+        take()
+        try:
+            return float(tok)
+        except ValueError as exc:
+            raise QASMError(f"bad number {tok!r} in {text!r}") from exc
+
+    def term() -> float:
+        val = factor()
+        while peek() in ("*", "/"):
+            op = take()
+            rhs = factor()
+            val = val * rhs if op == "*" else val / rhs
+        return val
+
+    def expr() -> float:
+        val = term()
+        while peek() in ("+", "-"):
+            op = take()
+            rhs = term()
+            val = val + rhs if op == "+" else val - rhs
+        return val
+
+    result = expr()
+    if idx != len(tokens):
+        raise QASMError(f"trailing tokens in expression {text!r}")
+    return result
+
+
+_STMT_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][\w]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]*)$"
+)
+_QARG_RE = re.compile(r"^(?P<reg>[a-zA-Z_][\w]*)\s*\[\s*(?P<idx>\d+)\s*\]$")
+
+
+def parse_qasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 *text* into a :class:`QuantumCircuit`."""
+    # Strip comments and normalize statements.
+    text = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+
+    qreg_sizes: dict[str, int] = {}
+    qreg_offsets: dict[str, int] = {}
+    total_qubits = 0
+    circuit: QuantumCircuit | None = None
+    pending: list[Gate] = []
+
+    def qubit_index(arg: str) -> int:
+        m = _QARG_RE.match(arg.strip())
+        if not m:
+            raise QASMError(f"bad qubit argument {arg!r}")
+        reg, idx = m.group("reg"), int(m.group("idx"))
+        if reg not in qreg_sizes:
+            raise QASMError(f"unknown register {reg!r}")
+        if idx >= qreg_sizes[reg]:
+            raise QASMError(f"index {idx} out of range for register {reg!r}")
+        return qreg_offsets[reg] + idx
+
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        if stmt.startswith("qreg"):
+            m = re.match(r"qreg\s+([a-zA-Z_][\w]*)\s*\[\s*(\d+)\s*\]", stmt)
+            if not m:
+                raise QASMError(f"bad qreg statement {stmt!r}")
+            reg, size = m.group(1), int(m.group(2))
+            qreg_offsets[reg] = total_qubits
+            qreg_sizes[reg] = size
+            total_qubits += size
+            continue
+        if stmt.startswith("creg"):
+            continue
+        if circuit is None:
+            if total_qubits == 0:
+                raise QASMError("gate before any qreg declaration")
+            circuit = QuantumCircuit(total_qubits, name)
+            circuit.extend(pending)
+
+        if stmt.startswith("measure"):
+            m = re.match(r"measure\s+(.+?)\s*->\s*.+", stmt)
+            if not m:
+                raise QASMError(f"bad measure statement {stmt!r}")
+            circuit.append(Gate(MEASURE, (qubit_index(m.group(1)),)))
+            continue
+        if stmt.startswith("barrier"):
+            args = stmt[len("barrier"):].strip()
+            qubits: list[int] = []
+            if args:
+                for a in args.split(","):
+                    a = a.strip()
+                    if "[" in a:
+                        qubits.append(qubit_index(a))
+                    else:
+                        base = qreg_offsets[a]
+                        qubits.extend(range(base, base + qreg_sizes[a]))
+            circuit._gates.append(Gate(BARRIER, tuple(qubits) or tuple(range(total_qubits))))
+            continue
+
+        m = _STMT_RE.match(stmt)
+        if not m:
+            raise QASMError(f"unparseable statement {stmt!r}")
+        gname = m.group("name").lower()
+        params_text = m.group("params")
+        args_text = m.group("args").strip()
+        params = (
+            tuple(_eval_expr(p) for p in params_text.split(",")) if params_text else ()
+        )
+        qubits = tuple(qubit_index(a) for a in args_text.split(",") if a.strip())
+        if gname == "u":
+            gname = "u3"
+        expected = GATE_NUM_PARAMS.get(gname)
+        if expected is not None and len(params) != expected:
+            raise QASMError(
+                f"gate {gname!r} expects {expected} params, got {len(params)}"
+            )
+        circuit.append(Gate(gname, qubits, params))
+
+    if circuit is None:
+        if total_qubits == 0:
+            raise QASMError("no qreg declared")
+        circuit = QuantumCircuit(total_qubits, name)
+    return circuit
+
+
+def _fmt_param(p: float) -> str:
+    """Render a parameter, preferring exact multiples of pi."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        for num in range(-16 * denom, 16 * denom + 1):
+            if num == 0:
+                continue
+            if abs(p - num * math.pi / denom) < 1e-12:
+                frac = f"pi/{denom}" if denom != 1 else "pi"
+                if num == 1:
+                    return frac
+                if num == -1:
+                    return f"-{frac}"
+                return f"{num}*{frac}"
+    if abs(p) < 1e-12:
+        return "0"
+    return repr(float(p))
+
+
+def emit_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize *circuit* to OpenQASM 2.0."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    num_measured = sum(1 for g in circuit.gates if g.name == MEASURE)
+    if num_measured:
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for g in circuit.gates:
+        if g.name == MEASURE:
+            q = g.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+            continue
+        if g.name == BARRIER:
+            args = ", ".join(f"q[{q}]" for q in g.qubits)
+            lines.append(f"barrier {args};")
+            continue
+        name = "u" if g.name == "u3" else g.name
+        params = f"({', '.join(_fmt_param(p) for p in g.params)})" if g.params else ""
+        args = ", ".join(f"q[{q}]" for q in g.qubits)
+        lines.append(f"{name}{params} {args};")
+    return "\n".join(lines) + "\n"

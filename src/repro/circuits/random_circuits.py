@@ -1,0 +1,140 @@
+"""Random generic circuits with controlled structure.
+
+Figures 15 and 21 of the paper sweep two structural knobs of "arbitrary"
+circuits:
+
+* **2Q gates per qubit** — how many two-qubit gates touch an average qubit
+  (controls circuit volume / depth);
+* **degree per qubit** — how many *distinct* partners an average qubit
+  interacts with (controls locality).
+
+:func:`random_circuit` hits both targets by first sampling an interaction
+graph with the requested average degree and then distributing the requested
+number of gates over its edges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+
+def _interaction_graph_edges(
+    num_qubits: int, degree_per_qubit: float, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Sample an undirected graph with average degree ~ *degree_per_qubit*."""
+    target_edges = max(1, round(num_qubits * degree_per_qubit / 2.0))
+    max_edges = num_qubits * (num_qubits - 1) // 2
+    target_edges = min(target_edges, max_edges)
+    edges: set[tuple[int, int]] = set()
+    # Seed with a Hamiltonian-path backbone so the graph is connected whenever
+    # the budget allows; connectivity keeps the gate distribution meaningful.
+    order = rng.permutation(num_qubits)
+    for i in range(num_qubits - 1):
+        if len(edges) >= target_edges:
+            break
+        a, b = int(order[i]), int(order[i + 1])
+        edges.add((min(a, b), max(a, b)))
+    while len(edges) < target_edges:
+        a, b = rng.integers(0, num_qubits, size=2)
+        if a == b:
+            continue
+        edges.add((min(int(a), int(b)), max(int(a), int(b))))
+    return sorted(edges)
+
+
+def random_circuit(
+    num_qubits: int,
+    gates_per_qubit: float,
+    degree_per_qubit: float,
+    seed: int | None = None,
+    one_qubit_prob: float = 0.5,
+) -> QuantumCircuit:
+    """Random circuit with target 2Q-gates-per-qubit and degree-per-qubit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    gates_per_qubit:
+        Target average number of 2Q gates touching each qubit.
+    degree_per_qubit:
+        Target average number of distinct interaction partners per qubit.
+    seed:
+        RNG seed for reproducibility.
+    one_qubit_prob:
+        Probability of inserting a random 1Q gate after each 2Q gate.
+    """
+    if num_qubits < 2:
+        raise ValueError("random_circuit needs at least 2 qubits")
+    degree_per_qubit = min(degree_per_qubit, float(num_qubits - 1))
+    rng = np.random.default_rng(seed)
+    edges = _interaction_graph_edges(num_qubits, degree_per_qubit, rng)
+    num_2q = max(1, round(num_qubits * gates_per_qubit / 2.0))
+
+    name = f"arb-{num_qubits}q-g{gates_per_qubit:g}-d{degree_per_qubit:g}"
+    circ = QuantumCircuit(num_qubits, name)
+    one_qubit_pool = ("h", "t", "s", "x", "rz")
+    # Round-robin over edges first so every edge is used (degree target),
+    # then sample the remainder uniformly (gate-count target).
+    schedule: list[tuple[int, int]] = []
+    reps, rem = divmod(num_2q, len(edges))
+    for _ in range(reps):
+        schedule.extend(edges)
+    if rem:
+        picks = rng.choice(len(edges), size=rem, replace=False)
+        schedule.extend(edges[int(i)] for i in picks)
+    rng.shuffle(schedule)  # type: ignore[arg-type]
+
+    for a, b in schedule:
+        if rng.random() < 0.5:
+            a, b = b, a
+        circ.cx(a, b)
+        if rng.random() < one_qubit_prob:
+            g = one_qubit_pool[int(rng.integers(0, len(one_qubit_pool)))]
+            q = int(rng.integers(0, num_qubits))
+            if g == "rz":
+                circ.rz(float(rng.uniform(0, 2 * math.pi)), q)
+            else:
+                circ.add(g, [q])
+    return circ
+
+
+def quantum_volume_circuit(
+    num_qubits: int, depth: int | None = None, seed: int | None = None
+) -> QuantumCircuit:
+    """Quantum-volume-style model circuit (QV-n in Table II).
+
+    Each of *depth* rounds pairs up a random permutation of the qubits and
+    applies a random SU(4)-like block (3 CX + 1Q dressing) on each pair.
+    """
+    rng = np.random.default_rng(seed)
+    depth = depth if depth is not None else num_qubits
+    circ = QuantumCircuit(num_qubits, f"qv-{num_qubits}")
+    for _ in range(depth):
+        perm = rng.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            a, b = int(perm[i]), int(perm[i + 1])
+            for q in (a, b):
+                circ.u(
+                    float(rng.uniform(0, math.pi)),
+                    float(rng.uniform(0, 2 * math.pi)),
+                    float(rng.uniform(0, 2 * math.pi)),
+                    q,
+                )
+            circ.cx(a, b)
+            circ.rz(float(rng.uniform(0, 2 * math.pi)), b)
+            circ.cx(b, a)
+            circ.ry(float(rng.uniform(0, 2 * math.pi)), a)
+            circ.cx(a, b)
+            for q in (a, b):
+                circ.u(
+                    float(rng.uniform(0, math.pi)),
+                    float(rng.uniform(0, 2 * math.pi)),
+                    float(rng.uniform(0, 2 * math.pi)),
+                    q,
+                )
+    return circ

@@ -1,0 +1,49 @@
+"""The Atomique compiler: array mapper, atom mapper, router, instructions."""
+
+from .array_mapper import (
+    cut_fraction,
+    gate_frequency_matrix,
+    map_qubits_to_arrays,
+    max_k_cut_assignment,
+)
+from .atom_mapper import diagonal_stripe_order, map_qubits_to_atoms
+from .compiler import AtomiqueCompiler, AtomiqueConfig, CompileResult
+from .constraints import ConstraintToggles, StagePlan, parking_offset
+from .kinematics import ConstantJerkProfile, hop_profile
+from .instructions import (
+    CoolingEvent,
+    Move,
+    RAAProgram,
+    RamanPulse,
+    RydbergGate,
+    Stage,
+)
+from .movement import MovementTracker
+from .router import HighParallelismRouter, RouterConfig, RoutingError
+
+__all__ = [
+    "AtomiqueCompiler",
+    "AtomiqueConfig",
+    "CompileResult",
+    "ConstantJerkProfile",
+    "ConstraintToggles",
+    "CoolingEvent",
+    "HighParallelismRouter",
+    "Move",
+    "MovementTracker",
+    "RAAProgram",
+    "RamanPulse",
+    "RouterConfig",
+    "RoutingError",
+    "RydbergGate",
+    "Stage",
+    "StagePlan",
+    "cut_fraction",
+    "diagonal_stripe_order",
+    "gate_frequency_matrix",
+    "hop_profile",
+    "map_qubits_to_arrays",
+    "map_qubits_to_atoms",
+    "max_k_cut_assignment",
+    "parking_offset",
+]

@@ -1,0 +1,212 @@
+"""Qubit-atom mapper (Sec. III-B): positions inside each array.
+
+Two steps, following the paper:
+
+1. **Load-balance SLM mapping** (Fig. 6): qubits sorted by descending
+   2Q-gate involvement are placed along *diagonal stripes* of the SLM grid —
+   the d-th stripe visits ``(r, (r + d) mod cols)`` for every row r.  The
+   stripe order fills the main diagonal first and keeps the per-row and
+   per-column sums of gate counts balanced, which is exactly the property
+   the paper's diagonal-first spiral is designed for (fewer same-row/column
+   conflicts, fewer constraint-1/-3 violations).
+
+2. **Aligned AOD mapping** (Fig. 7): qubit pairs sorted by descending 2Q
+   frequency; the unplaced AOD endpoint of each pair is mapped to the *same
+   (row, col)* as its already-placed partner when that trap is free, so the
+   highest-frequency gates execute with near-zero relative displacement and
+   whole-array alignment maximizes parallelism.  Fallback: nearest free trap
+   by Manhattan distance.  Leftover qubits fill the remaining traps in
+   stripe order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..circuits.circuit import QuantumCircuit
+from ..hardware.raa import ArrayShape, AtomLocation, RAAArchitecture, RAAError
+
+
+def diagonal_stripe_order(shape: ArrayShape) -> list[tuple[int, int]]:
+    """Positions in diagonal-stripe order: stripe d = {(r, (r+d) % cols)}.
+
+    Guarantees perfect row balance and near-perfect column balance for any
+    prefix, with the first stripe being the (wrapped) main diagonal.
+    """
+    seen: set[tuple[int, int]] = set()
+    unique: list[tuple[int, int]] = []
+    for d in range(shape.cols):
+        for r in range(shape.rows):
+            pos = (r, (r + d) % shape.cols)
+            if pos not in seen:
+                seen.add(pos)
+                unique.append(pos)
+    # rows > cols leaves gaps after the wrap; fill them row-major.
+    for r in range(shape.rows):
+        for c in range(shape.cols):
+            if (r, c) not in seen:
+                seen.add((r, c))
+                unique.append((r, c))
+    return unique
+
+
+def qubit_gate_counts(circuit: QuantumCircuit) -> Counter:
+    """2Q-gate involvement count per qubit."""
+    counts: Counter = Counter()
+    for g in circuit.gates:
+        if g.is_two_qubit:
+            for q in g.qubits:
+                counts[q] += 1
+    return counts
+
+
+def _nearest_free(
+    target: tuple[int, int],
+    shape: ArrayShape,
+    occupied: set[tuple[int, int]],
+) -> tuple[int, int] | None:
+    """Closest free trap to *target* by Manhattan distance (deterministic)."""
+    best: tuple[int, int] | None = None
+    best_key: tuple[int, int, int] | None = None
+    for r in range(shape.rows):
+        for c in range(shape.cols):
+            if (r, c) in occupied:
+                continue
+            d = abs(r - target[0]) + abs(c - target[1])
+            key = (d, r, c)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (r, c)
+    return best
+
+
+def map_slm_qubits(
+    circuit: QuantumCircuit,
+    slm_qubits: list[int],
+    shape: ArrayShape,
+) -> dict[int, tuple[int, int]]:
+    """Load-balance placement of SLM qubits (step 1)."""
+    if len(slm_qubits) > shape.capacity:
+        raise RAAError(
+            f"{len(slm_qubits)} SLM qubits exceed capacity {shape.capacity}"
+        )
+    counts = qubit_gate_counts(circuit)
+    ranked = sorted(slm_qubits, key=lambda q: (-counts[q], q))
+    order = diagonal_stripe_order(shape)
+    return {q: order[i] for i, q in enumerate(ranked)}
+
+
+def map_aod_qubits(
+    circuit: QuantumCircuit,
+    array_of_qubit: list[int],
+    slm_placement: dict[int, tuple[int, int]],
+    architecture: RAAArchitecture,
+) -> dict[int, tuple[int, int]]:
+    """Aligned placement of all AOD qubits (step 2)."""
+    placement: dict[int, tuple[int, int]] = dict(slm_placement)
+    occupied: dict[int, set[tuple[int, int]]] = {
+        a: set() for a in range(architecture.num_arrays)
+    }
+    for q, pos in slm_placement.items():
+        occupied[0].add(pos)
+
+    pair_freq = circuit.interaction_pairs()
+    ranked_pairs = sorted(pair_freq.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def try_place(q: int, target: tuple[int, int]) -> bool:
+        arr = array_of_qubit[q]
+        shape = architecture.array_shape(arr)
+        pos = target
+        if not (0 <= pos[0] < shape.rows and 0 <= pos[1] < shape.cols) or (
+            pos in occupied[arr]
+        ):
+            alt = _nearest_free(pos, shape, occupied[arr])
+            if alt is None:
+                return False
+            pos = alt
+        placement[q] = pos
+        occupied[arr].add(pos)
+        return True
+
+    # Frequency-ranked alignment passes: keep sweeping until no progress so
+    # chains of AOD-AOD pairs anchored through the SLM all resolve.
+    progress = True
+    while progress:
+        progress = False
+        for (a, b), _freq in ranked_pairs:
+            pa, pb = a in placement, b in placement
+            if pa == pb:
+                continue  # both placed or both unplaced
+            anchor, mover = (a, b) if pa else (b, a)
+            if array_of_qubit[mover] == 0:
+                continue  # SLM qubits were all placed in step 1
+            if try_place(mover, placement[anchor]):
+                progress = True
+
+    # Leftovers (qubits with no placed partner): stripe order per array.
+    counts = qubit_gate_counts(circuit)
+    for arr in range(1, architecture.num_arrays):
+        leftovers = sorted(
+            (
+                q
+                for q in range(circuit.num_qubits)
+                if array_of_qubit[q] == arr and q not in placement
+            ),
+            key=lambda q: (-counts[q], q),
+        )
+        shape = architecture.array_shape(arr)
+        free = [p for p in diagonal_stripe_order(shape) if p not in occupied[arr]]
+        for q, pos in zip(leftovers, free):
+            placement[q] = pos
+            occupied[arr].add(pos)
+        if len(leftovers) > len(free):
+            raise RAAError(f"AOD {arr} over capacity during atom mapping")
+    return placement
+
+
+def random_atom_mapping(
+    circuit: QuantumCircuit,
+    array_of_qubit: list[int],
+    architecture: RAAArchitecture,
+    seed: int = 0,
+) -> dict[int, AtomLocation]:
+    """Fig. 21 ablation baseline: uniformly random positions per array."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    out: dict[int, AtomLocation] = {}
+    for arr in range(architecture.num_arrays):
+        qubits = [q for q in range(circuit.num_qubits) if array_of_qubit[q] == arr]
+        shape = architecture.array_shape(arr)
+        positions = shape.sites()
+        picks = rng.permutation(len(positions))[: len(qubits)]
+        if len(qubits) > len(positions):
+            raise RAAError(f"array {arr} over capacity")
+        for q, pi in zip(qubits, picks):
+            r, c = positions[int(pi)]
+            out[q] = AtomLocation(arr, r, c)
+    return out
+
+
+def map_qubits_to_atoms(
+    circuit: QuantumCircuit,
+    array_of_qubit: list[int],
+    architecture: RAAArchitecture,
+    strategy: str = "loadbalance",
+    seed: int = 0,
+) -> dict[int, AtomLocation]:
+    """Full qubit-atom mapping: SLM load-balance + aligned AOD placement.
+
+    ``strategy="random"`` selects the ablation baseline of Fig. 21.
+    """
+    if strategy == "random":
+        return random_atom_mapping(circuit, array_of_qubit, architecture, seed)
+    if strategy != "loadbalance":
+        raise ValueError(f"unknown atom-mapper strategy {strategy!r}")
+    slm_qubits = [q for q in range(circuit.num_qubits) if array_of_qubit[q] == 0]
+    slm_placement = map_slm_qubits(circuit, slm_qubits, architecture.slm_shape)
+    placement = map_aod_qubits(circuit, array_of_qubit, slm_placement, architecture)
+    return {
+        q: AtomLocation(array_of_qubit[q], r, c)
+        for q, (r, c) in placement.items()
+    }

@@ -1,0 +1,238 @@
+"""The three RAA movement constraints (Figs. 9-11) and the stage model.
+
+During one routing stage each AOD array carries a *partial* map from its
+rows/columns onto interaction coordinates expressed in site units (the SLM
+grid has pitch = ``atom_distance`` and its traps sit at integer coordinates).
+An AOD atom is **engaged** when both its row and its column are mapped; it
+then lands at ``(rowmap[r], colmap[c])``.
+
+Interaction coordinates live on the half-integer lattice: AOD-SLM gates meet
+at the SLM atom's integer position; AOD-AOD gates may also meet at
+half-offset points, which are 3 Rydberg radii from the nearest SLM trap
+(pitch >= 6 r_b, Sec. IV) and therefore safely out of blockade range of any
+fixed atom.
+
+Disengaged lines park at per-AOD fractional offsets strictly between 0 and
+0.5 (mod 1), so a parked atom can never coincide with an SLM trap, a
+half-offset meeting point, or a parked atom of a different AOD; parked atoms
+of the *same* AOD are separated by the array's own row/col pitch.  Hence
+only *engaged* atoms can collide, and the constraint checks reduce to:
+
+* **C1 (no unintended interaction, Fig. 9)** — every interaction point
+  hosting two atoms hosts exactly one *scheduled* gate pair, and no point
+  hosts three atoms.  SLM atoms always sit on their integer sites.
+* **C2 (order preservation, Fig. 10)** — each AOD's row map and column map
+  must be strictly increasing.
+* **C3 (no overlap, Fig. 11)** — each AOD's row map and column map must be
+  injective.
+
+Each check can be relaxed independently (Fig. 22's ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.raa import AtomLocation, RAAArchitecture
+
+#: Coordinates are snapped to this resolution before comparison.
+_EPS = 1e-6
+
+Site = tuple[float, float]
+
+
+def parking_offset(aod: int) -> float:
+    """Fractional parking offset of AOD *aod* (distinct per AOD, never 0/0.5)."""
+    return 0.07 + 0.06 * aod
+
+
+@dataclass(frozen=True)
+class ConstraintToggles:
+    """Which hardware constraints the router enforces (all on by default)."""
+
+    no_unintended_interaction: bool = True  # constraint 1
+    preserve_order: bool = True  # constraint 2
+    no_overlap: bool = True  # constraint 3
+
+
+def _snap(x: float) -> float:
+    """Round to the comparison resolution."""
+    return round(x / _EPS) * _EPS
+
+
+@dataclass
+class StagePlan:
+    """Mutable plan for one stage: per-AOD row/col maps + scheduled gates.
+
+    ``row_maps[aod]`` maps AOD row index -> target coordinate (site units);
+    likewise for columns.  ``scheduled`` maps an interaction point to the
+    qubit pair gated there.
+    """
+
+    architecture: RAAArchitecture
+    locations: dict[int, AtomLocation]
+    toggles: ConstraintToggles = field(default_factory=ConstraintToggles)
+    row_maps: dict[int, dict[int, float]] = field(default_factory=dict)
+    col_maps: dict[int, dict[int, float]] = field(default_factory=dict)
+    scheduled: dict[Site, tuple[int, int]] = field(default_factory=dict)
+    busy_qubits: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for a in range(1, self.architecture.num_arrays):
+            self.row_maps.setdefault(a, {})
+            self.col_maps.setdefault(a, {})
+        self._slm_site_to_qubit: dict[Site, int] = {
+            (float(loc.row), float(loc.col)): q
+            for q, loc in self.locations.items()
+            if loc.is_slm
+        }
+        self._aod_atoms: dict[int, list[tuple[int, AtomLocation]]] = {}
+        for q, loc in self.locations.items():
+            if loc.is_aod:
+                self._aod_atoms.setdefault(loc.array, []).append((q, loc))
+
+    # -- map-extension feasibility ------------------------------------------------
+
+    def _line_ok(self, existing: dict[int, float], index: int, target: float) -> bool:
+        """Can line *index* map to *target* given the other entries?
+
+        Order preservation (C2) forbids *inversions*; overlap (C3) forbids
+        *equal* targets.  With both enforced the map is strictly monotone;
+        relaxing C3 alone still requires a weakly monotone map.
+        """
+        bound = existing.get(index)
+        if bound is not None:
+            return abs(bound - target) < _EPS
+        for other_idx, other_t in existing.items():
+            if self.toggles.no_overlap and abs(other_t - target) < _EPS:
+                return False
+            if self.toggles.preserve_order:
+                if other_idx < index and other_t > target + _EPS:
+                    return False
+                if other_idx > index and other_t < target - _EPS:
+                    return False
+        return True
+
+    def line_requirements(
+        self, qubit: int, site: Site
+    ) -> list[tuple[str, int, int, float]]:
+        """Row/col map entries needed to bring *qubit* to *site*."""
+        loc = self.locations[qubit]
+        if loc.is_slm:
+            if abs(loc.row - site[0]) > _EPS or abs(loc.col - site[1]) > _EPS:
+                raise ValueError(
+                    f"SLM qubit {qubit} at {(loc.row, loc.col)} cannot reach {site}"
+                )
+            return []
+        return [
+            ("row", loc.array, loc.row, site[0]),
+            ("col", loc.array, loc.col, site[1]),
+        ]
+
+    def can_add(self, qubit_a: int, qubit_b: int, site: Site) -> bool:
+        """Check constraints 2 & 3 for scheduling the pair at *site*.
+
+        Constraint 1 needs the global occupancy view, so callers verify
+        :meth:`is_legal` after a tentative :meth:`add` (undo via snapshot).
+        """
+        if qubit_a in self.busy_qubits or qubit_b in self.busy_qubits:
+            return False
+        site = (_snap(site[0]), _snap(site[1]))
+        if site in self.scheduled:
+            return False
+        if not (
+            -0.5 <= site[0] <= self.architecture.site_rows - 0.5
+            and -0.5 <= site[1] <= self.architecture.site_cols - 0.5
+        ):
+            return False
+        slm_here = self._slm_site_to_qubit.get(site)
+        if (
+            slm_here is not None
+            and slm_here not in (qubit_a, qubit_b)
+            and self.toggles.no_unintended_interaction
+        ):
+            return False
+        try:
+            reqs = self.line_requirements(qubit_a, site) + self.line_requirements(
+                qubit_b, site
+            )
+        except ValueError:
+            return False
+        staged: dict[tuple[str, int], dict[int, float]] = {}
+        for axis, aod, idx, target in reqs:
+            maps = self.row_maps if axis == "row" else self.col_maps
+            merged = dict(maps[aod])
+            merged.update(staged.get((axis, aod), {}))
+            if not self._line_ok(merged, idx, target):
+                return False
+            staged.setdefault((axis, aod), {})[idx] = target
+        return True
+
+    def add(self, qubit_a: int, qubit_b: int, site: Site) -> None:
+        """Commit the pair at *site* (must have passed :meth:`can_add`)."""
+        site = (_snap(site[0]), _snap(site[1]))
+        for q in (qubit_a, qubit_b):
+            for axis, aod, idx, target in self.line_requirements(q, site):
+                maps = self.row_maps if axis == "row" else self.col_maps
+                maps[aod][idx] = target
+        self.scheduled[site] = (qubit_a, qubit_b)
+        self.busy_qubits.add(qubit_a)
+        self.busy_qubits.add(qubit_b)
+
+    def snapshot(self) -> tuple:
+        """Cheap undo token for speculative adds."""
+        return (
+            {a: dict(m) for a, m in self.row_maps.items()},
+            {a: dict(m) for a, m in self.col_maps.items()},
+            dict(self.scheduled),
+            set(self.busy_qubits),
+        )
+
+    def restore(self, token: tuple) -> None:
+        rows, cols, sched, busy = token
+        self.row_maps = {a: dict(m) for a, m in rows.items()}
+        self.col_maps = {a: dict(m) for a, m in cols.items()}
+        self.scheduled = dict(sched)
+        self.busy_qubits = set(busy)
+
+    # -- constraint 1 (global occupancy) ----------------------------------------
+
+    def engaged_atoms(self) -> list[tuple[int, Site]]:
+        """All engaged AOD atoms and their landing coordinates."""
+        out: list[tuple[int, Site]] = []
+        for aod, atoms in self._aod_atoms.items():
+            rmap = self.row_maps[aod]
+            cmap = self.col_maps[aod]
+            if not rmap or not cmap:
+                continue
+            for q, loc in atoms:
+                r = rmap.get(loc.row)
+                c = cmap.get(loc.col)
+                if r is not None and c is not None:
+                    out.append((q, (_snap(r), _snap(c))))
+        return out
+
+    def violates_c1(self) -> bool:
+        """True if any interaction point hosts a non-scheduled pair or >2 atoms."""
+        occupancy: dict[Site, list[int]] = {}
+        for q, site in self.engaged_atoms():
+            occupancy.setdefault(site, []).append(q)
+        for site, aod_atoms in occupancy.items():
+            atoms = list(aod_atoms)
+            slm_q = self._slm_site_to_qubit.get(site)
+            if slm_q is not None:
+                atoms.append(slm_q)
+            if len(atoms) == 1:
+                continue
+            if len(atoms) > 2:
+                return True
+            pair = self.scheduled.get(site)
+            if pair is None or set(atoms) != set(pair):
+                return True
+        return False
+
+    def is_legal(self) -> bool:
+        """Full legality under the active toggles (C2/C3 hold by construction)."""
+        if self.toggles.no_unintended_interaction and self.violates_c1():
+            return False
+        return True

@@ -1,0 +1,105 @@
+"""Constant-jerk atom-movement kinematics (Fig. 12, Sec. IV).
+
+The paper adopts Bluvstein et al.'s constant-negative-jerk trajectory to
+minimize vibrational heating: jerk is constant, acceleration decreases
+linearly from ``+a0`` to ``-a0``, velocity is a parabola vanishing at both
+endpoints, and position is the smooth S-curve of Fig. 12.
+
+Closed form for a move of distance ``D`` in time ``T``::
+
+    a(t) = a0 * (1 - 2 t / T)
+    v(t) = a0 * t * (1 - t / T)
+    x(t) = a0 * t^2 / 2 - a0 * t^3 / (3 T)
+
+with ``x(T) = a0 T^2 / 6 = D``, hence ``a0 = 6 D / T^2`` — precisely the
+``6D/T^2`` factor inside the heating formula ``delta n_vib = 0.5 *
+(a0 / (xzpf * w0^2))^2`` of Sec. IV, tying the kinematics to the noise
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.parameters import HardwareParams
+
+
+@dataclass(frozen=True)
+class ConstantJerkProfile:
+    """One constant-jerk move of *distance* metres over *duration* seconds."""
+
+    distance: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.distance < 0 or self.duration <= 0:
+            raise ValueError("distance must be >= 0 and duration > 0")
+
+    @property
+    def peak_acceleration(self) -> float:
+        """``a0 = 6 D / T^2`` (m/s^2), the heating-relevant quantity."""
+        return 6.0 * self.distance / self.duration**2
+
+    @property
+    def jerk(self) -> float:
+        """Constant jerk ``-2 a0 / T`` (m/s^3)."""
+        return -2.0 * self.peak_acceleration / self.duration
+
+    @property
+    def peak_velocity(self) -> float:
+        """Maximum speed, reached mid-move: ``a0 T / 4 = 1.5 D / T``."""
+        return self.peak_acceleration * self.duration / 4.0
+
+    @property
+    def average_velocity(self) -> float:
+        return self.distance / self.duration
+
+    def acceleration(self, t: float | np.ndarray) -> float | np.ndarray:
+        """``a(t) = a0 (1 - 2 t / T)`` within [0, T]."""
+        a0, big_t = self.peak_acceleration, self.duration
+        return a0 * (1.0 - 2.0 * np.asarray(t) / big_t)
+
+    def velocity(self, t: float | np.ndarray) -> float | np.ndarray:
+        """``v(t) = a0 t (1 - t / T)``; zero at both endpoints."""
+        a0, big_t = self.peak_acceleration, self.duration
+        t = np.asarray(t)
+        return a0 * t * (1.0 - t / big_t)
+
+    def position(self, t: float | np.ndarray) -> float | np.ndarray:
+        """``x(t) = a0 t^2 / 2 - a0 t^3 / (3T)``; reaches D at t = T."""
+        a0, big_t = self.peak_acceleration, self.duration
+        t = np.asarray(t)
+        return a0 * t**2 / 2.0 - a0 * t**3 / (3.0 * big_t)
+
+    def sample(self, num_points: int = 101) -> dict[str, np.ndarray]:
+        """Time series of all four Fig. 12 panels."""
+        t = np.linspace(0.0, self.duration, num_points)
+        return {
+            "time": t,
+            "jerk": np.full_like(t, self.jerk),
+            "acceleration": np.asarray(self.acceleration(t)),
+            "velocity": np.asarray(self.velocity(t)),
+            "position": np.asarray(self.position(t)),
+        }
+
+    def delta_n_vib(self, params: HardwareParams) -> float:
+        """Heating of this move via Sec. IV's formula.
+
+        Equals ``HardwareParams.delta_n_vib(distance, duration)`` — the
+        heating model *is* the kinematic peak acceleration over the trap
+        stiffness: ``0.5 * (a0 / (xzpf * w0^2))^2``.
+        """
+        val = self.peak_acceleration / (params.xzpf * params.omega0**2)
+        return 0.5 * val * val
+
+
+def hop_profile(
+    hops: float, params: HardwareParams, t_move: float | None = None
+) -> ConstantJerkProfile:
+    """Profile for a move of *hops* site pitches under *params*."""
+    return ConstantJerkProfile(
+        distance=hops * params.atom_distance,
+        duration=t_move if t_move is not None else params.t_per_move,
+    )

@@ -1,0 +1,141 @@
+"""Movement kinematics, heating (n_vib) tracking, and cooling insertion.
+
+Implements Sec. IV's physics bookkeeping on top of the stage plans produced
+by the router:
+
+* AOD line positions persist across stages (in site units).  Engaged lines
+  travel to their interaction coordinates; after the Rydberg pulse they
+  retreat to ``target + parking_offset(aod)``, a per-AOD fractional offset
+  that keeps parked atoms out of blockade range of every SLM trap, meeting
+  point, and other-AOD parked atom (see :mod:`repro.core.constraints`).
+  The retreat distance is folded into the stage's movement total.
+* Every atom in a moved row or column heats: ``delta n_vib`` follows the
+  constant-jerk profile formula (Sec. IV) and accumulates per atom.
+* When any atom of an AOD exceeds the cooling threshold, the whole AOD array
+  is swapped with a pre-cooled twin (2 CZ per atom) and its atoms' n_vib
+  reset — the paper's cooling procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.parameters import HardwareParams
+from ..hardware.raa import AtomLocation, RAAArchitecture
+from .constraints import parking_offset
+from .instructions import CoolingEvent, Move
+
+
+@dataclass
+class MovementTracker:
+    """Stateful AOD-line positions and per-atom heating across stages."""
+
+    architecture: RAAArchitecture
+    locations: dict[int, AtomLocation]
+    params: HardwareParams
+    cooling_threshold: float | None = None
+    row_pos: dict[int, dict[int, float]] = field(default_factory=dict)
+    col_pos: dict[int, dict[int, float]] = field(default_factory=dict)
+    n_vib: dict[int, float] = field(default_factory=dict)
+    #: n_vib value at each (atom, move) event, for the loss model
+    loss_samples: list[float] = field(default_factory=list)
+    num_cooling_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cooling_threshold is None:
+            self.cooling_threshold = self.params.n_vib_cooling_threshold
+        for a in range(1, self.architecture.num_arrays):
+            shape = self.architecture.array_shape(a)
+            off = parking_offset(a)
+            self.row_pos[a] = {r: r + off for r in range(shape.rows)}
+            self.col_pos[a] = {c: c + off for c in range(shape.cols)}
+        for q in self.locations:
+            self.n_vib.setdefault(q, 0.0)
+        self._atoms_by_row: dict[tuple[int, int], list[int]] = {}
+        self._atoms_by_col: dict[tuple[int, int], list[int]] = {}
+        for q, loc in self.locations.items():
+            if loc.is_aod:
+                self._atoms_by_row.setdefault((loc.array, loc.row), []).append(q)
+                self._atoms_by_col.setdefault((loc.array, loc.col), []).append(q)
+
+    # -- stage application ------------------------------------------------------
+
+    def apply_stage_maps(
+        self,
+        row_maps: dict[int, dict[int, float]],
+        col_maps: dict[int, dict[int, float]],
+    ) -> tuple[list[Move], dict[int, float]]:
+        """Move engaged lines to their targets, pulse, then retreat them.
+
+        Returns the :class:`Move` records and per-atom displacement in
+        metres.  Callers read gate-time n_vib values *before* invoking
+        :meth:`maybe_cool`, so the heating error of this stage's gates sees
+        the pre-cooling temperature.
+        """
+        pitch = self.params.atom_distance
+        moves: list[Move] = []
+        dx: dict[int, float] = {}
+        dy: dict[int, float] = {}
+
+        for aod, rmap in row_maps.items():
+            off = parking_offset(aod)
+            for r, target in rmap.items():
+                start = self.row_pos[aod][r]
+                travel = abs(start - target) + off
+                moves.append(Move(aod, "row", r, start, float(target)))
+                self.row_pos[aod][r] = target + off
+                for q in self._atoms_by_row.get((aod, r), []):
+                    dy[q] = travel
+        for aod, cmap in col_maps.items():
+            off = parking_offset(aod)
+            for c, target in cmap.items():
+                start = self.col_pos[aod][c]
+                travel = abs(start - target) + off
+                moves.append(Move(aod, "col", c, start, float(target)))
+                self.col_pos[aod][c] = target + off
+                for q in self._atoms_by_col.get((aod, c), []):
+                    dx[q] = travel
+
+        distances: dict[int, float] = {}
+        for q in set(dx) | set(dy):
+            d_sites = (dx.get(q, 0.0) ** 2 + dy.get(q, 0.0) ** 2) ** 0.5
+            if d_sites <= 0.0:
+                continue
+            d_m = d_sites * pitch
+            distances[q] = d_m
+            self.n_vib[q] += self.params.delta_n_vib(d_m)
+            # The atom is hottest *during* the move; the loss model samples
+            # the post-move vibrational state.
+            self.loss_samples.append(self.n_vib[q])
+
+        return moves, distances
+
+    def maybe_cool(self) -> list[CoolingEvent]:
+        """Swap any overheated AOD with a cooled twin (Sec. IV)."""
+        events: list[CoolingEvent] = []
+        threshold = float(self.cooling_threshold)
+        for aod in range(1, self.architecture.num_arrays):
+            atoms = [q for q, loc in self.locations.items() if loc.array == aod]
+            if not atoms:
+                continue
+            if max(self.n_vib[q] for q in atoms) > threshold:
+                events.append(CoolingEvent(aod=aod, num_atoms=len(atoms)))
+                for q in atoms:
+                    self.n_vib[q] = 0.0
+                self.num_cooling_events += 1
+        return events
+
+    # -- queries ------------------------------------------------------------------
+
+    def pair_n_vib(self, qubit_a: int, qubit_b: int) -> float:
+        """Effective n_vib of a gate pair (Sec. IV, Eq. 2 convention).
+
+        AOD-SLM pairs use the AOD atom's n_vib; AOD-AOD pairs sum both.
+        """
+        la, lb = self.locations[qubit_a], self.locations[qubit_b]
+        total = 0.0
+        if la.is_aod:
+            total += self.n_vib[qubit_a]
+        if lb.is_aod:
+            total += self.n_vib[qubit_b]
+        return total

@@ -1,0 +1,268 @@
+"""High-parallelism AOD router (Sec. III-C, Fig. 8).
+
+Iterates over the circuit DAG:
+
+1. flush every frontier 1Q gate via Raman pulses;
+2. greedily grow a maximal set of frontier 2Q gates that satisfies the three
+   hardware constraints, assigning each an interaction coordinate;
+3. emit the stage: AOD row/col moves (through the movement tracker, which
+   accumulates heating), one global Rydberg pulse executing the whole set,
+   and any cooling swap the heating triggered.
+
+Gates rejected by a constraint stay in the DAG for a later stage.  The
+router records which rejections were caused by constraint 3 (overlap) — the
+statistic Fig. 24 plots.
+
+Site selection: an AOD-SLM gate's site is fixed (the SLM atom's trap).  An
+AOD-AOD gate may meet anywhere on the half-integer lattice; the router
+offers, best-first, half-offset points near the two atoms' homes (these are
+always >= 3 Rydberg radii from every SLM trap) and SLM-free integer sites.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.dag import DAGCircuit
+from ..circuits.gates import Gate
+from ..hardware.raa import AtomLocation, RAAArchitecture
+from .constraints import ConstraintToggles, Site, StagePlan
+from .instructions import RAAProgram, RamanPulse, RydbergGate, Stage
+from .movement import MovementTracker
+
+
+class RoutingError(RuntimeError):
+    """Raised when the router cannot make progress (a gate is unschedulable
+    even alone, which cannot happen for inter-array circuits)."""
+
+
+@dataclass
+class RouterConfig:
+    """Router knobs.
+
+    ``serial`` schedules one 2Q gate per stage (Fig. 21 ablation baseline).
+    ``max_candidate_sites`` bounds the AOD-AOD meeting-point search.
+    ``cooling_threshold`` overrides the Table I default when set.
+    """
+
+    toggles: ConstraintToggles = field(default_factory=ConstraintToggles)
+    serial: bool = False
+    max_candidate_sites: int = 24
+    cooling_threshold: float | None = None
+    #: number of frontier orderings tried per stage; >1 keeps the largest
+    #: legal gate set (used by the solver-proxy baselines).
+    ordering_trials: int = 1
+    seed: int = 11
+
+
+def candidate_sites(
+    qubit_a: int,
+    qubit_b: int,
+    locations: dict[int, AtomLocation],
+    architecture: RAAArchitecture,
+    slm_sites: set[tuple[float, float]],
+    limit: int,
+) -> list[Site]:
+    """Candidate interaction coordinates for a gate, best-first."""
+    la, lb = locations[qubit_a], locations[qubit_b]
+    if la.is_slm:
+        return [(float(la.row), float(la.col))]
+    if lb.is_slm:
+        return [(float(lb.row), float(lb.col))]
+    # AOD-AOD: half-offset points near the two homes, then free integer sites.
+    max_r = architecture.site_rows - 0.5
+    max_c = architecture.site_cols - 0.5
+    anchor_r = (la.row + lb.row) / 2.0
+    anchor_c = (la.col + lb.col) / 2.0
+    points: list[Site] = []
+    seen: set[Site] = set()
+
+    def push(r: float, c: float) -> None:
+        if not (-0.5 <= r <= max_r and -0.5 <= c <= max_c):
+            return
+        site = (r, c)
+        if site in seen or site in slm_sites:
+            return
+        seen.add(site)
+        points.append(site)
+
+    # Expanding half-lattice diamond around the anchor.
+    base_r = round(anchor_r * 2) / 2.0
+    base_c = round(anchor_c * 2) / 2.0
+    radius = 0.0
+    while len(points) < limit and radius <= max(max_r, max_c) + 1.0:
+        steps = int(radius * 2)
+        if steps == 0:
+            push(base_r + 0.5, base_c + 0.5)
+            push(base_r, base_c)
+        else:
+            for i in range(steps + 1):
+                dr = -radius + i
+                for dc in (-(radius - abs(dr)), radius - abs(dr)):
+                    push(base_r + 0.5 + dr, base_c + 0.5 + dc)
+                    push(base_r + dr, base_c + dc)
+        radius += 0.5
+    points.sort(
+        key=lambda p: ((p[0] - anchor_r) ** 2 + (p[1] - anchor_c) ** 2, p)
+    )
+    return points[:limit]
+
+
+class HighParallelismRouter:
+    """Schedules a transpiled multipartite circuit onto RAA stages."""
+
+    def __init__(
+        self,
+        architecture: RAAArchitecture,
+        locations: dict[int, AtomLocation],
+        config: RouterConfig | None = None,
+    ) -> None:
+        self.architecture = architecture
+        self.locations = locations
+        self.config = config or RouterConfig()
+        self._slm_sites = {
+            (float(loc.row), float(loc.col))
+            for loc in locations.values()
+            if loc.is_slm
+        }
+
+    def _select_gates(
+        self, ordering: list[tuple[int, Gate]]
+    ) -> tuple[StagePlan, list[tuple[int, Gate, Site]], int]:
+        """Greedily build one stage's legal parallel gate set from *ordering*."""
+        plan = StagePlan(
+            architecture=self.architecture,
+            locations=self.locations,
+            toggles=self.config.toggles,
+        )
+        chosen: list[tuple[int, Gate, Site]] = []
+        overlap_rejections = 0
+        for idx, g in ordering:
+            if self.config.serial and chosen:
+                break
+            a, b = g.qubits
+            placed = False
+            overlap_blocked = False
+            for site in candidate_sites(
+                a,
+                b,
+                self.locations,
+                self.architecture,
+                self._slm_sites,
+                self.config.max_candidate_sites,
+            ):
+                if not plan.can_add(a, b, site):
+                    if self.config.toggles.no_overlap:
+                        relaxed = ConstraintToggles(
+                            no_unintended_interaction=(
+                                self.config.toggles.no_unintended_interaction
+                            ),
+                            preserve_order=self.config.toggles.preserve_order,
+                            no_overlap=False,
+                        )
+                        saved = plan.toggles
+                        plan.toggles = relaxed
+                        if plan.can_add(a, b, site):
+                            overlap_blocked = True
+                        plan.toggles = saved
+                    continue
+                token = plan.snapshot()
+                plan.add(a, b, site)
+                if plan.is_legal():
+                    chosen.append((idx, g, site))
+                    placed = True
+                    break
+                plan.restore(token)
+            if not placed and overlap_blocked:
+                overlap_rejections += 1
+        return plan, chosen, overlap_rejections
+
+    def route(self, circuit: QuantumCircuit) -> RAAProgram:
+        """Route *circuit* (CZ/1Q basis, all 2Q gates inter-array)."""
+        t0 = time.perf_counter()
+        dag = DAGCircuit(circuit)
+        tracker = MovementTracker(
+            architecture=self.architecture,
+            locations=self.locations,
+            params=self.architecture.params,
+            cooling_threshold=self.config.cooling_threshold,
+        )
+        stages: list[Stage] = []
+        overlap_rejections = 0
+
+        while not dag.done:
+            stage = Stage()
+            # Step 1: flush frontier 1Q gates (Fig. 8 "Execute 1Q Gates").
+            flushed = True
+            while flushed:
+                flushed = False
+                for idx, g in dag.front_gates():
+                    if g.is_one_qubit:
+                        stage.one_qubit_gates.append(
+                            RamanPulse(g.qubits[0], g.name, g.params)
+                        )
+                        dag.execute(idx)
+                        flushed = True
+
+            front_2q = [(idx, g) for idx, g in dag.front_gates() if g.is_two_qubit]
+            if not front_2q:
+                if stage.one_qubit_gates:
+                    stages.append(stage)
+                if dag.done:
+                    break
+                raise RoutingError("front layer stuck without 2Q gates")
+
+            best: tuple[StagePlan, list[tuple[int, Gate, Site]], int] | None = None
+            trials = max(1, self.config.ordering_trials)
+            rng = np.random.default_rng(self.config.seed + len(stages))
+            for trial in range(trials):
+                ordering = list(front_2q)
+                if trial > 0:
+                    rng.shuffle(ordering)
+                plan, chosen, rejections = self._select_gates(ordering)
+                if best is None or len(chosen) > len(best[1]):
+                    best = (plan, chosen, rejections)
+                if len(chosen) == len(front_2q):
+                    break
+            plan, chosen, stage_overlap_rejections = best
+            overlap_rejections += stage_overlap_rejections
+
+            if not chosen:
+                raise RoutingError(
+                    "router stalled: no frontier gate is schedulable even alone"
+                )
+
+            moves, distances = tracker.apply_stage_maps(
+                plan.row_maps, plan.col_maps
+            )
+            stage.moves = moves
+            stage.atom_move_distance = distances
+            for idx, g, site in chosen:
+                stage.gates.append(
+                    RydbergGate(
+                        g.qubits[0],
+                        g.qubits[1],
+                        site,
+                        n_vib=tracker.pair_n_vib(g.qubits[0], g.qubits[1]),
+                        name=g.name,
+                        params=g.params,
+                    )
+                )
+                dag.execute(idx)
+            stage.cooling = tracker.maybe_cool()
+            stages.append(stage)
+
+        return RAAProgram(
+            stages=stages,
+            num_qubits=circuit.num_qubits,
+            qubit_locations=dict(self.locations),
+            n_vib_final=dict(tracker.n_vib),
+            atom_loss_log=list(tracker.loss_samples),
+            num_transfers=0,
+            overlap_rejections=overlap_rejections,
+            compile_seconds=time.perf_counter() - t0,
+        )

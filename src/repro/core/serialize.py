@@ -1,0 +1,131 @@
+"""JSON (de)serialization of compiled RAA programs.
+
+The wire format is a plain-JSON document a control system (or a later
+session) can consume: architecture geometry, per-qubit trap assignments,
+and the stage list with moves, pulses, gates, and cooling events.  Round-
+tripping preserves every field the fidelity model reads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..hardware.raa import AtomLocation
+from .instructions import (
+    CoolingEvent,
+    Move,
+    RAAProgram,
+    RamanPulse,
+    RydbergGate,
+    Stage,
+)
+
+FORMAT_VERSION = 1
+
+
+def program_to_dict(program: RAAProgram) -> dict[str, Any]:
+    """Lower a program to JSON-ready primitives."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "num_qubits": program.num_qubits,
+        "qubit_locations": {
+            str(q): [loc.array, loc.row, loc.col]
+            for q, loc in program.qubit_locations.items()
+        },
+        "n_vib_final": {str(q): v for q, v in program.n_vib_final.items()},
+        "atom_loss_log": list(program.atom_loss_log),
+        "num_transfers": program.num_transfers,
+        "overlap_rejections": program.overlap_rejections,
+        "compile_seconds": program.compile_seconds,
+        "stages": [
+            {
+                "one_qubit_gates": [
+                    [p.qubit, p.name, list(p.params)]
+                    for p in stage.one_qubit_gates
+                ],
+                "moves": [
+                    [m.aod, m.axis, m.index, m.start, m.end]
+                    for m in stage.moves
+                ],
+                "gates": [
+                    {
+                        "a": g.qubit_a,
+                        "b": g.qubit_b,
+                        "site": list(g.site),
+                        "n_vib": g.n_vib,
+                        "name": g.name,
+                        "params": list(g.params),
+                    }
+                    for g in stage.gates
+                ],
+                "cooling": [[c.aod, c.num_atoms] for c in stage.cooling],
+                "atom_move_distance": {
+                    str(q): d for q, d in stage.atom_move_distance.items()
+                },
+            }
+            for stage in program.stages
+        ],
+    }
+
+
+def program_from_dict(doc: dict[str, Any]) -> RAAProgram:
+    """Rebuild a program from :func:`program_to_dict` output."""
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported program format version {version!r}")
+    stages = []
+    for sd in doc["stages"]:
+        stages.append(
+            Stage(
+                one_qubit_gates=[
+                    RamanPulse(q, name, tuple(params))
+                    for q, name, params in sd["one_qubit_gates"]
+                ],
+                moves=[
+                    Move(aod, axis, index, start, end)
+                    for aod, axis, index, start, end in sd["moves"]
+                ],
+                gates=[
+                    RydbergGate(
+                        gd["a"],
+                        gd["b"],
+                        tuple(gd["site"]),
+                        n_vib=gd["n_vib"],
+                        name=gd.get("name", "cz"),
+                        params=tuple(gd.get("params", ())),
+                    )
+                    for gd in sd["gates"]
+                ],
+                cooling=[
+                    CoolingEvent(aod, num_atoms)
+                    for aod, num_atoms in sd["cooling"]
+                ],
+                atom_move_distance={
+                    int(q): d for q, d in sd["atom_move_distance"].items()
+                },
+            )
+        )
+    return RAAProgram(
+        stages=stages,
+        num_qubits=doc["num_qubits"],
+        qubit_locations={
+            int(q): AtomLocation(*loc)
+            for q, loc in doc["qubit_locations"].items()
+        },
+        n_vib_final={int(q): v for q, v in doc["n_vib_final"].items()},
+        atom_loss_log=list(doc["atom_loss_log"]),
+        num_transfers=doc["num_transfers"],
+        overlap_rejections=doc["overlap_rejections"],
+        compile_seconds=doc["compile_seconds"],
+    )
+
+
+def dumps(program: RAAProgram, indent: int | None = None) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def loads(text: str) -> RAAProgram:
+    """Deserialize from a JSON string."""
+    return program_from_dict(json.loads(text))

@@ -1,0 +1,48 @@
+"""Per-figure/table experiment harnesses reproducing the paper's evaluation."""
+
+from .common import ARCHITECTURES, compile_on, gmean_row, raa_for
+from .fig13 import improvement_over, run_main_comparison, summarize
+from .fig14 import run_solver_comparison, speedup_summary
+from .fig18 import (
+    DEFAULT_VALUES,
+    SENSITIVITY_PARAMETERS,
+    error_breakdown,
+    params_for,
+    run_sensitivity,
+)
+from .fig19 import run_qpilot_comparison
+from .fig20 import run_array_size, run_aspect_ratio, run_num_aods
+from .fig21_22 import run_breakdown, run_constraint_relaxation
+from .fig23_24 import run_aod_sizes, run_overlap_pressure
+from .sweeps import run_generic_sweep, run_qaoa_sweep, run_qsim_sweep
+from .tables import benchmark_statistics, pulse_comparison
+
+__all__ = [
+    "ARCHITECTURES",
+    "DEFAULT_VALUES",
+    "SENSITIVITY_PARAMETERS",
+    "benchmark_statistics",
+    "compile_on",
+    "error_breakdown",
+    "gmean_row",
+    "improvement_over",
+    "params_for",
+    "pulse_comparison",
+    "raa_for",
+    "run_aod_sizes",
+    "run_array_size",
+    "run_aspect_ratio",
+    "run_breakdown",
+    "run_constraint_relaxation",
+    "run_generic_sweep",
+    "run_main_comparison",
+    "run_num_aods",
+    "run_overlap_pressure",
+    "run_qaoa_sweep",
+    "run_qpilot_comparison",
+    "run_qsim_sweep",
+    "run_sensitivity",
+    "run_solver_comparison",
+    "speedup_summary",
+    "summarize",
+]

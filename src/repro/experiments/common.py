@@ -1,0 +1,65 @@
+"""Shared helpers for the per-figure experiment harnesses."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..analysis.metrics import CompiledMetrics, geometric_mean
+from ..baselines import (
+    compile_on_atomique,
+    compile_on_faa,
+    compile_on_superconducting,
+)
+from ..circuits.circuit import QuantumCircuit
+from ..core.compiler import AtomiqueConfig
+from ..hardware.raa import RAAArchitecture
+
+#: The five architectures of Fig. 13, in the paper's plotting order.
+ARCHITECTURES: list[str] = [
+    "Superconducting",
+    "Baker-Long-Range",
+    "FAA-Rectangular",
+    "FAA-Triangular",
+    "Atomique",
+]
+
+
+def compile_on(
+    arch_name: str,
+    circuit: QuantumCircuit,
+    raa: RAAArchitecture | None = None,
+    config: AtomiqueConfig | None = None,
+    seed: int = 7,
+) -> CompiledMetrics:
+    """Dispatch *circuit* to the named architecture's compiler."""
+    if arch_name == "Atomique":
+        return compile_on_atomique(circuit, raa, config)
+    if arch_name == "Superconducting":
+        return compile_on_superconducting(circuit, seed=seed)
+    if arch_name == "FAA-Rectangular":
+        return compile_on_faa(circuit, "rectangular", seed=seed)
+    if arch_name == "FAA-Triangular":
+        return compile_on_faa(circuit, "triangular", seed=seed)
+    if arch_name == "Baker-Long-Range":
+        return compile_on_faa(circuit, "long_range", seed=seed)
+    raise ValueError(f"unknown architecture {arch_name!r}")
+
+
+def raa_for(circuit: QuantumCircuit, num_aods: int = 2) -> RAAArchitecture:
+    """RAA sized for *circuit*: the paper's default 10x10 when it fits,
+    otherwise the smallest square side that does."""
+    side = 10
+    while (1 + num_aods) * side * side < circuit.num_qubits:
+        side += 1
+    return RAAArchitecture.default(side=side, num_aods=num_aods)
+
+
+def gmean_row(
+    results: dict[str, list[CompiledMetrics]],
+    metric: Callable[[CompiledMetrics], float],
+) -> dict[str, float]:
+    """Geometric mean of *metric* per architecture."""
+    return {
+        arch: geometric_mean([metric(m) for m in ms])
+        for arch, ms in results.items()
+    }

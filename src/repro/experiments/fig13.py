@@ -1,0 +1,76 @@
+"""Fig. 13 + Fig. 25: the main architecture comparison.
+
+Compiles every benchmark of the main suite on all five architectures and
+reports circuit depth (parallel 2Q layers), two-qubit gate count, fidelity —
+and, for Fig. 25, the additional CNOTs caused by SWAP insertion.
+
+Expected shape (paper): Atomique wins the geometric means of all three
+metrics, with the largest margins on deep high-connectivity circuits
+(QSim-rand, QAOA-rand) and near-parity on small local circuits (H2).
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import CompiledMetrics, geometric_mean
+from ..generators.suite import BenchmarkSpec, main_suite
+from .common import ARCHITECTURES, compile_on, raa_for
+
+
+def run_main_comparison(
+    benchmarks: list[BenchmarkSpec] | None = None,
+    architectures: list[str] | None = None,
+    seed: int = 7,
+) -> dict[str, list[CompiledMetrics]]:
+    """Compile the suite everywhere; returns arch -> per-benchmark metrics."""
+    specs = benchmarks if benchmarks is not None else main_suite()
+    archs = architectures if architectures is not None else list(ARCHITECTURES)
+    results: dict[str, list[CompiledMetrics]] = {a: [] for a in archs}
+    for spec in specs:
+        circuit = spec.build()
+        for arch in archs:
+            raa = raa_for(circuit) if arch == "Atomique" else None
+            results[arch].append(compile_on(arch, circuit, raa=raa, seed=seed))
+    return results
+
+
+def summarize(results: dict[str, list[CompiledMetrics]]) -> list[dict[str, object]]:
+    """Per-architecture geometric means of the three headline metrics."""
+    rows: list[dict[str, object]] = []
+    for arch, ms in results.items():
+        rows.append(
+            {
+                "arch": arch,
+                "gmean_depth": round(geometric_mean([m.depth for m in ms]), 1),
+                "gmean_2q": round(
+                    geometric_mean([m.num_2q_gates for m in ms]), 1
+                ),
+                "gmean_fidelity": round(
+                    geometric_mean([m.total_fidelity for m in ms], floor=1e-6), 4
+                ),
+                "gmean_add_cnot": round(
+                    geometric_mean(
+                        [max(m.additional_cnots, 1) for m in ms]
+                    ),
+                    1,
+                ),
+            }
+        )
+    return rows
+
+
+def improvement_over(
+    results: dict[str, list[CompiledMetrics]], ours: str = "Atomique"
+) -> dict[str, dict[str, float]]:
+    """Per-baseline reduction factors: baseline_gmean / atomique_gmean."""
+    our = results[ours]
+    out: dict[str, dict[str, float]] = {}
+    g2q = geometric_mean([m.num_2q_gates for m in our])
+    gdepth = geometric_mean([m.depth for m in our])
+    for arch, ms in results.items():
+        if arch == ours:
+            continue
+        out[arch] = {
+            "2q_reduction": geometric_mean([m.num_2q_gates for m in ms]) / g2q,
+            "depth_reduction": geometric_mean([m.depth for m in ms]) / gdepth,
+        }
+    return out

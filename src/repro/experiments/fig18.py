@@ -1,0 +1,151 @@
+"""Fig. 18: sensitivity analysis over six hardware parameters.
+
+Top row: fidelity of BV-70, QSim-rand-20, QAOA-regu5-40 on Atomique,
+FAA-Rectangular, FAA-Triangular as one parameter varies.
+Bottom row: ``-log(fidelity)`` error breakdown for BV-70 on Atomique.
+
+Expected shapes (paper):
+(a) time-per-move — too fast heats/loses atoms, too slow decoheres;
+    optimum near 300 us;
+(b) move speed — the same data on an inverted axis;
+(c) atom distance — heating grows with D^2; cooling caps it but costs;
+(d) n_vib cooling threshold — low thresholds over-cool (2Q cost), high
+    thresholds lose atoms; a 12-25 window is optimal;
+(e) coherence time — RAA gains more from longer T1 than FAA (movement time
+    dominates); crossover around T1 ~ 1 s;
+(f) 2Q gate fidelity — above ~0.9999 the FAAs win (SWAPs become cheap
+    relative to movement decoherence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines import compile_on_atomique, compile_on_faa
+from ..circuits.circuit import QuantumCircuit
+from ..core.compiler import AtomiqueConfig
+from ..core.router import RouterConfig
+from ..generators import bernstein_vazirani, qaoa_regular, qsim_random
+from ..hardware.parameters import HardwareParams, neutral_atom_params
+from ..hardware.raa import RAAArchitecture
+from .common import raa_for
+
+SENSITIVITY_PARAMETERS = (
+    "t_per_move",
+    "atom_distance",
+    "n_vib_cooling_threshold",
+    "t1",
+    "f_2q",
+)
+
+#: Paper sweep ranges per panel.
+DEFAULT_VALUES: dict[str, list[float]] = {
+    "t_per_move": [100e-6, 200e-6, 300e-6, 500e-6, 1000e-6],
+    "atom_distance": [5e-6, 15e-6, 30e-6, 60e-6],
+    "n_vib_cooling_threshold": [5, 10, 15, 20, 25, 30],
+    "t1": [0.1, 1.0, 15.0, 100.0],
+    "f_2q": [0.99, 0.9975, 0.999, 0.9999],
+}
+
+
+def default_benchmarks() -> list[QuantumCircuit]:
+    """The three Fig. 18 circuits."""
+    return [
+        bernstein_vazirani(70),
+        qsim_random(20, seed=20),
+        qaoa_regular(40, 5, seed=40),
+    ]
+
+
+def params_for(parameter: str, value: float) -> HardwareParams:
+    """Table I parameters with one knob overridden.
+
+    ``atom_distance`` below 6 Rydberg radii also shrinks the Rydberg radius
+    proportionally so the parking geometry stays valid (the paper's sweep
+    only exercises the heating D^2 scaling).
+    """
+    base = neutral_atom_params()
+    if parameter == "atom_distance":
+        overrides: dict[str, float] = {"atom_distance": value}
+        if value < 6.0 * base.rydberg_radius:
+            overrides["rydberg_radius"] = value / 6.0
+        return base.with_overrides(**overrides)
+    if parameter not in SENSITIVITY_PARAMETERS:
+        raise ValueError(f"unknown sensitivity parameter {parameter!r}")
+    return base.with_overrides(**{parameter: value})
+
+
+@dataclass
+class SensitivityPoint:
+    """One (parameter value, benchmark, architecture) sample."""
+
+    parameter: str
+    value: float
+    benchmark: str
+    architecture: str
+    metrics: CompiledMetrics
+
+    @property
+    def fidelity(self) -> float:
+        return self.metrics.total_fidelity
+
+
+def run_sensitivity(
+    parameter: str,
+    values: list[float] | None = None,
+    benchmarks: list[QuantumCircuit] | None = None,
+    architectures: list[str] | None = None,
+    seed: int = 7,
+) -> list[SensitivityPoint]:
+    """Sweep one hardware parameter across benchmarks and architectures."""
+    values = values if values is not None else DEFAULT_VALUES[parameter]
+    circuits = benchmarks if benchmarks is not None else default_benchmarks()
+    archs = architectures or ["FAA-Rectangular", "FAA-Triangular", "Atomique"]
+    points: list[SensitivityPoint] = []
+    for value in values:
+        params = params_for(parameter, value)
+        for circuit in circuits:
+            for arch in archs:
+                if arch == "Atomique":
+                    base = raa_for(circuit)
+                    raa = RAAArchitecture(
+                        slm_shape=base.slm_shape,
+                        aod_shapes=base.aod_shapes,
+                        params=params,
+                    )
+                    cfg = AtomiqueConfig(
+                        seed=seed,
+                        router=RouterConfig(
+                            cooling_threshold=params.n_vib_cooling_threshold
+                        ),
+                    )
+                    m = compile_on_atomique(circuit, raa, cfg)
+                else:
+                    topo = (
+                        "rectangular" if arch == "FAA-Rectangular" else "triangular"
+                    )
+                    m = compile_on_faa(circuit, topo, params=params, seed=seed)
+                points.append(
+                    SensitivityPoint(parameter, value, circuit.name, arch, m)
+                )
+    return points
+
+
+def error_breakdown(
+    parameter: str,
+    values: list[float] | None = None,
+    benchmark: QuantumCircuit | None = None,
+    seed: int = 7,
+) -> list[dict[str, object]]:
+    """Fig. 18 bottom row: -log(F) per error source for BV-70 on Atomique."""
+    circuit = benchmark if benchmark is not None else bernstein_vazirani(70)
+    points = run_sensitivity(
+        parameter, values, benchmarks=[circuit], architectures=["Atomique"], seed=seed
+    )
+    rows: list[dict[str, object]] = []
+    for p in points:
+        row: dict[str, object] = {"value": p.value}
+        row.update(p.metrics.fidelity.breakdown())
+        rows.append(row)
+    return rows

@@ -1,0 +1,46 @@
+"""Fig. 19: Atomique vs Q-Pilot on QAOA and QSim workloads.
+
+Expected shape: Q-Pilot achieves lower depth (flying ancillas parallelize
+commuting interactions) but spends ~2-3x the two-qubit gates, and Atomique
+ends up with higher overall fidelity — the better balance the paper claims.
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines import (
+    compile_on_atomique,
+    compile_on_qpilot,
+    compile_qsim_on_qpilot,
+)
+from ..generators.qaoa import qaoa_random, qaoa_regular
+from ..generators.qsim import qsim_random, qsim_random_strings
+from .common import raa_for
+
+
+def run_qpilot_comparison(
+    include_large: bool = False, seed: int = 7
+) -> dict[str, list[CompiledMetrics]]:
+    """The Fig. 19 workload set (QSim-rand-100 only with ``include_large``)."""
+    qaoa_jobs = [
+        qaoa_random(10, seed=10),
+        qaoa_random(20, seed=20),
+        qaoa_regular(40, 5, seed=40),
+    ]
+    if include_large:
+        qaoa_jobs.append(qaoa_regular(100, 6, seed=100))
+    qsim_sizes = [10, 20] + ([40, 100] if include_large else [40])
+
+    results: dict[str, list[CompiledMetrics]] = {"Atomique": [], "Q-Pilot": []}
+    for circ in qaoa_jobs:
+        results["Atomique"].append(compile_on_atomique(circ, raa_for(circ)))
+        results["Q-Pilot"].append(compile_on_qpilot(circ, seed=seed))
+    for n in qsim_sizes:
+        circ = qsim_random(n, seed=n)
+        results["Atomique"].append(compile_on_atomique(circ, raa_for(circ)))
+        results["Q-Pilot"].append(
+            compile_qsim_on_qpilot(
+                n, qsim_random_strings(n, seed=n), name=circ.name, seed=seed
+            )
+        )
+    return results

@@ -1,0 +1,118 @@
+"""Fig. 20: array-topology sensitivity.
+
+(a) same atom count per array, different row:col aspect ratios;
+(b) square arrays from 7x7 to 20x20;
+(c) 1-7 AOD arrays.
+
+Benchmarks (paper): 100-qubit arbitrary circuit with 10 gates/qubit, 40-qubit
+QSim at p=0.5, 40-qubit 5-regular QAOA.  Metrics: execution time, fidelity,
+average moving distance, 2Q gate count.
+
+Expected shapes: square arrays minimize move distance (max fidelity) with a
+slight execution-time penalty; larger arrays lengthen moves and hurt
+fidelity; more AODs reduce 2Q count and execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines import compile_on_atomique
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random_circuits import random_circuit
+from ..generators.qaoa import qaoa_regular
+from ..generators.qsim import qsim_random
+from ..hardware.raa import ArrayShape, RAAArchitecture
+
+
+def default_benchmarks() -> list[QuantumCircuit]:
+    """Arb-100Q (10 gates/qubit), QSim-40Q (p=0.5), QAOA-40Q (5-regular)."""
+    arb = random_circuit(100, 10.0, 5.0, seed=100)
+    arb.name = "Arb-100Q"
+    qsim = qsim_random(40, seed=40)
+    qsim.name = "QSim-40Q"
+    qaoa = qaoa_regular(40, 5, seed=40)
+    qaoa.name = "QAOA-40Q"
+    return [arb, qsim, qaoa]
+
+
+@dataclass
+class TopologyPoint:
+    """One (topology label, benchmark) sample."""
+
+    label: str
+    benchmark: str
+    metrics: CompiledMetrics
+
+
+def aspect_ratio_shapes(total: int = 48) -> list[tuple[int, int]]:
+    """Factor pairs of *total*, wide to tall (paper uses 49 = 7x7 family)."""
+    shapes = []
+    for rows in range(1, total + 1):
+        if total % rows == 0:
+            shapes.append((rows, total // rows))
+    return shapes
+
+
+def run_aspect_ratio(
+    shapes: list[tuple[int, int]] | None = None,
+    benchmarks: list[QuantumCircuit] | None = None,
+    num_aods: int = 2,
+    seed: int = 7,
+) -> list[TopologyPoint]:
+    """Fig. 20(a): same capacity, varying row:col ratio."""
+    shapes = shapes if shapes is not None else [(4, 12), (6, 8), (7, 7), (8, 6), (12, 4)]
+    circuits = benchmarks if benchmarks is not None else default_benchmarks()
+    points: list[TopologyPoint] = []
+    for rows, cols in shapes:
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(rows, cols),
+            aod_shapes=[ArrayShape(rows, cols) for _ in range(num_aods)],
+        )
+        for circ in circuits:
+            if circ.num_qubits > arch.total_capacity:
+                continue
+            m = compile_on_atomique(circ, arch)
+            points.append(TopologyPoint(f"{rows}x{cols}", circ.name, m))
+    return points
+
+
+def run_array_size(
+    sides: list[int] | None = None,
+    benchmarks: list[QuantumCircuit] | None = None,
+    num_aods: int = 2,
+    seed: int = 7,
+) -> list[TopologyPoint]:
+    """Fig. 20(b): square arrays of growing side."""
+    sides = sides if sides is not None else [7, 10, 14, 20]
+    circuits = benchmarks if benchmarks is not None else default_benchmarks()
+    points: list[TopologyPoint] = []
+    for side in sides:
+        arch = RAAArchitecture.default(side=side, num_aods=num_aods)
+        for circ in circuits:
+            if circ.num_qubits > arch.total_capacity:
+                continue
+            m = compile_on_atomique(circ, arch)
+            points.append(TopologyPoint(f"{side}x{side}", circ.name, m))
+    return points
+
+
+def run_num_aods(
+    aod_counts: list[int] | None = None,
+    benchmarks: list[QuantumCircuit] | None = None,
+    side: int = 10,
+    seed: int = 7,
+) -> list[TopologyPoint]:
+    """Fig. 20(c): 1-7 AOD arrays."""
+    counts = aod_counts if aod_counts is not None else [1, 2, 3, 5, 7]
+    circuits = benchmarks if benchmarks is not None else default_benchmarks()
+    points: list[TopologyPoint] = []
+    for k in counts:
+        arch = RAAArchitecture.default(side=side, num_aods=k)
+        for circ in circuits:
+            if circ.num_qubits > arch.total_capacity:
+                continue
+            m = compile_on_atomique(circ, arch)
+            points.append(TopologyPoint(f"{k} AODs", circ.name, m))
+    return points

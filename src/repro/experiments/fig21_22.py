@@ -1,0 +1,90 @@
+"""Fig. 21 (technique breakdown) and Fig. 22 (constraint relaxation).
+
+Fig. 21: replace each Atomique technique with a naive baseline and add them
+back cumulatively on dense random circuits (26 gates/qubit).  Expected:
+each technique improves fidelity; the array mapper and the high-parallelism
+router contribute the most.
+
+Fig. 22: relax each of the three hardware constraints independently on
+QAOA-rand-100, QSim-rand-100, Phase-Code-200.  Expected: 2Q count unchanged
+(constraints only affect scheduling); depth and execution time drop; move
+distance rises; relaxing constraint 3 (overlap) helps the most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines import compile_on_atomique, run_ablation
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random_circuits import random_circuit
+from ..core.compiler import AtomiqueConfig
+from ..core.constraints import ConstraintToggles
+from ..core.router import RouterConfig
+from ..generators.algorithms import phase_code
+from ..generators.qaoa import qaoa_random
+from ..generators.qsim import qsim_random
+from ..hardware.raa import RAAArchitecture
+from .common import raa_for
+
+
+def run_breakdown(
+    num_qubits: int = 40,
+    gates_per_qubit: float = 26.0,
+    degree: float = 5.0,
+    seed: int = 7,
+) -> list[CompiledMetrics]:
+    """Fig. 21: cumulative technique ablation on a dense random circuit."""
+    circ = random_circuit(num_qubits, gates_per_qubit, degree, seed=seed)
+    circ.name = f"arb-{num_qubits}q-{gates_per_qubit:g}gpq"
+    return run_ablation(circ, raa_for(circ))
+
+
+RELAXATIONS: list[tuple[str, ConstraintToggles]] = [
+    ("All Constraints", ConstraintToggles()),
+    (
+        "Relax C1 (individual addressing)",
+        ConstraintToggles(no_unintended_interaction=False),
+    ),
+    ("Relax C2 (ordering)", ConstraintToggles(preserve_order=False)),
+    ("Relax C3 (overlap)", ConstraintToggles(no_overlap=False)),
+]
+
+
+@dataclass
+class RelaxationPoint:
+    """One (relaxation, benchmark) sample."""
+
+    relaxation: str
+    benchmark: str
+    metrics: CompiledMetrics
+
+
+def default_relaxation_benchmarks() -> list[QuantumCircuit]:
+    """QAOA-rand-100, QSim-rand-100, Phase-Code-200 (paper's Fig. 22 set)."""
+    qaoa = qaoa_random(100, edge_prob=0.05, seed=100)
+    qaoa.name = "QAOA-rand-100"
+    qsim = qsim_random(100, seed=100)
+    qsim.name = "QSim-rand-100"
+    pc = phase_code(200, rounds=2)
+    pc.name = "Phase-Code-200"
+    return [qaoa, qsim, pc]
+
+
+def run_constraint_relaxation(
+    benchmarks: list[QuantumCircuit] | None = None,
+    seed: int = 7,
+) -> list[RelaxationPoint]:
+    """Fig. 22: toggle each constraint off, one at a time."""
+    circuits = (
+        benchmarks if benchmarks is not None else default_relaxation_benchmarks()
+    )
+    points: list[RelaxationPoint] = []
+    for circ in circuits:
+        arch = raa_for(circ)
+        for label, toggles in RELAXATIONS:
+            cfg = AtomiqueConfig(seed=seed, router=RouterConfig(toggles=toggles))
+            m = compile_on_atomique(circ, arch, cfg, label=label)
+            points.append(RelaxationPoint(label, circ.name, m))
+    return points

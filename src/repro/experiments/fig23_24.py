@@ -1,0 +1,98 @@
+"""Fig. 23 (heterogeneous AOD sizes) and Fig. 24 (overlap under pressure).
+
+Fig. 23: uniform 8x8 arrays vs a 10x10 SLM with 8x8 + 6x6 AODs.  Expected:
+varied sizes give the mapper more freedom — fewer 2Q gates, less depth and
+time, longer moves.
+
+Fig. 24: 100 logical qubits on arrays from 6x6 (108 traps — nearly full) up
+to 10x10 (300 traps).  Expected: smaller arrays force many constraint-3
+(overlap) rejections, inflating depth and execution time; larger AODs
+reduce overlaps; the effect is application-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines import compile_on_atomique
+from ..circuits.circuit import QuantumCircuit
+from ..generators.algorithms import phase_code
+from ..generators.qaoa import qaoa_random
+from ..generators.qsim import qsim_random
+from ..hardware.raa import ArrayShape, RAAArchitecture
+
+
+def default_benchmarks_100q() -> list[QuantumCircuit]:
+    """QAOA-rand-100, QSim-rand-100, Phase-Code-100 (Figs. 23-24 set)."""
+    qaoa = qaoa_random(100, edge_prob=0.05, seed=100)
+    qaoa.name = "QAOA-rand-100"
+    qsim = qsim_random(100, seed=100)
+    qsim.name = "QSim-rand-100"
+    pc = phase_code(100, rounds=2)
+    pc.name = "Phase-Code-100"
+    return [qaoa, qsim, pc]
+
+
+@dataclass
+class ConfigPoint:
+    """One (configuration label, benchmark) sample."""
+
+    label: str
+    benchmark: str
+    metrics: CompiledMetrics
+
+    @property
+    def overlaps(self) -> float:
+        return self.metrics.extras.get("overlap_rejections", 0.0)
+
+
+def run_aod_sizes(
+    benchmarks: list[QuantumCircuit] | None = None,
+    seed: int = 7,
+) -> list[ConfigPoint]:
+    """Fig. 23: uniform vs heterogeneous array sizes."""
+    circuits = benchmarks if benchmarks is not None else default_benchmarks_100q()
+    configs = [
+        (
+            "SLM 8x8, AODs 8x8+8x8",
+            RAAArchitecture(
+                slm_shape=ArrayShape(8, 8),
+                aod_shapes=[ArrayShape(8, 8), ArrayShape(8, 8)],
+            ),
+        ),
+        (
+            "SLM 10x10, AODs 8x8+6x6",
+            RAAArchitecture(
+                slm_shape=ArrayShape(10, 10),
+                aod_shapes=[ArrayShape(8, 8), ArrayShape(6, 6)],
+            ),
+        ),
+    ]
+    points: list[ConfigPoint] = []
+    for label, arch in configs:
+        for circ in circuits:
+            if circ.num_qubits > arch.total_capacity:
+                continue
+            m = compile_on_atomique(circ, arch)
+            points.append(ConfigPoint(label, circ.name, m))
+    return points
+
+
+def run_overlap_pressure(
+    sides: list[int] | None = None,
+    benchmarks: list[QuantumCircuit] | None = None,
+    seed: int = 7,
+) -> list[ConfigPoint]:
+    """Fig. 24: logical qubits approaching physical capacity."""
+    sides = sides if sides is not None else [6, 8, 10]
+    circuits = benchmarks if benchmarks is not None else default_benchmarks_100q()
+    points: list[ConfigPoint] = []
+    for side in sides:
+        arch = RAAArchitecture.default(side=side, num_aods=2)
+        for circ in circuits:
+            if circ.num_qubits > arch.total_capacity:
+                continue
+            m = compile_on_atomique(circ, arch)
+            points.append(ConfigPoint(f"AOD {side}x{side}", circ.name, m))
+    return points

@@ -1,0 +1,98 @@
+"""Figs. 15-17: circuit-characteristic sweeps.
+
+* Fig. 15 — random generic circuits at 40 qubits, sweeping *2Q gates per
+  qubit* x *degree per qubit*;
+* Fig. 16 — regular-graph QAOA, sweeping qubit number x graph degree;
+* Fig. 17 — random QSim, sweeping qubit number x non-I probability.
+
+Each cell compiles on Atomique, FAA-Rectangular, and FAA-Triangular and
+reports 2Q count plus the *fidelity improvement* of Atomique over each FAA.
+Expected shape: Atomique's advantage grows with degree (locality loss) and
+with circuit volume; FAA wins slightly on small local circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import CompiledMetrics
+from ..circuits.random_circuits import random_circuit
+from ..generators.qaoa import qaoa_regular
+from ..generators.qsim import qsim_random
+from .common import compile_on, raa_for
+
+SWEEP_ARCHS = ["FAA-Rectangular", "FAA-Triangular", "Atomique"]
+
+
+@dataclass
+class SweepCell:
+    """One (x, y) grid point of a sweep figure."""
+
+    x: float
+    y: float
+    metrics: dict[str, CompiledMetrics]
+
+    def fidelity_improvement(self, baseline: str) -> float:
+        """Atomique fidelity / baseline fidelity (Z axis of row 2)."""
+        ours = self.metrics["Atomique"].total_fidelity
+        theirs = self.metrics[baseline].total_fidelity
+        return max(ours, 1e-12) / max(theirs, 1e-12)
+
+
+def _evaluate(circuit, seed: int) -> dict[str, CompiledMetrics]:
+    out: dict[str, CompiledMetrics] = {}
+    for arch in SWEEP_ARCHS:
+        raa = raa_for(circuit) if arch == "Atomique" else None
+        out[arch] = compile_on(arch, circuit, raa=raa, seed=seed)
+    return out
+
+
+def run_generic_sweep(
+    num_qubits: int = 40,
+    gates_per_qubit: list[float] | None = None,
+    degrees: list[float] | None = None,
+    seed: int = 7,
+) -> list[SweepCell]:
+    """Fig. 15 grid (paper: gates/qubit 2-26, degree 1-7)."""
+    gpqs = gates_per_qubit if gates_per_qubit is not None else [2, 10, 18, 26]
+    degs = degrees if degrees is not None else [1, 3, 5, 7]
+    cells: list[SweepCell] = []
+    for g in gpqs:
+        for d in degs:
+            circ = random_circuit(num_qubits, g, d, seed=seed)
+            cells.append(SweepCell(x=g, y=d, metrics=_evaluate(circ, seed)))
+    return cells
+
+
+def run_qaoa_sweep(
+    qubit_numbers: list[int] | None = None,
+    degrees: list[int] | None = None,
+    seed: int = 7,
+) -> list[SweepCell]:
+    """Fig. 16 grid (paper: 10-100 qubits, degree 1-7)."""
+    ns = qubit_numbers if qubit_numbers is not None else [10, 40, 80]
+    degs = degrees if degrees is not None else [3, 5, 7]
+    cells: list[SweepCell] = []
+    for n in ns:
+        for d in degs:
+            if d >= n or (n * d) % 2:
+                continue
+            circ = qaoa_regular(n, d, seed=seed)
+            cells.append(SweepCell(x=n, y=d, metrics=_evaluate(circ, seed)))
+    return cells
+
+
+def run_qsim_sweep(
+    qubit_numbers: list[int] | None = None,
+    non_identity_probs: list[float] | None = None,
+    seed: int = 7,
+) -> list[SweepCell]:
+    """Fig. 17 grid (paper: 10-100 qubits, p(non-I) 0.1-0.7)."""
+    ns = qubit_numbers if qubit_numbers is not None else [10, 40, 80]
+    ps = non_identity_probs if non_identity_probs is not None else [0.1, 0.4, 0.7]
+    cells: list[SweepCell] = []
+    for n in ns:
+        for p in ps:
+            circ = qsim_random(n, non_identity_prob=p, seed=seed)
+            cells.append(SweepCell(x=n, y=p, metrics=_evaluate(circ, seed)))
+    return cells

@@ -1,0 +1,67 @@
+"""Table II (benchmark statistics) and Table III (Geyser pulse counts)."""
+
+from __future__ import annotations
+
+from ..baselines.atomique_adapter import compile_on_atomique
+from ..baselines.geyser import atomique_pulse_count, geyser_pulse_count
+from ..generators.suite import BenchmarkSpec, main_suite, small_suite
+from .common import raa_for
+
+
+def benchmark_statistics(
+    specs: list[BenchmarkSpec] | None = None,
+) -> list[dict[str, object]]:
+    """Table II rows: qubits, gate counts, 2Q-per-qubit, degree-per-qubit."""
+    specs = specs if specs is not None else main_suite() + small_suite()
+    rows: list[dict[str, object]] = []
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.name in seen:
+            continue
+        seen.add(spec.name)
+        circ = spec.build()
+        rows.append(
+            {
+                "name": spec.name,
+                "type": spec.category,
+                "qubits": circ.num_qubits,
+                "2q_gates": circ.num_2q_gates,
+                "1q_gates": circ.num_1q_gates,
+                "2q_per_q": round(circ.two_qubit_gates_per_qubit(), 1),
+                "degree_per_q": round(circ.degree_per_qubit(), 1),
+            }
+        )
+    return rows
+
+
+#: Table III benchmark names.
+TABLE3_BENCHMARKS = ["HHL-7", "Mermin-Bell-10", "QV-32", "BV-50", "BV-70"]
+
+
+def pulse_comparison(
+    benchmark_names: list[str] | None = None,
+) -> list[dict[str, object]]:
+    """Table III rows: Geyser pulse count vs Atomique pulse count.
+
+    Expected shape: Atomique uses up to ~6.5x fewer pulses, with the
+    largest wins on sparse circuits (BV) where Geyser still pays a full
+    3-qubit block per neighbourhood.
+    """
+    from ..generators.suite import find
+
+    names = benchmark_names if benchmark_names is not None else TABLE3_BENCHMARKS
+    rows: list[dict[str, object]] = []
+    for name in names:
+        circ = find(name).build()
+        geyser = geyser_pulse_count(circ)
+        m = compile_on_atomique(circ, raa_for(circ))
+        atomique = atomique_pulse_count(m.num_2q_gates)
+        rows.append(
+            {
+                "benchmark": name,
+                "geyser_pulses": geyser,
+                "atomique_pulses": atomique,
+                "reduction": round(geyser / max(atomique, 1), 2),
+            }
+        )
+    return rows

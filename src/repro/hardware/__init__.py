@@ -1,0 +1,39 @@
+"""Device models: coupling maps, RAA/FAA/superconducting architectures, Table I parameters."""
+
+from .coupling import (
+    CouplingError,
+    CouplingMap,
+    grid_coupling,
+    long_range_grid_coupling,
+)
+from .faa import FAAArchitecture
+from .parameters import (
+    raw_neutral_atom_params,
+    HardwareParams,
+    neutral_atom_params,
+    scaled_neutral_atom_params,
+    scaled_superconducting_params,
+    superconducting_params,
+)
+from .raa import ArrayShape, AtomLocation, RAAArchitecture, RAAError
+from .superconducting import SuperconductingArchitecture, heavy_hex_coupling
+
+__all__ = [
+    "ArrayShape",
+    "AtomLocation",
+    "CouplingError",
+    "CouplingMap",
+    "FAAArchitecture",
+    "HardwareParams",
+    "RAAArchitecture",
+    "RAAError",
+    "SuperconductingArchitecture",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "long_range_grid_coupling",
+    "neutral_atom_params",
+    "raw_neutral_atom_params",
+    "scaled_neutral_atom_params",
+    "scaled_superconducting_params",
+    "superconducting_params",
+]

@@ -1,0 +1,119 @@
+"""Hardware parameters (Table I of the paper) and derived movement constants.
+
+All times are seconds, distances are metres, frequencies are Hz.  The neutral
+atom numbers come from Bluvstein et al. (Nature 2022) as cited in the paper;
+the superconducting numbers from the IBMQ platform.  The paper scales
+coherence time by 10x and gate errors down by 10x "to make evaluation on
+large quantum circuits possible" — :func:`scaled_neutral_atom_params` applies
+exactly that scaling and is the default for the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+PLANCK = 6.62607015e-34  # J*s
+ATOM_MASS_RB87 = 1.443e-25  # kg (Rb-87, the species used in [10])
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Device-level physical parameters.
+
+    Attributes mirror Table I.  ``f_2q``/``f_1q`` are gate fidelities,
+    ``t_2q``/``t_1q`` gate durations, ``t1`` the coherence time,
+    ``atom_distance`` the site pitch, ``t_per_move`` the per-stage AOD move
+    duration, ``t_transfer``/``p_transfer_loss`` the SLM<->AOD atom-transfer
+    cost, and ``xzpf``/``omega0``/``lam`` the heating-model constants.
+    """
+
+    f_2q: float = 0.9975
+    f_1q: float = 0.99992
+    t_2q: float = 380e-9
+    t_1q: float = 625e-9
+    t1: float = 15.0
+    atom_distance: float = 15e-6
+    rydberg_radius: float = 2.5e-6
+    t_per_move: float = 300e-6
+    t_transfer: float = 15e-6
+    p_transfer_loss: float = 0.0068
+    xzpf: float = 38e-9
+    omega0: float = 2 * math.pi * 80e3
+    lam: float = 0.109
+    n_vib_max: float = 33.0
+    n_vib_cooling_threshold: float = 15.0
+
+    def with_overrides(self, **kwargs: float) -> "HardwareParams":
+        """Copy with selected fields replaced (sensitivity sweeps)."""
+        return replace(self, **kwargs)
+
+    @property
+    def avg_move_speed(self) -> float:
+        """Mean speed (m/s) of a single-pitch move, Fig. 18(b)'s x-axis."""
+        return self.atom_distance / self.t_per_move
+
+    def delta_n_vib(self, distance: float, t_move: float | None = None) -> float:
+        """Vibrational quanta added by one constant-jerk move of *distance*.
+
+        Implements Sec. IV: ``delta_n = 0.5 * (6 D / (xzpf * w0^2 * T^2))^2``.
+        """
+        t = self.t_per_move if t_move is None else t_move
+        if distance <= 0.0:
+            return 0.0
+        val = 6.0 * distance / (self.xzpf * (self.omega0**2) * (t**2))
+        return 0.5 * val * val
+
+
+def raw_neutral_atom_params() -> HardwareParams:
+    """Unscaled hardware values quoted in Sec. IV: f2q=0.975, T1=1.5 s.
+
+    The paper's Table I already applies the 10x coherence / 10x error
+    evaluation scaling ("We scale up the coherence time ... by 10x and scale
+    down their two-qubit and one-qubit gate errors"), so these raw values are
+    only used by the Sec. IV break-even analysis.
+    """
+    return HardwareParams(f_2q=0.975, f_1q=0.9992, t1=1.5)
+
+
+def neutral_atom_params() -> HardwareParams:
+    """Table I neutral-atom parameters (evaluation scaling already applied)."""
+    return HardwareParams()
+
+
+def scaled_neutral_atom_params() -> HardwareParams:
+    """Alias of :func:`neutral_atom_params` — Table I is the scaled setting."""
+    return neutral_atom_params()
+
+
+def superconducting_params() -> HardwareParams:
+    """Table I superconducting row (IBMQ-derived timing).
+
+    Gate fidelities are equalized with the neutral-atom values "for unbiased
+    comparisons"; only timing and coherence differ.  Reproducing the paper's
+    reported superconducting fidelities (e.g. BV-70 = 0.002) requires using
+    the quoted T1 = 801.2 us directly.
+    """
+    return HardwareParams(
+        f_2q=0.9975,
+        f_1q=0.99992,
+        t_2q=480e-9,
+        t_1q=35.2e-9,
+        t1=801.2e-6,
+    )
+
+
+def scaled_superconducting_params() -> HardwareParams:
+    """Alias of :func:`superconducting_params` (Table I values)."""
+    return superconducting_params()
+
+
+def delta_n_vib_reference_check() -> dict[int, float]:
+    """Reference values from Sec. IV: hops -> delta n_vib.
+
+    The paper quotes 0.0054 for 1 hop (15 um, 300 us), 0.13 for 5 hops and
+    0.54 for 10 hops.  Returned for the unit tests that pin the heating model
+    to the published numbers.
+    """
+    p = neutral_atom_params()
+    return {hops: p.delta_n_vib(hops * p.atom_distance) for hops in (1, 5, 10)}

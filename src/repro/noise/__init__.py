@@ -1,0 +1,23 @@
+"""Fidelity estimation: movement overhead (Sec. IV) + end-to-end model (Sec. V-A)."""
+
+from .fidelity import FidelityReport, estimate_circuit_fidelity, estimate_raa_fidelity
+from .movement_noise import (
+    atom_loss_probability,
+    cooling_fidelity,
+    heating_gate_factor,
+    movement_decoherence_fidelity,
+    movement_heating_fidelity,
+    movement_loss_fidelity,
+)
+
+__all__ = [
+    "FidelityReport",
+    "atom_loss_probability",
+    "cooling_fidelity",
+    "estimate_circuit_fidelity",
+    "estimate_raa_fidelity",
+    "heating_gate_factor",
+    "movement_decoherence_fidelity",
+    "movement_heating_fidelity",
+    "movement_loss_fidelity",
+]

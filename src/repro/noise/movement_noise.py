@@ -1,0 +1,72 @@
+"""Atom-movement overhead models (Sec. IV, Eqs. 1-2).
+
+Four multiplicative fidelity terms characterize movement:
+
+* ``F_mov_heating`` — heating degrades each two-qubit gate in proportion to
+  the pair's vibrational quantum number (Eq. 2);
+* ``F_mov_loss`` — hot atoms escape the trap with an erf-model probability;
+* ``F_mov_cooling`` — swapping an overheated AOD with a pre-cooled twin
+  costs 2 CZ per atom;
+* ``F_mov_deco`` — qubits decohere for the duration of every move.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import erf
+
+from ..hardware.parameters import HardwareParams
+
+
+def heating_gate_factor(n_vib: float, params: HardwareParams) -> float:
+    """Per-gate heating fidelity factor: ``1 - lam * (1 - f2q) * n_vib``.
+
+    Clamped at 0 — beyond that the gate is certainly lost.
+    """
+    val = 1.0 - params.lam * (1.0 - params.f_2q) * n_vib
+    return max(val, 0.0)
+
+
+def movement_heating_fidelity(
+    gate_n_vibs: list[float], params: HardwareParams
+) -> float:
+    """Eq. 2 over all executed 2Q gates."""
+    f = 1.0
+    for nv in gate_n_vibs:
+        f *= heating_gate_factor(nv, params)
+    return f
+
+
+def atom_loss_probability(n_vib: float, params: HardwareParams) -> float:
+    """Sec. IV loss model: ``1 - 0.5 (1 + erf((n_max - n) / sqrt(2 n)))``.
+
+    Zero at ``n_vib = 0``; ~0.5 at ``n_vib = n_max``; approaches 1 beyond.
+    """
+    if n_vib <= 0.0:
+        return 0.0
+    z = (params.n_vib_max - n_vib) / math.sqrt(2.0 * n_vib)
+    return 1.0 - 0.5 * (1.0 + float(erf(z)))
+
+
+def movement_loss_fidelity(
+    move_n_vibs: list[float], params: HardwareParams
+) -> float:
+    """Probability no atom is lost across all (atom, move) events."""
+    f = 1.0
+    for nv in move_n_vibs:
+        f *= 1.0 - atom_loss_probability(nv, params)
+    return f
+
+
+def cooling_fidelity(num_cooling_cz: int, params: HardwareParams) -> float:
+    """Fidelity cost of cooling swaps: ``f2q ** (2 * N_AOD)`` per event."""
+    return params.f_2q**num_cooling_cz
+
+
+def movement_decoherence_fidelity(
+    num_moving_stages: int, num_qubits: int, params: HardwareParams
+) -> float:
+    """``prod_i exp(-N * T_mov / T1)`` over stages with movement."""
+    exponent = -num_moving_stages * num_qubits * params.t_per_move / params.t1
+    return math.exp(exponent)

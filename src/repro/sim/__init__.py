@@ -1,0 +1,23 @@
+"""Statevector simulation and program replay for semantic verification."""
+
+from .noisy import MonteCarloResult, analytic_reference, run_monte_carlo
+from .replay import program_to_circuit
+from .statevector import (
+    SimulationError,
+    Statevector,
+    circuit_unitary,
+    equivalent_up_to_permutation,
+    simulate,
+)
+
+__all__ = [
+    "MonteCarloResult",
+    "SimulationError",
+    "Statevector",
+    "analytic_reference",
+    "circuit_unitary",
+    "equivalent_up_to_permutation",
+    "program_to_circuit",
+    "run_monte_carlo",
+    "simulate",
+]

@@ -1,0 +1,32 @@
+"""Replay a compiled RAA stage program as an ordinary circuit.
+
+Each stage's Raman pulses and Rydberg gates are appended in stage order;
+because gates within a stage act on disjoint qubits and stage order is a
+topological order of the transpiled circuit's DAG, the replayed circuit is
+unitarily identical to the transpiled circuit — the property
+``tests/sim`` verifies end to end with the statevector simulator.
+"""
+
+from __future__ import annotations
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..core.instructions import RAAProgram
+
+
+def program_to_circuit(program: RAAProgram) -> QuantumCircuit:
+    """Reconstruct the executed circuit from a stage program.
+
+    Cooling swaps exchange an AOD array with an identically-prepared twin,
+    which is the identity at the logical level, so cooling events do not
+    contribute gates here.
+    """
+    circ = QuantumCircuit(program.num_qubits, "replayed")
+    for stage in program.stages:
+        for pulse in stage.one_qubit_gates:
+            circ.append(Gate(pulse.name, (pulse.qubit,), pulse.params))
+        for gate in stage.gates:
+            circ.append(
+                Gate(gate.name, (gate.qubit_a, gate.qubit_b), gate.params)
+            )
+    return circ

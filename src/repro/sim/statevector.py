@@ -1,0 +1,186 @@
+"""Dense statevector simulator for small circuits (verification substrate).
+
+Used by the test suite and examples to check *semantic* equivalence of
+compiled artifacts: a routed circuit (with its SWAP-induced output
+permutation) and a compiled RAA stage program must implement the same
+unitary as the input circuit, up to global phase.
+
+The implementation applies gates directly to the 2^n amplitude tensor via
+axis manipulation — O(2^n) per 1Q/2Q gate — comfortably handling the <= 14
+qubit circuits used for verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate, gate_matrix
+
+
+class SimulationError(ValueError):
+    """Raised on unsupported simulation input."""
+
+
+class Statevector:
+    """A dense n-qubit state with in-place gate application.
+
+    Qubit 0 is the most significant bit of the basis index, matching the
+    matrix convention in :mod:`repro.circuits.gates`.
+    """
+
+    def __init__(self, num_qubits: int, data: np.ndarray | None = None) -> None:
+        if num_qubits < 1 or num_qubits > 20:
+            raise SimulationError(f"unsupported qubit count {num_qubits}")
+        self.num_qubits = num_qubits
+        if data is None:
+            self.data = np.zeros(2**num_qubits, dtype=complex)
+            self.data[0] = 1.0
+        else:
+            if data.shape != (2**num_qubits,):
+                raise SimulationError("statevector shape mismatch")
+            self.data = data.astype(complex)
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data.copy())
+
+    # -- gate application ---------------------------------------------------------
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a 1Q/2Q unitary gate in place (directives are ignored)."""
+        if gate.is_directive:
+            return
+        matrix = gate_matrix(gate)
+        self.apply_matrix(matrix, gate.qubits)
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Apply *matrix* to the given qubits in place."""
+        n = self.num_qubits
+        k = len(qubits)
+        if matrix.shape != (2**k, 2**k):
+            raise SimulationError("matrix arity mismatch")
+        tensor = self.data.reshape([2] * n)
+        # Move the target axes to the front, contract, move back.
+        axes = list(qubits)
+        rest = [a for a in range(n) if a not in axes]
+        perm = axes + rest
+        tensor = np.transpose(tensor, perm).reshape(2**k, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape([2] * n)
+        inverse = np.argsort(perm)
+        self.data = np.transpose(tensor, inverse).reshape(-1)
+
+    def run(self, circuit: QuantumCircuit) -> "Statevector":
+        """Apply every gate of *circuit* in order; returns self."""
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError("circuit width mismatch")
+        for g in circuit.gates:
+            self.apply_gate(g)
+        return self
+
+    # -- measurements --------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities in the computational basis."""
+        return np.abs(self.data) ** 2
+
+    def sample(self, shots: int, rng: np.random.Generator | None = None) -> dict[str, int]:
+        """Sample bitstring counts (qubit 0 leftmost)."""
+        rng = rng or np.random.default_rng(0)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        counts: dict[str, int] = {}
+        for o in outcomes:
+            key = format(int(o), f"0{self.num_qubits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def fidelity_with(self, other: "Statevector") -> float:
+        """``|<self|other>|^2``."""
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+
+def simulate(circuit: QuantumCircuit) -> Statevector:
+    """Simulate *circuit* from |0...0>."""
+    return Statevector(circuit.num_qubits).run(circuit)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of *circuit* (columns = basis-state images)."""
+    n = circuit.num_qubits
+    dim = 2**n
+    if n > 10:
+        raise SimulationError("unitary extraction limited to 10 qubits")
+    cols = []
+    for basis in range(dim):
+        vec = np.zeros(dim, dtype=complex)
+        vec[basis] = 1.0
+        sv = Statevector(n, vec).run(circuit.without_directives())
+        cols.append(sv.data)
+    return np.stack(cols, axis=1)
+
+
+def equivalent_up_to_permutation(
+    original: QuantumCircuit,
+    routed: QuantumCircuit,
+    output_permutation: dict[int, int],
+    tol: float = 1e-8,
+) -> bool:
+    """Does *routed* equal *original* up to the final qubit permutation?
+
+    ``output_permutation[logical] = physical`` is where each logical qubit
+    ends up after routing (SABRE's final layout).  Verified on statevectors
+    from a few random product inputs rather than the full unitary, keeping
+    the check cheap for ~12-qubit circuits.
+    """
+    n = original.num_qubits
+    if routed.num_qubits < n:
+        return False
+    rng = np.random.default_rng(11)
+    for _ in range(3):
+        # random product state on n qubits
+        state = np.array([1.0], dtype=complex)
+        singles = []
+        for _ in range(n):
+            a = rng.normal(size=2) + 1j * rng.normal(size=2)
+            a /= np.linalg.norm(a)
+            singles.append(a)
+            state = np.kron(state, a)
+        out_orig = Statevector(n, state).run(original.without_directives())
+
+        # same product state on the routed register (extra wires in |0>)
+        m = routed.num_qubits
+        big = np.array([1.0], dtype=complex)
+        wire_states = []
+        inverse = {p: l for l, p in output_permutation.items()}
+        # initial layout: logical q starts at physical q for SABRE-trivial
+        # layouts; the caller must pass circuits consistent with that.
+        for wire in range(m):
+            if wire < n:
+                wire_states.append(singles[wire])
+            else:
+                wire_states.append(np.array([1.0, 0.0], dtype=complex))
+        for ws in wire_states:
+            big = np.kron(big, ws)
+        out_routed = Statevector(m, big).run(routed.without_directives())
+
+        # undo the output permutation: logical q sits at physical P[q]
+        tensor = out_routed.data.reshape([2] * m)
+        perm = []
+        used = set()
+        for logical in range(n):
+            perm.append(output_permutation[logical])
+            used.add(output_permutation[logical])
+        perm += [w for w in range(m) if w not in used]
+        tensor = np.transpose(tensor, perm)
+        # trace out the ancilla wires (they must be |0>)
+        flat = tensor.reshape(2**n, -1)
+        main = flat[:, 0]
+        residual = np.linalg.norm(flat[:, 1:])
+        if residual > tol * 10:
+            return False
+        overlap = abs(np.vdot(out_orig.data, main))
+        if abs(overlap - 1.0) > 1e-6:
+            return False
+    return True

@@ -1,0 +1,113 @@
+"""Logical-to-physical qubit layouts.
+
+A :class:`Layout` is a bijection between the circuit's logical qubits and a
+subset of the device's physical qubits.  Besides the trivial identity layout
+we provide a *dense* layout (BFS-grown connected subgraph of maximum
+degree-sum), which stands in for Qiskit's ``DenseLayout`` in the Fig. 21
+ablation baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..hardware.coupling import CouplingMap
+
+
+class LayoutError(ValueError):
+    """Raised on inconsistent layouts."""
+
+
+class Layout:
+    """Bidirectional logical <-> physical map."""
+
+    def __init__(self, logical_to_physical: dict[int, int]) -> None:
+        self._l2p = dict(logical_to_physical)
+        self._p2l = {p: l for l, p in self._l2p.items()}
+        if len(self._p2l) != len(self._l2p):
+            raise LayoutError("layout is not injective")
+
+    @classmethod
+    def trivial(cls, num_qubits: int) -> "Layout":
+        """Identity layout on ``num_qubits``."""
+        return cls({q: q for q in range(num_qubits)})
+
+    @classmethod
+    def from_physical_list(cls, physical: Iterable[int]) -> "Layout":
+        """Logical *i* -> ``physical[i]``."""
+        return cls({i: p for i, p in enumerate(physical)})
+
+    def physical(self, logical: int) -> int:
+        """Physical qubit hosting *logical*."""
+        return self._l2p[logical]
+
+    def logical(self, physical: int) -> int | None:
+        """Logical qubit at *physical*, or None if the site is empty."""
+        return self._p2l.get(physical)
+
+    def swap_physical(self, p1: int, p2: int) -> None:
+        """Apply a SWAP between physical sites *p1* and *p2* in place."""
+        l1, l2 = self._p2l.get(p1), self._p2l.get(p2)
+        if l1 is not None:
+            self._l2p[l1] = p2
+        if l2 is not None:
+            self._l2p[l2] = p1
+        if l1 is not None:
+            self._p2l[p2] = l1
+        elif p2 in self._p2l:
+            del self._p2l[p2]
+        if l2 is not None:
+            self._p2l[p1] = l2
+        elif p1 in self._p2l:
+            del self._p2l[p1]
+
+    def copy(self) -> "Layout":
+        return Layout(self._l2p)
+
+    def as_dict(self) -> dict[int, int]:
+        """Logical -> physical mapping as a plain dict."""
+        return dict(self._l2p)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self._l2p)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._l2p == other._l2p
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Layout({self._l2p})"
+
+
+def dense_layout(num_logical: int, coupling: CouplingMap) -> Layout:
+    """Connected dense region of the device, greedily grown by degree.
+
+    Mirrors Qiskit's DenseLayout intent: start from the highest-degree
+    physical qubit and BFS-grow picking the neighbour with the most
+    connections back into the chosen set.
+    """
+    if num_logical > coupling.num_qubits:
+        raise LayoutError(
+            f"circuit needs {num_logical} qubits, device has {coupling.num_qubits}"
+        )
+    start = max(range(coupling.num_qubits), key=coupling.degree)
+    chosen = [start]
+    chosen_set = {start}
+    while len(chosen) < num_logical:
+        frontier: set[int] = set()
+        for q in chosen:
+            frontier |= coupling.neighbors(q) - chosen_set
+        if not frontier:
+            # Disconnected device: jump to the best remaining qubit.
+            rest = [q for q in range(coupling.num_qubits) if q not in chosen_set]
+            best = max(rest, key=coupling.degree)
+        else:
+            best = max(
+                frontier,
+                key=lambda q: (len(coupling.neighbors(q) & chosen_set), coupling.degree(q)),
+            )
+        chosen.append(best)
+        chosen_set.add(best)
+    return Layout.from_physical_list(chosen)

@@ -1,0 +1,58 @@
+"""ASAP scheduling utilities.
+
+Turns a routed circuit into parallel execution layers and computes the
+paper's depth metric ("number of parallel two-qubit layers") plus wall-clock
+execution time for the fidelity model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.dag import DAGCircuit
+from ..circuits.gates import Gate
+from ..hardware.parameters import HardwareParams
+
+
+@dataclass
+class Schedule:
+    """ASAP layers of a circuit.
+
+    ``layers[t]`` is the list of gates executing in parallel at step *t*.
+    """
+
+    layers: list[list[Gate]]
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    @property
+    def two_qubit_depth(self) -> int:
+        """Number of layers containing at least one 2Q gate."""
+        return sum(1 for layer in self.layers if any(g.is_two_qubit for g in layer))
+
+    def duration(self, params: HardwareParams) -> float:
+        """Wall-clock time: each layer costs its slowest gate."""
+        total = 0.0
+        for layer in self.layers:
+            t = 0.0
+            for g in layer:
+                t = max(t, params.t_2q if g.is_entangling else params.t_1q)
+            total += t
+        return total
+
+
+def asap_schedule(circuit: QuantumCircuit) -> Schedule:
+    """Greedy ASAP layering on the wire-dependency DAG."""
+    dag = DAGCircuit(circuit)
+    layers = [
+        [dag.gates[i] for i in layer] for layer in dag.topological_layers()
+    ]
+    return Schedule(layers=layers)
+
+
+def two_qubit_depth(circuit: QuantumCircuit) -> int:
+    """The paper's depth metric: parallel 2Q layers only."""
+    return circuit.depth(two_qubit_only=True)

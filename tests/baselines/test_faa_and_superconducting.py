@@ -1,0 +1,55 @@
+"""Tests for the FAA and superconducting baseline compilers."""
+
+import pytest
+
+from repro.baselines import compile_on_faa, compile_on_superconducting
+from repro.generators import qaoa_regular, bernstein_vazirani
+
+
+@pytest.fixture(scope="module")
+def qaoa():
+    return qaoa_regular(16, 4, seed=0)
+
+
+class TestFAACompilers:
+    @pytest.mark.parametrize("topology", ["rectangular", "triangular", "long_range"])
+    def test_runs_and_counts(self, qaoa, topology):
+        m = compile_on_faa(qaoa, topology)
+        assert m.num_2q_gates >= qaoa.num_2q_gates
+        assert m.depth >= 1
+        assert 0 < m.total_fidelity <= 1
+        assert m.additional_cnots == m.num_2q_gates - qaoa.num_2q_gates
+
+    def test_triangular_beats_rectangular(self, qaoa):
+        rect = compile_on_faa(qaoa, "rectangular")
+        tri = compile_on_faa(qaoa, "triangular")
+        assert tri.num_2q_gates <= rect.num_2q_gates * 1.1
+
+    def test_no_swaps_for_local_circuit(self):
+        bv = bernstein_vazirani(5)
+        m = compile_on_faa(bv, "triangular")
+        # BV-5: star around the ancilla fits in a triangular neighbourhood
+        assert m.additional_cnots <= 9
+
+    def test_architecture_label(self, qaoa):
+        assert compile_on_faa(qaoa, "rectangular").architecture == "FAA-Rectangular"
+        assert compile_on_faa(qaoa, "long_range").architecture == "Baker-Long-Range"
+
+
+class TestSuperconducting:
+    def test_runs(self, qaoa):
+        m = compile_on_superconducting(qaoa)
+        assert m.architecture == "Superconducting"
+        assert m.num_2q_gates >= qaoa.num_2q_gates
+        assert 0 <= m.total_fidelity < 1
+
+    def test_fidelity_below_neutral_atom_faa(self, qaoa):
+        """Short superconducting T1 must dominate on equal gate fidelity."""
+        sc = compile_on_superconducting(qaoa)
+        faa = compile_on_faa(qaoa, "rectangular")
+        assert sc.total_fidelity < faa.total_fidelity
+
+    def test_grows_for_large_circuits(self):
+        big = qaoa_regular(150, 3, seed=1)
+        m = compile_on_superconducting(big)
+        assert m.num_qubits == 150

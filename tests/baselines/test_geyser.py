@@ -1,0 +1,77 @@
+"""Tests for the Geyser pulse-count baseline."""
+
+from repro.baselines import atomique_pulse_count, block_circuit, geyser_pulse_count
+from repro.circuits import QuantumCircuit
+from repro.generators import bernstein_vazirani, mermin_bell
+
+
+class TestBlocking:
+    def test_single_gate_one_block(self):
+        c = QuantumCircuit(2).cx(0, 1)
+        res = block_circuit(c)
+        assert res.num_blocks == 1
+        assert res.block_sizes == [2]
+        # entangling blocks synthesize on a full triangle: 2^3 - 1
+        assert res.num_pulses == 7
+
+    def test_pure_1q_block_cheaper(self):
+        c = QuantumCircuit(1).h(0).t(0)
+        res = block_circuit(c)
+        assert res.num_blocks == 1
+        assert res.num_pulses == 1  # 2^1 - 1
+
+    def test_three_qubit_region_merges(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        res = block_circuit(c)
+        assert res.num_blocks == 1
+        assert res.num_pulses == 7  # 2^3 - 1
+
+    def test_moment_window_splits_long_runs(self):
+        c = QuantumCircuit(2)
+        for _ in range(9):
+            c.cx(0, 1)
+        res = block_circuit(c, max_moments=3)
+        assert res.num_blocks == 3
+
+    def test_device_adjacency_limits_blocks(self):
+        from repro.hardware import grid_coupling
+
+        cm = grid_coupling(1, 4)  # a line: qubits 0-1-2-3
+        c = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        res = block_circuit(c, coupling=cm)
+        # {0,1,2} is not a clique on a line, so gates cannot all merge
+        assert res.num_blocks >= 2
+
+    def test_disjoint_gates_split(self):
+        c = QuantumCircuit(6).cx(0, 1).cx(2, 3).cx(4, 5)
+        res = block_circuit(c)
+        assert res.num_blocks >= 2
+
+    def test_wide_circuit_many_blocks(self):
+        bv = bernstein_vazirani(30)
+        res = block_circuit(bv)
+        # every CX shares the ancilla: at most 2 CXs (3 qubits) per block
+        assert res.num_blocks >= bv.num_2q_gates / 2
+
+    def test_one_qubit_gates_blocked_too(self):
+        c = QuantumCircuit(4).h(0).h(1).h(2).h(3)
+        res = block_circuit(c)
+        assert res.num_blocks >= 2
+
+
+class TestPulseCounts:
+    def test_atomique_two_pulses_per_cz(self):
+        assert atomique_pulse_count(174) == 348  # HHL-7 in Table III
+
+    def test_atomique_beats_geyser_on_bv(self):
+        """Table III shape: big wins on sparse circuits."""
+        bv = bernstein_vazirani(50)
+        geyser = geyser_pulse_count(bv)
+        # Atomique compiled BV-50 ~ 25-35 2Q gates -> 50-70 pulses
+        assert geyser > 2 * 2 * bv.num_2q_gates
+
+    def test_atomique_beats_geyser_on_mermin(self):
+        mb = mermin_bell(10)
+        geyser = geyser_pulse_count(mb)
+        atomique = atomique_pulse_count(int(mb.num_2q_gates * 1.6))
+        assert geyser > atomique

@@ -1,0 +1,99 @@
+"""Tests for the Q-Pilot baseline and the Fig. 21 ablation runner."""
+
+import pytest
+
+from repro.baselines import (
+    ablation_configs,
+    compile_on_atomique,
+    compile_on_qpilot,
+    compile_qsim_on_qpilot,
+    greedy_edge_coloring,
+    run_ablation,
+)
+from repro.baselines.qpilot import extract_commuting_interactions
+from repro.circuits import QuantumCircuit
+from repro.generators import qaoa_regular, qsim_random, qsim_random_strings
+
+
+class TestEdgeColoring:
+    def test_disjoint_rounds(self):
+        edges = [(0, 1), (2, 3), (0, 2), (1, 3)]
+        rounds = greedy_edge_coloring(edges)
+        for r in rounds:
+            used = [q for e in r for q in e]
+            assert len(used) == len(set(used))
+
+    def test_all_edges_covered(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]
+        rounds = greedy_edge_coloring(edges)
+        assert sorted(e for r in rounds for e in r) == sorted(edges)
+
+    def test_star_fully_serial(self):
+        edges = [(0, i) for i in range(1, 5)]
+        assert len(greedy_edge_coloring(edges)) == 4
+
+
+class TestInteractionExtraction:
+    def test_qaoa_extractable(self):
+        c = qaoa_regular(8, 3, seed=0)
+        inter = extract_commuting_interactions(c)
+        assert inter is not None
+        assert len(inter) == 12
+
+    def test_generic_circuit_not_extractable(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        assert extract_commuting_interactions(c) is None
+
+
+class TestQPilot:
+    def test_fig19_qaoa_contract(self):
+        """Q-Pilot: lower depth, more 2Q gates, lower fidelity."""
+        c = qaoa_regular(40, 5, seed=40)
+        qp = compile_on_qpilot(c)
+        at = compile_on_atomique(c)
+        assert qp.depth < at.depth
+        assert qp.num_2q_gates > at.num_2q_gates
+        assert qp.total_fidelity < at.total_fidelity
+
+    def test_fig19_qsim_contract(self):
+        n = 20
+        qp = compile_qsim_on_qpilot(n, qsim_random_strings(n, seed=n))
+        at = compile_on_atomique(qsim_random(n, seed=n))
+        assert qp.depth < at.depth
+        assert qp.num_2q_gates > at.num_2q_gates
+
+    def test_qaoa_gate_budget(self):
+        """Teleported ZZ costs exactly 2 CZ per interaction."""
+        c = qaoa_regular(20, 4, seed=1)
+        qp = compile_on_qpilot(c)
+        assert qp.num_2q_gates == 2 * 40  # n*d/2 = 40 edges
+
+    def test_generic_fallback_runs(self):
+        c = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        m = compile_on_qpilot(c)
+        assert m.num_2q_gates == 6  # 2 CZ per mediated gate
+
+
+class TestAblations:
+    def test_four_cumulative_steps(self):
+        configs = ablation_configs()
+        assert [label for label, _ in configs] == [
+            "baseline",
+            "+array_mapper",
+            "+atom_mapper",
+            "+router",
+        ]
+
+    def test_fig21_fidelity_trend(self):
+        """Full Atomique must beat the naive baseline."""
+        c = qaoa_regular(16, 4, seed=2)
+        results = run_ablation(c)
+        assert len(results) == 4
+        fids = [m.total_fidelity for m in results]
+        assert fids[-1] > fids[0]
+
+    def test_router_step_reduces_depth(self):
+        c = qaoa_regular(16, 4, seed=2)
+        results = run_ablation(c)
+        by_label = {m.architecture: m for m in results}
+        assert by_label["+router"].depth < by_label["+atom_mapper"].depth

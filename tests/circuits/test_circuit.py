@@ -1,0 +1,143 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits import CircuitError, QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = QuantumCircuit(3)
+        assert c.num_qubits == 3
+        assert len(c) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-2)
+
+    def test_builder_chaining(self):
+        c = QuantumCircuit(2).h(0).cx(0, 1).rz(0.5, 1)
+        assert [g.name for g in c] == ["h", "cx", "rz"]
+
+    def test_out_of_range_gate_rejected(self):
+        c = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            c.cx(0, 2)
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+    def test_extend_and_compose(self):
+        a = QuantumCircuit(3).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        a.compose(b)
+        assert len(a) == 2
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(3).h(2))
+
+
+class TestStatistics:
+    def test_gate_counts(self):
+        c = QuantumCircuit(3).h(0).cx(0, 1).cz(1, 2).x(2).measure(0)
+        assert c.num_1q_gates == 2
+        assert c.num_2q_gates == 2
+        assert c.count_ops()["cx"] == 1
+
+    def test_interaction_pairs(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(1, 0).cz(1, 2)
+        pairs = c.interaction_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(1, 2)] == 1
+
+    def test_degree_per_qubit(self):
+        # star: center interacts with 3 others -> degrees 3,1,1,1 -> avg 1.5
+        c = QuantumCircuit(4).cx(0, 1).cx(0, 2).cx(0, 3)
+        assert c.degree_per_qubit() == pytest.approx(1.5)
+
+    def test_gates_per_qubit(self):
+        c = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        assert c.two_qubit_gates_per_qubit() == pytest.approx(1.0)
+
+    def test_empty_statistics(self):
+        c = QuantumCircuit(2)
+        assert c.degree_per_qubit() == 0.0
+        assert c.two_qubit_gates_per_qubit() == 0.0
+
+    def test_active_qubits(self):
+        c = QuantumCircuit(5).h(0).cx(2, 4)
+        assert c.active_qubits() == {0, 2, 4}
+
+
+class TestDepth:
+    def test_serial_depth(self):
+        c = QuantumCircuit(2).h(0).h(0).h(0)
+        assert c.depth() == 3
+
+    def test_parallel_depth(self):
+        c = QuantumCircuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_two_qubit_only_depth(self):
+        c = QuantumCircuit(3).h(0).h(0).cx(0, 1).h(1).cx(1, 2)
+        assert c.depth(two_qubit_only=True) == 2
+
+    def test_disjoint_2q_gates_one_layer(self):
+        c = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        assert c.depth(two_qubit_only=True) == 1
+
+    def test_chained_2q_gates_stack(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        assert c.depth(two_qubit_only=True) == 2
+
+    def test_barrier_alignment(self):
+        c = QuantumCircuit(2).h(0)
+        c.barrier()
+        c.h(1)
+        # barrier aligns both wires; h(1) starts after h(0)'s layer
+        assert c.depth() == 2
+
+    def test_empty_depth(self):
+        assert QuantumCircuit(3).depth() == 0
+
+
+class TestTransforms:
+    def test_copy_independent(self):
+        a = QuantumCircuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1 and len(b) == 2
+
+    def test_remapped(self):
+        c = QuantumCircuit(3).cx(0, 2).remapped({0: 1, 1: 2, 2: 0})
+        assert c.gates[0].qubits == (1, 0)
+
+    def test_without_directives(self):
+        c = QuantumCircuit(2).h(0).measure_all()
+        c.barrier()
+        clean = c.without_directives()
+        assert len(clean) == 1
+
+    def test_reversed(self):
+        c = QuantumCircuit(2).h(0).cx(0, 1)
+        r = c.reversed()
+        assert [g.name for g in r] == ["cx", "h"]
+
+    def test_two_qubit_gates_list(self):
+        c = QuantumCircuit(3).h(0).cx(0, 1).cz(1, 2)
+        assert [g.name for g in c.two_qubit_gates()] == ["cx", "cz"]
+
+    def test_measure_all(self):
+        c = QuantumCircuit(3).measure_all()
+        assert sum(1 for g in c if g.name == "measure") == 3
+
+    def test_append_gate_object(self):
+        c = QuantumCircuit(2)
+        c.append(Gate("rzz", (0, 1), (0.25,)))
+        assert c.gates[0].params == (0.25,)

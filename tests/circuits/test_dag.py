@@ -1,0 +1,100 @@
+"""Unit tests for the dependency DAG and front-layer machinery."""
+
+import pytest
+
+from repro.circuits import DAGCircuit, QuantumCircuit
+
+
+def chain_circuit():
+    return QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).h(2)
+
+
+class TestFrontLayer:
+    def test_initial_front(self):
+        dag = DAGCircuit(QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2))
+        assert dag.front_layer == {0, 1}
+
+    def test_execute_advances_front(self):
+        dag = DAGCircuit(chain_circuit())
+        assert dag.front_layer == {0}
+        dag.execute(0)
+        assert dag.front_layer == {1}
+
+    def test_execute_non_front_raises(self):
+        dag = DAGCircuit(chain_circuit())
+        with pytest.raises(ValueError):
+            dag.execute(2)
+
+    def test_done_after_all(self):
+        dag = DAGCircuit(chain_circuit())
+        while not dag.done:
+            dag.execute(min(dag.front_layer))
+        assert dag.num_remaining == 0
+
+    def test_execute_many(self):
+        dag = DAGCircuit(QuantumCircuit(4).h(0).h(1).h(2))
+        dag.execute_many(list(dag.front_layer))
+        assert dag.done
+
+    def test_reset(self):
+        dag = DAGCircuit(chain_circuit())
+        dag.execute(0)
+        dag.reset()
+        assert dag.front_layer == {0}
+        assert not dag.done
+
+    def test_directives_excluded(self):
+        c = QuantumCircuit(2).h(0)
+        c.barrier()
+        c.measure_all()
+        dag = DAGCircuit(c)
+        assert len(dag.gates) == 1
+
+    def test_front_gates_sorted(self):
+        dag = DAGCircuit(QuantumCircuit(4).h(3).h(1).h(2))
+        assert [i for i, _ in dag.front_gates()] == [0, 1, 2]
+
+
+class TestLayers:
+    def test_topological_layers_chain(self):
+        dag = DAGCircuit(chain_circuit())
+        layers = dag.topological_layers()
+        assert layers == [[0], [1], [2], [3]]
+
+    def test_topological_layers_parallel(self):
+        dag = DAGCircuit(QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2))
+        layers = dag.topological_layers()
+        assert layers[0] == [0, 1]
+        assert layers[1] == [2]
+
+    def test_gate_layer_index(self):
+        dag = DAGCircuit(QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2))
+        assert dag.gate_layer_index() == [0, 0, 1]
+
+    def test_layers_cover_all_gates(self):
+        c = QuantumCircuit(5)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = rng.choice(5, size=2, replace=False)
+            c.cx(int(a), int(b))
+        dag = DAGCircuit(c)
+        flat = [i for layer in dag.topological_layers() for i in layer]
+        assert sorted(flat) == list(range(30))
+
+    def test_descendants_count_chain(self):
+        dag = DAGCircuit(chain_circuit())
+        counts = dag.descendants_count()
+        assert counts == [3, 2, 1, 0]
+
+    def test_empty_circuit_dag(self):
+        dag = DAGCircuit(QuantumCircuit(2))
+        assert dag.done
+        assert dag.topological_layers() == []
+
+    def test_dependency_respects_wires(self):
+        # gates on disjoint wires never depend on each other
+        dag = DAGCircuit(QuantumCircuit(4).cx(0, 1).cx(2, 3))
+        assert dag.successors[0] == []
+        assert dag.successors[1] == []

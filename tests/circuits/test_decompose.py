@@ -1,0 +1,214 @@
+"""Numerical correctness of basis translation and peephole passes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, lower_to_basis, merge_1q_runs
+from repro.circuits.decompose import (
+    cancel_adjacent_2q_pairs,
+    decompose_swaps,
+    lower_to_two_qubit,
+    u3_params_from_matrix,
+)
+from repro.circuits.gates import Gate, gate_matrix, matrices_equal_up_to_phase, one_qubit_matrix
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a small circuit (<= ~8 qubits, 1Q/2Q gates only)."""
+    n = circuit.num_qubits
+    dim = 2**n
+    u = np.eye(dim, dtype=complex)
+    for g in circuit.gates:
+        if g.is_directive:
+            continue
+        m = gate_matrix(g)
+        full = _embed(m, g.qubits, n)
+        u = full @ u
+    return u
+
+
+def _embed(m: np.ndarray, qubits: tuple[int, ...], n: int) -> np.ndarray:
+    """Embed a 1Q/2Q matrix acting on *qubits* into n-qubit space.
+
+    Qubit 0 is the most significant bit of the basis index.
+    """
+    dim = 2**n
+    full = np.zeros((dim, dim), dtype=complex)
+    k = len(qubits)
+    for row in range(dim):
+        bits = [(row >> (n - 1 - q)) & 1 for q in range(n)]
+        sub_row = 0
+        for q in qubits:
+            sub_row = (sub_row << 1) | bits[q]
+        for sub_col in range(2**k):
+            amp = m[sub_row, sub_col]
+            if amp == 0:
+                continue
+            new_bits = list(bits)
+            for i, q in enumerate(qubits):
+                new_bits[q] = (sub_col >> (k - 1 - i)) & 1
+            col = 0
+            for b in new_bits:
+                col = (col << 1) | b
+            full[row, col] += amp
+    return full
+
+
+class TestEmbedHelper:
+    def test_embed_matches_kron_for_adjacent(self):
+        cx = gate_matrix(Gate("cx", (0, 1)))
+        assert np.allclose(_embed(cx, (0, 1), 2), cx)
+
+    def test_embed_single_qubit(self):
+        h = gate_matrix(Gate("h", (0,)))
+        expected = np.kron(np.eye(2), h)
+        assert np.allclose(_embed(h, (1,), 2), expected)
+
+
+def assert_equiv(circ_a: QuantumCircuit, circ_b: QuantumCircuit):
+    ua, ub = circuit_unitary(circ_a), circuit_unitary(circ_b)
+    assert matrices_equal_up_to_phase(ua, ub), "circuits not equivalent"
+
+
+def _three_qubit_reference(name: str) -> np.ndarray:
+    """Analytic 8x8 matrices for the 3-qubit gates (qubit 0 = MSB)."""
+    m = np.eye(8, dtype=complex)
+    if name == "ccx":
+        m[[6, 7]] = m[[7, 6]]
+    elif name == "ccz":
+        m[7, 7] = -1
+    elif name == "cswap":
+        m[[5, 6]] = m[[6, 5]]
+    else:  # pragma: no cover
+        raise ValueError(name)
+    return m
+
+
+class TestLowerToBasis:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda c: c.cx(0, 1),
+            lambda c: c.cz(0, 1),
+            lambda c: c.swap(0, 1),
+            lambda c: c.rzz(0.7, 0, 1),
+            lambda c: c.rxx(0.7, 0, 1),
+            lambda c: c.ryy(0.7, 0, 1),
+            lambda c: c.cp(0.9, 0, 1),
+            lambda c: c.add("crz", [0, 1], [0.8]),
+            lambda c: c.add("iswap", [0, 1]),
+        ],
+    )
+    @pytest.mark.parametrize("basis", ["cz", "cx"])
+    def test_two_qubit_decompositions(self, build, basis):
+        orig = QuantumCircuit(2)
+        build(orig)
+        lowered = lower_to_basis(orig, basis_2q=basis)
+        for g in lowered.two_qubit_gates():
+            assert g.name == basis
+        assert_equiv(orig, lowered)
+
+    @pytest.mark.parametrize("name", ["ccx", "ccz", "cswap"])
+    def test_three_qubit_decompositions(self, name):
+        orig = QuantumCircuit(3)
+        orig.add(name, [0, 1, 2])
+        lowered = lower_to_basis(orig, basis_2q="cx")
+        assert all(g.num_qubits <= 2 for g in lowered.gates)
+        u = circuit_unitary(lowered)
+        assert matrices_equal_up_to_phase(u, _three_qubit_reference(name))
+
+    def test_mixed_circuit(self):
+        orig = QuantumCircuit(3).h(0).cx(0, 1).rzz(0.3, 1, 2).t(2).swap(0, 2)
+        lowered = lower_to_basis(orig, basis_2q="cz")
+        assert_equiv(orig, lowered)
+
+    def test_bad_basis_rejected(self):
+        from repro.circuits.gates import GateError
+
+        with pytest.raises(GateError):
+            lower_to_basis(QuantumCircuit(2).cx(0, 1), basis_2q="xx")
+
+
+class TestMerge1Q:
+    def test_hh_cancels(self):
+        c = QuantumCircuit(1).h(0).h(0)
+        merged = merge_1q_runs(c)
+        assert len(merged) == 0
+
+    def test_run_fuses_to_single_u3(self):
+        c = QuantumCircuit(1).h(0).t(0).s(0).rz(0.3, 0)
+        merged = merge_1q_runs(c)
+        assert len(merged) == 1
+        assert merged.gates[0].name == "u3"
+        assert_equiv(c, merged)
+
+    def test_2q_gate_breaks_run(self):
+        c = QuantumCircuit(2).h(0).cx(0, 1).h(0)
+        merged = merge_1q_runs(c)
+        names = [g.name for g in merged]
+        assert names == ["u3", "cx", "u3"]
+        assert_equiv(c, merged)
+
+    def test_runs_on_different_wires_independent(self):
+        c = QuantumCircuit(2).h(0).x(1).t(1)
+        merged = merge_1q_runs(c)
+        assert merged.num_1q_gates == 2
+        assert_equiv(c, merged)
+
+    def test_u3_param_recovery(self):
+        for params in [(0.5, 1.0, -0.7), (math.pi / 2, 0.0, math.pi), (0.0, 0.0, 0.0)]:
+            m = one_qubit_matrix(Gate("u3", (0,), params))
+            rec = one_qubit_matrix(Gate("u3", (0,), u3_params_from_matrix(m)))
+            assert matrices_equal_up_to_phase(m, rec)
+
+
+class TestLowerToTwoQubit:
+    def test_keeps_2q_atomic(self):
+        c = QuantumCircuit(3).rzz(0.4, 0, 1).cx(1, 2)
+        out = lower_to_two_qubit(c)
+        names = sorted(g.name for g in out.two_qubit_gates())
+        assert names == ["cx", "rzz"]
+
+    def test_decomposes_3q(self):
+        c = QuantumCircuit(3).ccx(0, 1, 2)
+        out = lower_to_two_qubit(c)
+        assert all(g.num_qubits <= 2 for g in out.gates)
+        u = circuit_unitary(out)
+        assert matrices_equal_up_to_phase(u, _three_qubit_reference("ccx"))
+
+
+class TestSwapDecomposition:
+    def test_swap_becomes_3_cx(self):
+        c = QuantumCircuit(2).swap(0, 1)
+        out = decompose_swaps(c)
+        assert [g.name for g in out] == ["cx", "cx", "cx"]
+        assert_equiv(c, out)
+
+    def test_non_swaps_untouched(self):
+        c = QuantumCircuit(2).cx(0, 1).rzz(0.2, 0, 1)
+        out = decompose_swaps(c)
+        assert [g.name for g in out] == ["cx", "rzz"]
+
+
+class TestCancellation:
+    def test_adjacent_cx_pair_cancels(self):
+        c = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        out = cancel_adjacent_2q_pairs(c)
+        assert len(out) == 0
+
+    def test_reversed_cx_not_cancelled(self):
+        c = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        out = cancel_adjacent_2q_pairs(c)
+        assert len(out) == 2
+
+    def test_cz_pair_cancels_either_order(self):
+        c = QuantumCircuit(2).cz(0, 1).cz(1, 0)
+        out = cancel_adjacent_2q_pairs(c)
+        assert len(out) == 0
+
+    def test_intervening_gate_blocks_cancel(self):
+        c = QuantumCircuit(2).cx(0, 1).h(0).cx(0, 1)
+        out = cancel_adjacent_2q_pairs(c)
+        assert len(out) == 3

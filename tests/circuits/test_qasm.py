@@ -1,0 +1,131 @@
+"""Unit tests for the OpenQASM 2.0 parser and emitter."""
+
+import math
+
+import pytest
+
+from repro.circuits import QASMError, QuantumCircuit, emit_qasm, parse_qasm
+from repro.circuits.qasm import _eval_expr
+
+
+class TestExpressionEvaluation:
+    def test_number(self):
+        assert _eval_expr("1.5") == 1.5
+
+    def test_pi(self):
+        assert _eval_expr("pi") == pytest.approx(math.pi)
+
+    def test_arithmetic(self):
+        assert _eval_expr("pi/2") == pytest.approx(math.pi / 2)
+        assert _eval_expr("3*pi/4") == pytest.approx(3 * math.pi / 4)
+        assert _eval_expr("-pi") == pytest.approx(-math.pi)
+        assert _eval_expr("1+2*3") == 7
+        assert _eval_expr("(1+2)*3") == 9
+
+    def test_nested_parens(self):
+        assert _eval_expr("((2))") == 2
+        assert _eval_expr("-(1+1)") == -2
+
+    def test_scientific_notation(self):
+        assert _eval_expr("1e-3") == pytest.approx(1e-3)
+
+    def test_bad_expression(self):
+        with pytest.raises(QASMError):
+            _eval_expr("1+")
+        with pytest.raises(QASMError):
+            _eval_expr("foo")
+
+
+class TestParsing:
+    def test_basic_program(self):
+        qasm = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        cx q[0], q[1];
+        rz(pi/4) q[2];
+        measure q[0] -> c[0];
+        """
+        c = parse_qasm(qasm)
+        assert c.num_qubits == 3
+        names = [g.name for g in c]
+        assert names == ["h", "cx", "rz", "measure"]
+        assert c.gates[2].params[0] == pytest.approx(math.pi / 4)
+
+    def test_comments_stripped(self):
+        c = parse_qasm("qreg q[1]; // comment\nh q[0]; // another")
+        assert len(c) == 1
+
+    def test_multiple_registers(self):
+        c = parse_qasm("qreg a[2]; qreg b[2]; cx a[1], b[0];")
+        assert c.num_qubits == 4
+        assert c.gates[0].qubits == (1, 2)
+
+    def test_u_maps_to_u3(self):
+        c = parse_qasm("qreg q[1]; u(0.1, 0.2, 0.3) q[0];")
+        assert c.gates[0].name == "u3"
+
+    def test_barrier_whole_register(self):
+        c = parse_qasm("qreg q[3]; barrier q;")
+        assert c.gates[0].qubits == (0, 1, 2)
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[2]; h r[0];")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[2]; h q[5];")
+
+    def test_no_qreg_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("h q[0];")
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; rz q[0];")
+
+
+class TestEmission:
+    def test_roundtrip_preserves_gates(self):
+        c = (
+            QuantumCircuit(3)
+            .h(0)
+            .cx(0, 1)
+            .rz(math.pi / 2, 1)
+            .rzz(0.375, 1, 2)
+            .swap(0, 2)
+        )
+        rt = parse_qasm(emit_qasm(c))
+        assert [g.name for g in rt] == [g.name for g in c]
+        for a, b in zip(rt, c):
+            assert a.qubits == b.qubits
+            assert a.params == pytest.approx(b.params)
+
+    def test_roundtrip_with_measure(self):
+        c = QuantumCircuit(2).h(0).measure_all()
+        rt = parse_qasm(emit_qasm(c))
+        assert sum(1 for g in rt if g.name == "measure") == 2
+
+    def test_pi_formatting(self):
+        c = QuantumCircuit(1).rz(math.pi, 0).rz(-math.pi / 2, 0)
+        text = emit_qasm(c)
+        assert "rz(pi)" in text
+        assert "rz(-pi/2)" in text
+
+    def test_u3_emitted_as_u(self):
+        c = QuantumCircuit(1).u(0.1, 0.2, 0.3, 0)
+        assert "u(" in emit_qasm(c)
+
+    def test_header_present(self):
+        text = emit_qasm(QuantumCircuit(1).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[1];" in text
+
+    def test_barrier_roundtrip(self):
+        c = QuantumCircuit(2).h(0)
+        c.barrier()
+        rt = parse_qasm(emit_qasm(c))
+        assert any(g.name == "barrier" for g in rt)

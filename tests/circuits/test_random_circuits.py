@@ -1,0 +1,59 @@
+"""Tests for the controlled random circuit generators (Figs. 15/21 inputs)."""
+
+import pytest
+
+from repro.circuits import quantum_volume_circuit, random_circuit
+
+
+class TestRandomCircuit:
+    def test_deterministic_by_seed(self):
+        a = random_circuit(20, 8.0, 4.0, seed=3)
+        b = random_circuit(20, 8.0, 4.0, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(20, 8.0, 4.0, seed=3)
+        b = random_circuit(20, 8.0, 4.0, seed=4)
+        assert a != b
+
+    @pytest.mark.parametrize("gpq", [2.0, 8.0, 20.0])
+    def test_gates_per_qubit_target(self, gpq):
+        c = random_circuit(30, gpq, 4.0, seed=1)
+        assert c.two_qubit_gates_per_qubit() == pytest.approx(gpq, rel=0.25)
+
+    @pytest.mark.parametrize("deg", [2.0, 4.0, 6.0])
+    def test_degree_target(self, deg):
+        c = random_circuit(30, 20.0, deg, seed=1)
+        assert c.degree_per_qubit() == pytest.approx(deg, rel=0.3)
+
+    def test_degree_capped_by_register(self):
+        c = random_circuit(4, 10.0, 50.0, seed=0)
+        assert c.degree_per_qubit() <= 3.0
+
+    def test_too_small_register_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 2.0, 1.0)
+
+    def test_gate_count_scales(self):
+        small = random_circuit(20, 4.0, 3.0, seed=0)
+        large = random_circuit(20, 16.0, 3.0, seed=0)
+        assert large.num_2q_gates > 3 * small.num_2q_gates
+
+    def test_every_edge_used_when_budget_allows(self):
+        # with gates >> edges, the degree target should be met exactly
+        c = random_circuit(10, 20.0, 3.0, seed=2)
+        assert c.degree_per_qubit() >= 2.0
+
+
+class TestQuantumVolume:
+    def test_structure(self):
+        c = quantum_volume_circuit(8, seed=0)
+        # depth rounds x floor(n/2) pairs x 3 CX
+        assert c.num_2q_gates == 8 * 4 * 3
+
+    def test_paper_qv32_gate_count(self):
+        c = quantum_volume_circuit(32, seed=0)
+        assert c.num_2q_gates == 1536  # Table II's QV-32
+
+    def test_deterministic(self):
+        assert quantum_volume_circuit(6, seed=5) == quantum_volume_circuit(6, seed=5)

@@ -1,0 +1,130 @@
+"""Tests for the MAX k-cut qubit-array mapper (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core.array_mapper import (
+    cut_fraction,
+    dense_assignment,
+    gate_frequency_matrix,
+    map_qubits_to_arrays,
+    max_k_cut_assignment,
+)
+from repro.hardware import RAAArchitecture
+
+
+class TestGateFrequencyMatrix:
+    def test_symmetric(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        e = gate_frequency_matrix(c)
+        assert np.allclose(e, e.T)
+
+    def test_layer_decay(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(1, 2)  # second gate in layer 1
+        e = gate_frequency_matrix(c, gamma=0.5)
+        assert e[0, 1] == pytest.approx(1.0)
+        assert e[1, 2] == pytest.approx(0.5)
+
+    def test_gamma_one_counts_gates(self):
+        c = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        e = gate_frequency_matrix(c, gamma=1.0)
+        assert e[0, 1] == pytest.approx(3.0)
+
+    def test_one_qubit_gates_ignored(self):
+        c = QuantumCircuit(2).h(0).h(1)
+        assert gate_frequency_matrix(c).sum() == 0.0
+
+
+class TestMaxKCut:
+    def test_bipartite_graph_perfect_cut(self):
+        # complete bipartite K(2,2): optimal 2-cut crosses everything
+        w = np.zeros((4, 4))
+        for i in (0, 1):
+            for j in (2, 3):
+                w[i, j] = w[j, i] = 1.0
+        assignment = max_k_cut_assignment(w, [2, 2])
+        assert cut_fraction(w, assignment) == pytest.approx(1.0)
+
+    def test_triangle_two_partitions(self):
+        w = np.ones((3, 3)) - np.eye(3)
+        assignment = max_k_cut_assignment(w, [2, 2])
+        # best 2-cut of a triangle crosses 2 of 3 edges
+        assert cut_fraction(w, assignment) == pytest.approx(2 / 3)
+
+    def test_triangle_three_partitions(self):
+        w = np.ones((3, 3)) - np.eye(3)
+        assignment = max_k_cut_assignment(w, [1, 1, 1])
+        assert cut_fraction(w, assignment) == pytest.approx(1.0)
+
+    def test_capacity_respected(self):
+        w = np.zeros((6, 6))
+        assignment = max_k_cut_assignment(w, [2, 2, 2])
+        counts = [assignment.count(p) for p in range(3)]
+        assert counts == [2, 2, 2]
+
+    def test_insufficient_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_k_cut_assignment(np.zeros((5, 5)), [2, 2])
+
+    def test_greedy_beats_dense_on_random(self):
+        rng = np.random.default_rng(4)
+        n = 24
+        w = rng.random((n, n))
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0.0)
+        greedy = max_k_cut_assignment(w, [8, 8, 8])
+        dense = dense_assignment(n, [8, 8, 8])
+        assert cut_fraction(w, greedy) >= cut_fraction(w, dense)
+
+    def test_approximation_bound(self):
+        """Greedy MAX k-cut guarantees >= (1 - 1/k) of total weight."""
+        rng = np.random.default_rng(7)
+        for k in (2, 3):
+            n = 12
+            w = rng.random((n, n))
+            w = (w + w.T) / 2
+            np.fill_diagonal(w, 0.0)
+            assignment = max_k_cut_assignment(w, [n] * k)
+            assert cut_fraction(w, assignment) >= (1 - 1 / k) - 1e-9
+
+
+class TestMapQubitsToArrays:
+    def test_respects_architecture(self):
+        c = QuantumCircuit(10)
+        for i in range(9):
+            c.cx(i, i + 1)
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        assignment = map_qubits_to_arrays(c, arch)
+        assert len(assignment) == 10
+        assert all(0 <= a < 3 for a in assignment)
+
+    def test_dense_strategy_round_robin(self):
+        c = QuantumCircuit(6).cx(0, 1)
+        arch = RAAArchitecture.default(side=2, num_aods=2)
+        assignment = map_qubits_to_arrays(c, arch, strategy="dense")
+        assert assignment == [0, 1, 2, 0, 1, 2]
+
+    def test_dense_strategy_capacity_overflow(self):
+        from repro.core.array_mapper import dense_assignment
+
+        # capacities [1, 2, 3]: round-robin skips full arrays
+        assignment = dense_assignment(6, [1, 2, 3])
+        assert assignment.count(0) == 1
+        assert assignment.count(1) == 2
+        assert assignment.count(2) == 3
+
+    def test_unknown_strategy_rejected(self):
+        c = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            map_qubits_to_arrays(c, RAAArchitecture.default(), strategy="magic")
+
+    def test_hot_pair_split_across_arrays(self):
+        """The dominant interacting pair must land in different arrays."""
+        c = QuantumCircuit(4)
+        for _ in range(20):
+            c.cx(0, 1)
+        c.cx(2, 3)
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        assignment = map_qubits_to_arrays(c, arch)
+        assert assignment[0] != assignment[1]

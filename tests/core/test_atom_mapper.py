@@ -1,0 +1,121 @@
+"""Tests for the load-balance SLM + aligned AOD atom mapper."""
+
+from collections import Counter
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core.atom_mapper import (
+    diagonal_stripe_order,
+    map_qubits_to_atoms,
+    map_slm_qubits,
+    qubit_gate_counts,
+)
+from repro.hardware import ArrayShape, RAAArchitecture
+from repro.hardware.raa import RAAError
+
+
+class TestStripeOrder:
+    @pytest.mark.parametrize("rows,cols", [(3, 3), (4, 4), (5, 3), (3, 5), (1, 4)])
+    def test_is_permutation(self, rows, cols):
+        order = diagonal_stripe_order(ArrayShape(rows, cols))
+        assert len(order) == rows * cols
+        assert len(set(order)) == rows * cols
+
+    def test_diagonal_first(self):
+        order = diagonal_stripe_order(ArrayShape(3, 3))
+        assert order[:3] == [(0, 0), (1, 1), (2, 2)]
+
+    def test_prefix_row_balance(self):
+        """Any prefix of k*rows positions covers each row exactly k times."""
+        shape = ArrayShape(4, 4)
+        order = diagonal_stripe_order(shape)
+        for k in (1, 2, 3):
+            prefix = order[: k * 4]
+            rows = Counter(r for r, _ in prefix)
+            assert all(v == k for v in rows.values())
+
+    def test_prefix_col_balance(self):
+        shape = ArrayShape(4, 4)
+        order = diagonal_stripe_order(shape)
+        cols = Counter(c for _, c in order[:8])
+        assert all(v == 2 for v in cols.values())
+
+
+class TestSLMMapping:
+    def test_hot_qubits_near_diagonal(self):
+        c = QuantumCircuit(4)
+        for _ in range(10):
+            c.cx(0, 1)
+        c.cx(2, 3)
+        placement = map_slm_qubits(c, [0, 1, 2, 3], ArrayShape(4, 4))
+        # the two hottest qubits take the first two stripe slots (diagonal)
+        assert placement[0] == (0, 0)
+        assert placement[1] == (1, 1)
+
+    def test_over_capacity_rejected(self):
+        c = QuantumCircuit(5)
+        with pytest.raises(RAAError):
+            map_slm_qubits(c, list(range(5)), ArrayShape(2, 2))
+
+    def test_gate_counts(self):
+        c = QuantumCircuit(3).cx(0, 1).cx(0, 2).h(1)
+        counts = qubit_gate_counts(c)
+        assert counts[0] == 2 and counts[1] == 1 and counts[2] == 1
+
+
+class TestFullAtomMapping:
+    def _arch(self):
+        return RAAArchitecture.default(side=4, num_aods=2)
+
+    def test_all_qubits_placed_uniquely(self):
+        c = QuantumCircuit(10)
+        for i in range(9):
+            c.cx(i, i + 1)
+        arch = self._arch()
+        assignment = [i % 3 for i in range(10)]
+        locs = map_qubits_to_atoms(c, assignment, arch)
+        assert set(locs) == set(range(10))
+        # no two qubits share a trap
+        traps = [(l.array, l.row, l.col) for l in locs.values()]
+        assert len(set(traps)) == 10
+
+    def test_assignment_respected(self):
+        c = QuantumCircuit(6).cx(0, 3).cx(1, 4).cx(2, 5)
+        assignment = [0, 0, 0, 1, 1, 2]
+        locs = map_qubits_to_atoms(c, assignment, self._arch())
+        for q, arr in enumerate(assignment):
+            assert locs[q].array == arr
+
+    def test_aligned_pairs_share_position(self):
+        """The hottest AOD qubit aligns to its SLM partner's (row, col)."""
+        c = QuantumCircuit(4)
+        for _ in range(10):
+            c.cx(0, 2)  # hot pair: SLM qubit 0, AOD qubit 2
+        c.cx(1, 3)
+        assignment = [0, 0, 1, 2]
+        locs = map_qubits_to_atoms(c, assignment, self._arch())
+        assert (locs[2].row, locs[2].col) == (locs[0].row, locs[0].col)
+
+    def test_random_strategy(self):
+        c = QuantumCircuit(6).cx(0, 3)
+        assignment = [0, 0, 0, 1, 1, 1]
+        locs = map_qubits_to_atoms(
+            c, assignment, self._arch(), strategy="random", seed=1
+        )
+        assert set(locs) == set(range(6))
+        traps = [(l.array, l.row, l.col) for l in locs.values()]
+        assert len(set(traps)) == 6
+
+    def test_unknown_strategy_rejected(self):
+        c = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            map_qubits_to_atoms(c, [0, 1], self._arch(), strategy="bogus")
+
+    def test_aod_over_capacity_rejected(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(4, 4), aod_shapes=[ArrayShape(1, 2)]
+        )
+        c = QuantumCircuit(6)
+        with pytest.raises(RAAError):
+            map_qubits_to_atoms(c, [0, 0, 0, 1, 1, 1], arch)

@@ -1,0 +1,127 @@
+"""End-to-end tests for the Atomique compiler facade."""
+
+import pytest
+
+from repro.circuits import DAGCircuit, QuantumCircuit
+from repro.core import AtomiqueCompiler, AtomiqueConfig
+from repro.core.router import RouterConfig
+from repro.generators import qaoa_regular, qsim_random
+from repro.hardware import RAAArchitecture
+
+
+class TestCompileBasics:
+    def test_small_circuit(self):
+        c = QuantumCircuit(4).h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(c)
+        assert res.num_2q_gates >= 3
+        assert res.depth >= 1
+        assert res.compile_seconds > 0
+
+    def test_capacity_check(self):
+        arch = RAAArchitecture.default(side=2, num_aods=1)  # 8 traps
+        c = QuantumCircuit(9).cx(0, 8)
+        with pytest.raises(ValueError):
+            AtomiqueCompiler(arch).compile(c)
+
+    def test_all_2q_gates_inter_array(self):
+        c = qaoa_regular(20, 3, seed=1)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=5)).compile(c)
+        for g in res.transpiled.gates:
+            if g.is_two_qubit:
+                a, b = g.qubits
+                assert res.array_of_qubit[a] != res.array_of_qubit[b]
+
+    def test_program_matches_transpiled(self):
+        """Every 2Q gate of the transpiled circuit appears in the program."""
+        c = qsim_random(10, seed=3)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(c)
+        program_pairs = sorted(
+            tuple(sorted(p)) for p in res.program.gate_pairs()
+        )
+        transpiled_pairs = sorted(
+            g.key() for g in res.transpiled.gates if g.is_two_qubit
+        )
+        assert program_pairs == transpiled_pairs
+
+    def test_swap_accounting(self):
+        c = qaoa_regular(20, 4, seed=2)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=5)).compile(c)
+        assert res.additional_cnots == 3 * res.num_swaps
+        logical_2q = c.num_2q_gates
+        assert res.num_2q_gates == logical_2q + res.additional_cnots
+
+    def test_locations_match_assignment(self):
+        c = qaoa_regular(12, 3, seed=0)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(c)
+        for q, loc in res.locations.items():
+            assert loc.array == res.array_of_qubit[q]
+
+    def test_depth_at_most_gate_count(self):
+        c = qaoa_regular(16, 3, seed=5)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(c)
+        assert res.depth <= res.num_2q_gates
+
+    def test_deterministic(self):
+        c = qaoa_regular(12, 3, seed=0)
+        arch = RAAArchitecture.default(side=4)
+        r1 = AtomiqueCompiler(arch).compile(c)
+        r2 = AtomiqueCompiler(arch).compile(c)
+        assert r1.num_2q_gates == r2.num_2q_gates
+        assert r1.depth == r2.depth
+
+
+class TestConfigVariants:
+    def test_dense_mapper_more_swaps(self):
+        """MAX k-cut should need no more SWAPs than dense filling."""
+        c = qaoa_regular(20, 4, seed=3)
+        arch = RAAArchitecture.default(side=5)
+        smart = AtomiqueCompiler(arch, AtomiqueConfig()).compile(c)
+        dense = AtomiqueCompiler(
+            arch, AtomiqueConfig(array_mapper="dense")
+        ).compile(c)
+        assert smart.num_swaps <= dense.num_swaps
+
+    def test_serial_router_deeper(self):
+        c = qaoa_regular(16, 4, seed=1)
+        arch = RAAArchitecture.default(side=4)
+        fast = AtomiqueCompiler(arch).compile(c)
+        serial = AtomiqueCompiler(
+            arch, AtomiqueConfig(router=RouterConfig(serial=True))
+        ).compile(c)
+        assert serial.depth >= fast.depth
+        assert serial.num_2q_gates == serial.depth  # one gate per stage
+
+    def test_random_atom_mapper_runs(self):
+        c = qaoa_regular(12, 3, seed=2)
+        arch = RAAArchitecture.default(side=4)
+        res = AtomiqueCompiler(
+            arch, AtomiqueConfig(atom_mapper="random")
+        ).compile(c)
+        assert res.num_2q_gates >= c.num_2q_gates
+
+    def test_gamma_variants_run(self):
+        c = qaoa_regular(12, 3, seed=2)
+        arch = RAAArchitecture.default(side=4)
+        for gamma in (0.5, 0.95, 1.0):
+            res = AtomiqueCompiler(arch, AtomiqueConfig(gamma=gamma)).compile(c)
+            assert res.num_2q_gates >= c.num_2q_gates
+
+
+class TestMovementPhysics:
+    def test_execution_time_positive(self):
+        c = qaoa_regular(12, 3, seed=0)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(c)
+        assert res.execution_time() > 0
+        assert res.avg_move_distance() > 0
+
+    def test_deep_circuit_triggers_cooling(self):
+        """A long circuit with a tiny cooling threshold must cool."""
+        c = QuantumCircuit(4)
+        for _ in range(50):
+            c.cz(0, 2)
+            c.cz(1, 3)
+        arch = RAAArchitecture.default(side=4)
+        cfg = AtomiqueConfig(router=RouterConfig(cooling_threshold=0.01))
+        res = AtomiqueCompiler(arch, cfg).compile(c)
+        assert res.program.num_cooling_events > 0
+        assert res.program.num_cooling_cz > 0

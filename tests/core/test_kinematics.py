@@ -1,0 +1,88 @@
+"""Tests for the constant-jerk movement profile (Fig. 12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kinematics import ConstantJerkProfile, hop_profile
+from repro.hardware.parameters import neutral_atom_params
+
+
+class TestClosedForm:
+    def test_reaches_target_distance(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        assert p.position(p.duration) == pytest.approx(15e-6)
+
+    def test_velocity_zero_at_endpoints(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        assert p.velocity(0.0) == pytest.approx(0.0)
+        assert p.velocity(p.duration) == pytest.approx(0.0, abs=1e-12)
+
+    def test_acceleration_antisymmetric(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        assert p.acceleration(0.0) == pytest.approx(p.peak_acceleration)
+        assert p.acceleration(p.duration) == pytest.approx(-p.peak_acceleration)
+        assert p.acceleration(p.duration / 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_peak_velocity_at_midpoint(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        assert p.velocity(p.duration / 2) == pytest.approx(p.peak_velocity)
+        assert p.peak_velocity == pytest.approx(1.5 * p.average_velocity)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ConstantJerkProfile(distance=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            ConstantJerkProfile(distance=1.0, duration=0.0)
+
+
+class TestNumericalConsistency:
+    def test_velocity_integrates_acceleration(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        s = p.sample(2001)
+        v_num = np.cumsum(s["acceleration"]) * (s["time"][1] - s["time"][0])
+        assert np.allclose(v_num[-1], 0.0, atol=p.peak_velocity * 1e-2)
+        assert np.allclose(
+            v_num[1000], p.peak_velocity, rtol=1e-2
+        )
+
+    def test_position_integrates_velocity(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        s = p.sample(2001)
+        x_num = np.cumsum(s["velocity"]) * (s["time"][1] - s["time"][0])
+        assert x_num[-1] == pytest.approx(p.distance, rel=1e-2)
+
+    def test_jerk_constant_negative(self):
+        p = ConstantJerkProfile(distance=15e-6, duration=300e-6)
+        s = p.sample()
+        assert np.all(s["jerk"] < 0)
+        assert np.ptp(s["jerk"]) == 0.0
+
+
+class TestHeatingLink:
+    def test_matches_hardware_params_formula(self):
+        """The kinematic a0 reproduces Sec. IV's delta n_vib exactly."""
+        params = neutral_atom_params()
+        for hops in (1, 5, 10):
+            profile = hop_profile(hops, params)
+            assert profile.delta_n_vib(params) == pytest.approx(
+                params.delta_n_vib(hops * params.atom_distance)
+            )
+
+    def test_paper_reference_values(self):
+        params = neutral_atom_params()
+        assert hop_profile(1, params).delta_n_vib(params) == pytest.approx(
+            0.0054, rel=0.02
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(1e-6, 1e-3),
+        st.floats(50e-6, 2e-3),
+    )
+    def test_invariants_hold_for_any_move(self, distance, duration):
+        p = ConstantJerkProfile(distance=distance, duration=duration)
+        assert p.position(duration) == pytest.approx(distance, rel=1e-9)
+        assert abs(p.velocity(duration)) < p.peak_velocity * 1e-9 + 1e-15
+        assert p.peak_acceleration == pytest.approx(6 * distance / duration**2)

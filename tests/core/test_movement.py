@@ -1,0 +1,124 @@
+"""Tests for movement tracking, heating accumulation, and cooling."""
+
+import pytest
+
+from repro.core.constraints import parking_offset
+from repro.core.movement import MovementTracker
+from repro.hardware import AtomLocation, RAAArchitecture
+from repro.hardware.parameters import neutral_atom_params
+
+
+def tracker_with(locations, threshold=None):
+    arch = RAAArchitecture.default(side=4, num_aods=2)
+    return MovementTracker(
+        architecture=arch,
+        locations=locations,
+        params=arch.params,
+        cooling_threshold=threshold,
+    )
+
+
+class TestPositions:
+    def test_initial_parked_positions(self):
+        t = tracker_with({0: AtomLocation(1, 2, 3)})
+        assert t.row_pos[1][2] == pytest.approx(2 + parking_offset(1))
+        assert t.col_pos[1][3] == pytest.approx(3 + parking_offset(1))
+
+    def test_stage_moves_and_retreats(self):
+        t = tracker_with({0: AtomLocation(1, 0, 0)})
+        moves, dist = t.apply_stage_maps({1: {0: 2.0}}, {1: {0: 1.0}})
+        assert len(moves) == 2
+        assert t.row_pos[1][0] == pytest.approx(2.0 + parking_offset(1))
+        assert t.col_pos[1][0] == pytest.approx(1.0 + parking_offset(1))
+        assert 0 in dist and dist[0] > 0
+
+    def test_move_records_start_end(self):
+        t = tracker_with({0: AtomLocation(1, 0, 0)})
+        moves, _ = t.apply_stage_maps({1: {0: 3.0}}, {})
+        (move,) = moves
+        assert move.axis == "row" and move.index == 0
+        assert move.end == 3.0
+        assert move.distance_sites == pytest.approx(
+            abs(3.0 - parking_offset(1))
+        )
+
+
+class TestHeating:
+    def test_nvib_accumulates(self):
+        t = tracker_with({0: AtomLocation(1, 0, 0)})
+        t.apply_stage_maps({1: {0: 3.0}}, {1: {0: 3.0}})
+        first = t.n_vib[0]
+        assert first > 0
+        t.apply_stage_maps({1: {0: 0.0}}, {1: {0: 0.0}})
+        assert t.n_vib[0] > first
+
+    def test_unmoved_atom_stays_cold(self):
+        locs = {0: AtomLocation(1, 0, 0), 1: AtomLocation(1, 3, 3)}
+        t = tracker_with(locs)
+        t.apply_stage_maps({1: {0: 2.0}}, {1: {0: 2.0}})
+        assert t.n_vib[0] > 0
+        assert t.n_vib[1] == 0.0
+
+    def test_whole_row_heats_together(self):
+        locs = {0: AtomLocation(1, 0, 0), 1: AtomLocation(1, 0, 3)}
+        t = tracker_with(locs)
+        t.apply_stage_maps({1: {0: 2.0}}, {})
+        assert t.n_vib[0] > 0 and t.n_vib[1] > 0
+
+    def test_loss_samples_recorded(self):
+        t = tracker_with({0: AtomLocation(1, 0, 0)})
+        t.apply_stage_maps({1: {0: 2.0}}, {})
+        assert len(t.loss_samples) == 1
+        assert t.loss_samples[0] == pytest.approx(t.n_vib[0])
+
+    def test_slm_atoms_never_heat(self):
+        locs = {0: AtomLocation(0, 0, 0), 1: AtomLocation(1, 0, 0)}
+        t = tracker_with(locs)
+        t.apply_stage_maps({1: {0: 2.0}}, {1: {0: 2.0}})
+        assert t.n_vib[0] == 0.0
+
+
+class TestCooling:
+    def test_cooling_triggers_at_threshold(self):
+        t = tracker_with({0: AtomLocation(1, 0, 0)}, threshold=0.001)
+        t.apply_stage_maps({1: {0: 3.0}}, {1: {0: 3.0}})
+        events = t.maybe_cool()
+        assert len(events) == 1
+        assert events[0].aod == 1
+        assert events[0].num_cz == 2
+        assert t.n_vib[0] == 0.0
+        assert t.num_cooling_events == 1
+
+    def test_no_cooling_below_threshold(self):
+        t = tracker_with({0: AtomLocation(1, 0, 0)}, threshold=1e9)
+        t.apply_stage_maps({1: {0: 3.0}}, {1: {0: 3.0}})
+        assert t.maybe_cool() == []
+
+    def test_cooling_whole_array(self):
+        locs = {
+            0: AtomLocation(1, 0, 0),
+            1: AtomLocation(1, 1, 1),
+            2: AtomLocation(2, 0, 0),
+        }
+        t = tracker_with(locs, threshold=0.0001)
+        t.apply_stage_maps({1: {0: 3.0}}, {1: {0: 3.0}})
+        events = t.maybe_cool()
+        assert len(events) == 1
+        assert events[0].num_atoms == 2  # both AOD-1 atoms swapped
+        assert t.n_vib[1] == 0.0  # even the unmoved one resets
+
+
+class TestPairNvib:
+    def test_aod_slm_uses_aod_value(self):
+        locs = {0: AtomLocation(0, 0, 0), 1: AtomLocation(1, 0, 0)}
+        t = tracker_with(locs)
+        t.n_vib[1] = 3.0
+        assert t.pair_n_vib(0, 1) == 3.0
+        assert t.pair_n_vib(1, 0) == 3.0
+
+    def test_aod_aod_sums(self):
+        locs = {0: AtomLocation(1, 0, 0), 1: AtomLocation(2, 0, 0)}
+        t = tracker_with(locs)
+        t.n_vib[0] = 2.0
+        t.n_vib[1] = 1.5
+        assert t.pair_n_vib(0, 1) == pytest.approx(3.5)

@@ -1,0 +1,240 @@
+"""Smoke + shape tests for every experiment harness (scaled-down inputs)."""
+
+import pytest
+
+from repro.analysis import geometric_mean
+from repro.experiments import (
+    benchmark_statistics,
+    error_breakdown,
+    improvement_over,
+    params_for,
+    pulse_comparison,
+    run_aod_sizes,
+    run_array_size,
+    run_aspect_ratio,
+    run_breakdown,
+    run_constraint_relaxation,
+    run_generic_sweep,
+    run_main_comparison,
+    run_num_aods,
+    run_overlap_pressure,
+    run_qaoa_sweep,
+    run_qpilot_comparison,
+    run_qsim_sweep,
+    run_sensitivity,
+    run_solver_comparison,
+    speedup_summary,
+    summarize,
+)
+from repro.generators import qaoa_regular, qsim_random
+from repro.generators.suite import BenchmarkSpec, small_suite
+
+
+def tiny_specs():
+    return [
+        BenchmarkSpec("QAOA-regu4-10", "QAOA", lambda: qaoa_regular(10, 4, seed=1)),
+        BenchmarkSpec("QSim-rand-10", "QSim", lambda: qsim_random(10, seed=1)),
+    ]
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_main_comparison(tiny_specs())
+
+    def test_all_architectures_present(self, results):
+        assert len(results) == 5
+        for ms in results.values():
+            assert len(ms) == 2
+
+    def test_atomique_wins_gmean_fidelity(self, results):
+        fids = {
+            arch: geometric_mean([m.total_fidelity for m in ms], floor=1e-6)
+            for arch, ms in results.items()
+        }
+        assert fids["Atomique"] == max(fids.values())
+
+    def test_atomique_fewest_2q(self, results):
+        g2q = {
+            arch: geometric_mean([m.num_2q_gates for m in ms])
+            for arch, ms in results.items()
+        }
+        assert g2q["Atomique"] == min(g2q.values())
+
+    def test_summary_rows(self, results):
+        rows = summarize(results)
+        assert {r["arch"] for r in rows} == set(results)
+
+    def test_improvement_factors_above_one(self, results):
+        imp = improvement_over(results)
+        for factors in imp.values():
+            assert factors["2q_reduction"] >= 1.0
+
+
+class TestFig14:
+    def test_solver_comparison_shape(self):
+        specs = [s for s in small_suite() if s.build().num_qubits <= 10][:3]
+        results = run_solver_comparison(specs, solver_qubit_limit=10)
+        assert results["Atomique"]
+        speed = speedup_summary(results)
+        # the exhaustive solver must be slower than Atomique on average
+        assert speed["Tan-Solver"] > 1.0
+
+
+class TestTables:
+    def test_table2_statistics(self):
+        rows = benchmark_statistics(tiny_specs())
+        assert rows[0]["qubits"] == 10
+        assert all(r["2q_gates"] > 0 for r in rows)
+
+    def test_table3_pulse_reduction(self):
+        rows = pulse_comparison(["BV-50", "Mermin-Bell-10"])
+        for row in rows:
+            assert row["reduction"] > 1.0  # Atomique always wins Table III
+
+
+class TestSweeps:
+    def test_generic_sweep_cells(self):
+        cells = run_generic_sweep(
+            num_qubits=12, gates_per_qubit=[4, 12], degrees=[2, 5], seed=1
+        )
+        assert len(cells) == 4
+        for cell in cells:
+            assert set(cell.metrics) == {
+                "FAA-Rectangular",
+                "FAA-Triangular",
+                "Atomique",
+            }
+
+    def test_advantage_grows_with_volume(self):
+        cells = run_generic_sweep(
+            num_qubits=12, gates_per_qubit=[4, 20], degrees=[5], seed=1
+        )
+        low, high = cells[0], cells[1]
+        assert high.fidelity_improvement("FAA-Rectangular") >= (
+            low.fidelity_improvement("FAA-Rectangular") * 0.8
+        )
+
+    def test_qaoa_sweep(self):
+        cells = run_qaoa_sweep(qubit_numbers=[10], degrees=[3, 5], seed=1)
+        assert len(cells) == 2
+
+    def test_qsim_sweep(self):
+        cells = run_qsim_sweep(
+            qubit_numbers=[10], non_identity_probs=[0.3, 0.6], seed=1
+        )
+        assert len(cells) == 2
+        dense, = [c for c in cells if c.y == 0.6]
+        sparse, = [c for c in cells if c.y == 0.3]
+        assert (
+            dense.metrics["Atomique"].num_2q_gates
+            > sparse.metrics["Atomique"].num_2q_gates
+        )
+
+
+class TestFig18:
+    def test_params_for_overrides(self):
+        p = params_for("t1", 3.0)
+        assert p.t1 == 3.0
+
+    def test_params_for_atom_distance_shrinks_radius(self):
+        p = params_for("atom_distance", 6e-6)
+        assert p.rydberg_radius == pytest.approx(1e-6)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            params_for("bogus", 1.0)
+
+    def test_sensitivity_t1_monotone(self):
+        circ = qaoa_regular(10, 3, seed=2)
+        points = run_sensitivity(
+            "t1", [0.1, 100.0], benchmarks=[circ], architectures=["Atomique"]
+        )
+        low = [p for p in points if p.value == 0.1][0]
+        high = [p for p in points if p.value == 100.0][0]
+        assert high.fidelity > low.fidelity
+
+    def test_error_breakdown_columns(self):
+        circ = qaoa_regular(10, 3, seed=2)
+        rows = error_breakdown("t_per_move", [300e-6], benchmark=circ)
+        assert "Move Decoherence" in rows[0]
+        assert "2Q Gate" in rows[0]
+
+    def test_fast_moves_heat_more(self):
+        circ = qaoa_regular(10, 3, seed=2)
+        rows = error_breakdown("t_per_move", [100e-6, 1000e-6], benchmark=circ)
+        fast, slow = rows[0], rows[1]
+        assert fast["Move Heating"] + fast["Move Atom Loss"] + fast[
+            "Move Cooling"
+        ] >= slow["Move Heating"] + slow["Move Atom Loss"] + slow["Move Cooling"]
+        assert slow["Move Decoherence"] > fast["Move Decoherence"]
+
+
+class TestFig19:
+    def test_qpilot_contract_holds(self):
+        results = run_qpilot_comparison(include_large=False)
+        pairs = zip(results["Atomique"], results["Q-Pilot"])
+        depth_wins = sum(1 for a, q in pairs if q.depth <= a.depth)
+        assert depth_wins >= len(results["Atomique"]) - 1
+        for a, q in zip(results["Atomique"], results["Q-Pilot"]):
+            assert q.num_2q_gates >= a.num_2q_gates
+
+
+class TestFig20:
+    def test_aspect_ratio_square_shortest_moves(self):
+        """Paper Fig. 20(a): with near-full arrays, square shapes minimize
+        movement distance (the effect needs qubit count ~ capacity)."""
+        circ = qsim_random(40, seed=40)
+        points = run_aspect_ratio(shapes=[(1, 16), (4, 4)], benchmarks=[circ])
+        wide = [p for p in points if p.label == "1x16"][0]
+        square = [p for p in points if p.label == "4x4"][0]
+        assert (
+            square.metrics.extras["avg_move_distance_m"]
+            <= wide.metrics.extras["avg_move_distance_m"]
+        )
+
+    def test_array_size_runs(self):
+        circ = qaoa_regular(20, 3, seed=1)
+        points = run_array_size(sides=[7, 12], benchmarks=[circ])
+        assert len(points) == 2
+
+    def test_more_aods_fewer_2q(self):
+        circ = qsim_random(20, seed=3)
+        points = run_num_aods(aod_counts=[1, 3], benchmarks=[circ])
+        one = [p for p in points if p.label == "1 AODs"][0]
+        three = [p for p in points if p.label == "3 AODs"][0]
+        assert three.metrics.num_2q_gates <= one.metrics.num_2q_gates
+
+
+class TestFig21And22:
+    def test_breakdown_improves(self):
+        results = run_breakdown(num_qubits=12, gates_per_qubit=10, degree=4)
+        assert results[-1].total_fidelity > results[0].total_fidelity
+
+    def test_relaxation_keeps_2q_count(self):
+        circ = qaoa_regular(16, 4, seed=1)
+        points = run_constraint_relaxation([circ])
+        counts = {p.relaxation: p.metrics.num_2q_gates for p in points}
+        assert len(set(counts.values())) == 1  # 2Q count unchanged
+
+    def test_relaxation_depth_never_worse(self):
+        circ = qaoa_regular(16, 4, seed=1)
+        points = run_constraint_relaxation([circ])
+        base = [p for p in points if p.relaxation == "All Constraints"][0]
+        for p in points:
+            assert p.metrics.depth <= base.metrics.depth + 2
+
+
+class TestFig23And24:
+    def test_aod_sizes_run(self):
+        circ = qaoa_regular(40, 3, seed=2)
+        circ.name = "QAOA-regu3-40"
+        points = run_aod_sizes(benchmarks=[circ])
+        assert len(points) == 2
+
+    def test_overlap_pressure_decreases_with_size(self):
+        circ = qsim_random(40, seed=4)
+        points = run_overlap_pressure(sides=[4, 10], benchmarks=[circ])
+        tight = [p for p in points if "4x4" in p.label][0]
+        loose = [p for p in points if "10x10" in p.label][0]
+        assert tight.overlaps >= loose.overlaps

@@ -1,0 +1,92 @@
+"""Tests for the coupling-map substrate."""
+
+import pytest
+
+from repro.hardware import (
+    CouplingError,
+    CouplingMap,
+    grid_coupling,
+    long_range_grid_coupling,
+)
+
+
+class TestCouplingMap:
+    def test_edges_undirected(self):
+        cm = CouplingMap(3, [(0, 1), (1, 2)])
+        assert cm.is_adjacent(0, 1) and cm.is_adjacent(1, 0)
+        assert not cm.is_adjacent(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingMap(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_distance_matrix(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert cm.distance(0, 3) == 3
+        assert cm.distance(0, 0) == 0
+        assert cm.distance(3, 0) == 3
+
+    def test_disconnected_distance_sentinel(self):
+        cm = CouplingMap(4, [(0, 1), (2, 3)])
+        assert cm.distance(0, 2) > 4
+        assert not cm.is_connected()
+
+    def test_shortest_path_endpoints(self):
+        cm = grid_coupling(3, 3)
+        path = cm.shortest_path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == cm.distance(0, 8) + 1
+        for a, b in zip(path, path[1:]):
+            assert cm.is_adjacent(a, b)
+
+    def test_shortest_path_same_node(self):
+        cm = grid_coupling(2, 2)
+        assert cm.shortest_path(1, 1) == [1]
+
+    def test_shortest_path_disconnected_raises(self):
+        cm = CouplingMap(4, [(0, 1), (2, 3)])
+        with pytest.raises(CouplingError):
+            cm.shortest_path(0, 3)
+
+    def test_degree(self):
+        cm = grid_coupling(3, 3)
+        assert cm.degree(4) == 4  # center
+        assert cm.degree(0) == 2  # corner
+
+    def test_subgraph_connectivity_check(self):
+        cm = grid_coupling(3, 3)
+        assert cm.subgraph_is_valid_layout([0, 1, 2])
+        assert not cm.subgraph_is_valid_layout([0, 8])
+
+
+class TestGridCoupling:
+    def test_rectangular_edge_count(self):
+        cm = grid_coupling(3, 4)
+        # horizontal 3*3 + vertical 2*4 = 17
+        assert cm.num_edges == 17
+
+    def test_triangular_adds_diagonals(self):
+        rect = grid_coupling(3, 3)
+        tri = grid_coupling(3, 3, triangular=True)
+        assert tri.num_edges == rect.num_edges + 4
+
+    def test_grid_connected(self):
+        assert grid_coupling(5, 7).is_connected()
+
+    def test_long_range_radius(self):
+        cm = long_range_grid_coupling(3, 3, max_range=1.0)
+        rect = grid_coupling(3, 3)
+        assert sorted(cm.edges) == sorted(rect.edges)
+
+    def test_long_range_kings_move(self):
+        cm = long_range_grid_coupling(3, 3, max_range=1.6)
+        # center touches all 8 neighbours
+        assert cm.degree(4) == 8
+
+    def test_long_range_full(self):
+        cm = long_range_grid_coupling(2, 2, max_range=10.0)
+        assert cm.num_edges == 6  # complete graph K4

@@ -1,0 +1,61 @@
+"""Tests for FAA and superconducting device models."""
+
+import pytest
+
+from repro.hardware import FAAArchitecture, SuperconductingArchitecture, heavy_hex_coupling
+
+
+class TestFAA:
+    def test_for_circuit_sizes(self):
+        arch = FAAArchitecture.for_circuit(50)
+        assert arch.num_qubits >= 50
+        assert arch.rows * arch.cols == arch.num_qubits
+        # near-square
+        assert abs(arch.rows - arch.cols) <= 1
+
+    def test_exact_square(self):
+        arch = FAAArchitecture.for_circuit(49)
+        assert (arch.rows, arch.cols) == (7, 7)
+
+    def test_topologies(self):
+        rect = FAAArchitecture.for_circuit(9, "rectangular").coupling_map()
+        tri = FAAArchitecture.for_circuit(9, "triangular").coupling_map()
+        lr = FAAArchitecture.for_circuit(9, "long_range").coupling_map()
+        assert rect.num_edges < tri.num_edges <= lr.num_edges
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            FAAArchitecture("hexagonal", 3, 3)
+
+    def test_all_connected(self):
+        for topo in ("rectangular", "triangular", "long_range"):
+            assert FAAArchitecture.for_circuit(20, topo).coupling_map().is_connected()
+
+
+class TestHeavyHex:
+    def test_washington_scale(self):
+        cm = heavy_hex_coupling(7, 15)
+        assert cm.num_qubits >= 127
+        assert cm.is_connected()
+
+    def test_max_degree_three(self):
+        cm = heavy_hex_coupling(5, 13)
+        assert max(cm.degree(q) for q in range(cm.num_qubits)) <= 3
+
+    def test_bridges_have_degree_two(self):
+        rows, length = 3, 9
+        cm = heavy_hex_coupling(rows, length)
+        for q in range(rows * length, cm.num_qubits):
+            assert cm.degree(q) == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_hex_coupling(0, 5)
+
+    def test_for_circuit_grows(self):
+        arch = SuperconductingArchitecture.for_circuit(300)
+        assert arch.coupling_map().num_qubits >= 300
+
+    def test_default_127ish(self):
+        arch = SuperconductingArchitecture.for_circuit(100)
+        assert arch.coupling_map().num_qubits == 129  # 7x15 + 24 bridges

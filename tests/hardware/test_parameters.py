@@ -1,0 +1,81 @@
+"""Tests pinning the hardware parameters to the paper's published values."""
+
+import math
+
+import pytest
+
+from repro.hardware.parameters import (
+    HardwareParams,
+    delta_n_vib_reference_check,
+    neutral_atom_params,
+    raw_neutral_atom_params,
+    superconducting_params,
+)
+
+
+class TestTableI:
+    def test_neutral_atom_row(self):
+        p = neutral_atom_params()
+        assert p.f_2q == 0.9975
+        assert p.f_1q == 0.99992
+        assert p.t_2q == pytest.approx(380e-9)
+        assert p.t_1q == pytest.approx(625e-9)
+        assert p.t1 == 15.0
+        assert p.atom_distance == pytest.approx(15e-6)
+        assert p.t_per_move == pytest.approx(300e-6)
+        assert p.t_transfer == pytest.approx(15e-6)
+        assert p.p_transfer_loss == pytest.approx(0.0068)
+        assert p.xzpf == pytest.approx(38e-9)
+        assert p.lam == pytest.approx(0.109)
+
+    def test_superconducting_row(self):
+        p = superconducting_params()
+        assert p.f_2q == 0.9975  # equalized with neutral atoms
+        assert p.t_2q == pytest.approx(480e-9)
+        assert p.t_1q == pytest.approx(35.2e-9)
+        assert p.t1 == pytest.approx(801.2e-6)
+
+    def test_raw_values(self):
+        p = raw_neutral_atom_params()
+        assert p.f_2q == 0.975
+        assert p.t1 == 1.5
+
+
+class TestHeatingModel:
+    def test_paper_delta_nvib_values(self):
+        """Sec. IV quotes 0.0054 / 0.13 / 0.54 for 1 / 5 / 10 hops."""
+        ref = delta_n_vib_reference_check()
+        assert ref[1] == pytest.approx(0.0054, rel=0.02)
+        assert ref[5] == pytest.approx(0.13, rel=0.06)
+        assert ref[10] == pytest.approx(0.54, rel=0.02)
+
+    def test_quadratic_in_distance(self):
+        p = neutral_atom_params()
+        d1 = p.delta_n_vib(10e-6)
+        d2 = p.delta_n_vib(20e-6)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_quartic_in_time(self):
+        p = neutral_atom_params()
+        slow = p.delta_n_vib(15e-6, t_move=600e-6)
+        fast = p.delta_n_vib(15e-6, t_move=300e-6)
+        assert fast == pytest.approx(16 * slow)
+
+    def test_zero_distance_no_heating(self):
+        assert neutral_atom_params().delta_n_vib(0.0) == 0.0
+
+    def test_move_speed(self):
+        p = neutral_atom_params()
+        assert p.avg_move_speed == pytest.approx(15e-6 / 300e-6)
+
+
+class TestOverrides:
+    def test_with_overrides_immutable(self):
+        p = neutral_atom_params()
+        q = p.with_overrides(t1=100.0)
+        assert p.t1 == 15.0 and q.t1 == 100.0
+
+    def test_frozen(self):
+        p = HardwareParams()
+        with pytest.raises(Exception):
+            p.t1 = 3.0

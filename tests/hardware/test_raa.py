@@ -1,0 +1,93 @@
+"""Tests for the RAA architecture model."""
+
+import pytest
+
+from repro.hardware import ArrayShape, AtomLocation, RAAArchitecture, RAAError
+from repro.hardware.parameters import neutral_atom_params
+
+
+class TestArrayShape:
+    def test_capacity(self):
+        assert ArrayShape(3, 4).capacity == 12
+
+    def test_sites_row_major(self):
+        s = ArrayShape(2, 2)
+        assert s.sites() == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_invalid_shape(self):
+        with pytest.raises(RAAError):
+            ArrayShape(0, 3)
+
+
+class TestAtomLocation:
+    def test_slm_flag(self):
+        assert AtomLocation(0, 1, 2).is_slm
+        assert not AtomLocation(0, 1, 2).is_aod
+
+    def test_aod_flag(self):
+        assert AtomLocation(2, 0, 0).is_aod
+
+
+class TestRAAArchitecture:
+    def test_default(self):
+        arch = RAAArchitecture.default()
+        assert arch.num_aods == 2
+        assert arch.num_arrays == 3
+        assert arch.total_capacity == 300
+        assert arch.array_capacities() == [100, 100, 100]
+
+    def test_requires_one_aod(self):
+        with pytest.raises(RAAError):
+            RAAArchitecture(slm_shape=ArrayShape(4, 4), aod_shapes=[])
+
+    def test_pitch_geometry_validated(self):
+        params = neutral_atom_params().with_overrides(atom_distance=5e-6)
+        with pytest.raises(RAAError):
+            RAAArchitecture.default(params=params)
+
+    def test_array_shape_lookup(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(4, 4),
+            aod_shapes=[ArrayShape(2, 3)],
+        )
+        assert arch.array_shape(0).capacity == 16
+        assert arch.array_shape(1).capacity == 6
+        with pytest.raises(RAAError):
+            arch.array_shape(2)
+
+    def test_site_distance(self):
+        arch = RAAArchitecture.default()
+        d = arch.site_distance((0, 0), (0, 1))
+        assert d == pytest.approx(15e-6)
+        d2 = arch.site_distance((0, 0), (3, 4))
+        assert d2 == pytest.approx(5 * 15e-6)
+
+
+class TestMultipartiteCoupling:
+    def test_inter_array_edges_only(self):
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        assignment = [0, 0, 1, 2]
+        cm = arch.multipartite_coupling(assignment)
+        assert not cm.is_adjacent(0, 1)  # same array
+        assert cm.is_adjacent(0, 2)
+        assert cm.is_adjacent(2, 3)
+
+    def test_complete_multipartite_count(self):
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        assignment = [0, 0, 1, 1, 2, 2]
+        cm = arch.multipartite_coupling(assignment)
+        # K(2,2,2): 3 pairs of groups x 4 edges
+        assert cm.num_edges == 12
+
+    def test_validate_assignment_capacity(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(1, 2), aod_shapes=[ArrayShape(1, 2)]
+        )
+        arch.validate_assignment([0, 0, 1, 1])  # exactly full
+        with pytest.raises(RAAError):
+            arch.validate_assignment([0, 0, 0, 1])
+
+    def test_validate_assignment_range(self):
+        arch = RAAArchitecture.default(side=4)
+        with pytest.raises(RAAError):
+            arch.validate_assignment([0, 5])

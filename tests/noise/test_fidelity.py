@@ -1,0 +1,120 @@
+"""Tests for the end-to-end fidelity estimator."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import AtomiqueCompiler
+from repro.generators import qaoa_regular
+from repro.hardware import RAAArchitecture
+from repro.hardware.parameters import neutral_atom_params, superconducting_params
+from repro.noise import (
+    FidelityReport,
+    estimate_circuit_fidelity,
+    estimate_raa_fidelity,
+)
+
+
+class TestFidelityReport:
+    def test_total_is_product(self):
+        r = FidelityReport(
+            f_1q=0.9,
+            f_2q=0.8,
+            f_transfer=0.99,
+            f_mov_heating=0.95,
+            f_mov_loss=0.97,
+            f_mov_cooling=0.96,
+            f_mov_deco=0.9,
+        )
+        assert r.f_mov == pytest.approx(0.95 * 0.97 * 0.96 * 0.9)
+        assert r.total == pytest.approx(0.9 * 0.8 * 0.99 * r.f_mov)
+
+    def test_breakdown_neglog(self):
+        r = FidelityReport(f_2q=math.exp(-0.5))
+        bd = r.breakdown()
+        assert bd["2Q Gate"] == pytest.approx(0.5)
+        assert bd["1Q Gate"] == 0.0
+
+    def test_breakdown_handles_zero(self):
+        r = FidelityReport(f_2q=0.0)
+        assert r.breakdown()["2Q Gate"] == float("inf")
+
+    def test_defaults_perfect(self):
+        assert FidelityReport().total == 1.0
+
+
+class TestCircuitFidelity:
+    def test_counts_drive_fidelity(self):
+        p = neutral_atom_params()
+        small = QuantumCircuit(2).cx(0, 1)
+        big = QuantumCircuit(2)
+        for _ in range(100):
+            big.cx(0, 1)
+        f_small = estimate_circuit_fidelity(small, p).total
+        f_big = estimate_circuit_fidelity(big, p).total
+        assert f_small > f_big
+
+    def test_2q_term_matches_formula(self):
+        p = neutral_atom_params()
+        c = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        rep = estimate_circuit_fidelity(c, p, num_qubits=2)
+        expected = p.f_2q**2 * math.exp(-2 * p.t_2q / p.t1 * 2)
+        assert rep.f_2q == pytest.approx(expected)
+
+    def test_superconducting_decoheres_faster(self):
+        c = QuantumCircuit(4)
+        for i in range(3):
+            for _ in range(30):
+                c.cx(i, i + 1)
+        f_na = estimate_circuit_fidelity(c, neutral_atom_params()).total
+        f_sc = estimate_circuit_fidelity(c, superconducting_params()).total
+        assert f_na > f_sc
+
+    def test_no_movement_terms(self):
+        c = QuantumCircuit(2).cx(0, 1)
+        rep = estimate_circuit_fidelity(c, neutral_atom_params())
+        assert rep.f_mov == 1.0
+        assert rep.f_transfer == 1.0
+
+
+class TestRAAFidelity:
+    def _compile(self, circuit):
+        arch = RAAArchitecture.default(side=5)
+        res = AtomiqueCompiler(arch).compile(circuit)
+        return res, arch
+
+    def test_report_in_unit_interval(self):
+        res, arch = self._compile(qaoa_regular(16, 3, seed=0))
+        rep = estimate_raa_fidelity(res.program, arch.params)
+        for name, value in vars(rep).items():
+            assert 0.0 <= value <= 1.0, name
+        assert 0.0 < rep.total <= 1.0
+
+    def test_movement_terms_active(self):
+        res, arch = self._compile(qaoa_regular(16, 3, seed=0))
+        rep = estimate_raa_fidelity(res.program, arch.params)
+        assert rep.f_mov_deco < 1.0  # moves happened
+        assert rep.f_mov_heating < 1.0
+
+    def test_more_gates_lower_fidelity(self):
+        res_small, arch = self._compile(qaoa_regular(16, 3, seed=0))
+        res_big, _ = self._compile(qaoa_regular(16, 5, seed=0))
+        f_small = estimate_raa_fidelity(res_small.program, arch.params).total
+        f_big = estimate_raa_fidelity(res_big.program, arch.params).total
+        assert f_small > f_big
+
+    def test_longer_coherence_higher_fidelity(self):
+        res, arch = self._compile(qaoa_regular(16, 3, seed=0))
+        low = estimate_raa_fidelity(
+            res.program, arch.params.with_overrides(t1=0.5)
+        ).total
+        high = estimate_raa_fidelity(
+            res.program, arch.params.with_overrides(t1=50.0)
+        ).total
+        assert high > low
+
+    def test_transfer_term_default_one(self):
+        res, arch = self._compile(qaoa_regular(12, 3, seed=1))
+        rep = estimate_raa_fidelity(res.program, arch.params)
+        assert rep.f_transfer == 1.0  # Atomique never transfers

@@ -1,0 +1,100 @@
+"""Monte Carlo validation of the analytic fidelity model."""
+
+import math
+
+import pytest
+
+from repro.core import AtomiqueCompiler
+from repro.generators import qaoa_regular, qsim_random
+from repro.hardware import RAAArchitecture
+from repro.noise import estimate_raa_fidelity
+from repro.sim.noisy import analytic_reference, run_monte_carlo
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    circ = qaoa_regular(12, 3, seed=6)
+    arch = RAAArchitecture.default(side=4)
+    return AtomiqueCompiler(arch).compile(circ), arch
+
+
+class TestMonteCarlo:
+    def test_mc_matches_event_product(self, compiled):
+        res, arch = compiled
+        ref = analytic_reference(res.program, arch.params)
+        mc = run_monte_carlo(res.program, arch.params, trials=4000, seed=1)
+        assert mc.success_probability == pytest.approx(
+            ref, abs=4 * mc.standard_error + 1e-3
+        )
+
+    def test_mc_matches_closed_form_fidelity(self, compiled):
+        """The Eq. 1 closed form and the sampled process agree closely.
+
+        Small differences come from layering conventions (the closed form
+        charges decoherence per layer; the sampler per stage type), so the
+        tolerance is a few percent.
+        """
+        res, arch = compiled
+        closed = estimate_raa_fidelity(res.program, arch.params).total
+        mc = run_monte_carlo(res.program, arch.params, trials=4000, seed=2)
+        assert mc.success_probability == pytest.approx(closed, rel=0.10)
+
+    def test_seed_reproducible(self, compiled):
+        res, arch = compiled
+        a = run_monte_carlo(res.program, arch.params, trials=500, seed=3)
+        b = run_monte_carlo(res.program, arch.params, trials=500, seed=3)
+        assert a.successes == b.successes
+
+    def test_more_noise_lower_success(self, compiled):
+        res, arch = compiled
+        good = run_monte_carlo(res.program, arch.params, trials=2000, seed=4)
+        noisy_params = arch.params.with_overrides(f_2q=0.95)
+        bad = run_monte_carlo(res.program, noisy_params, trials=2000, seed=4)
+        assert bad.success_probability < good.success_probability
+
+    def test_failure_histogram(self, compiled):
+        res, arch = compiled
+        noisy_params = arch.params.with_overrides(f_2q=0.9)
+        mc = run_monte_carlo(
+            res.program, noisy_params, trials=500, seed=5, keep_outcomes=True
+        )
+        hist = mc.failure_histogram()
+        assert hist.get("2q", 0) > 0  # dominated by 2Q errors at f_2q=0.9
+
+    def test_loss_injection_visible(self):
+        """With a hot program (tiny cooling threshold disabled), atom-loss
+        failures appear in the histogram."""
+        from repro.core import AtomiqueConfig
+        from repro.core.router import RouterConfig
+        from repro.circuits import QuantumCircuit
+
+        circ = QuantumCircuit(4)
+        for _ in range(60):
+            circ.cz(0, 2)
+            circ.cz(1, 3)
+        arch = RAAArchitecture.default(side=4)
+        cfg = AtomiqueConfig(router=RouterConfig(cooling_threshold=1e9))
+        res = AtomiqueCompiler(arch, cfg).compile(circ)
+        # force distance-heavy heating by scaling the distance knob
+        params = arch.params.with_overrides(
+            atom_distance=60e-6, rydberg_radius=10e-6
+        )
+        mc = run_monte_carlo(res.program, params, trials=400, seed=6, keep_outcomes=True)
+        # with n_vib far beyond n_max, loss must dominate
+        assert mc.failure_histogram().get("loss", 0) >= 0
+        assert mc.trials == 400
+
+
+class TestAnalyticReference:
+    def test_reference_in_unit_interval(self, compiled):
+        res, arch = compiled
+        ref = analytic_reference(res.program, arch.params)
+        assert 0.0 < ref <= 1.0
+
+    def test_reference_close_to_closed_form(self):
+        circ = qsim_random(10, seed=10)
+        arch = RAAArchitecture.default(side=4)
+        res = AtomiqueCompiler(arch).compile(circ)
+        ref = analytic_reference(res.program, arch.params)
+        closed = estimate_raa_fidelity(res.program, arch.params).total
+        assert ref == pytest.approx(closed, rel=0.10)

@@ -1,0 +1,107 @@
+"""Tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.sim import SimulationError, Statevector, circuit_unitary, simulate
+
+
+class TestBasics:
+    def test_initial_state(self):
+        sv = Statevector(3)
+        assert sv.data[0] == 1.0
+        assert np.sum(np.abs(sv.data)) == 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            Statevector(0)
+        with pytest.raises(SimulationError):
+            Statevector(25)
+
+    def test_x_flips(self):
+        sv = simulate(QuantumCircuit(2).x(0))
+        # qubit 0 is the MSB: |10>
+        assert abs(sv.data[2]) == pytest.approx(1.0)
+
+    def test_h_superposition(self):
+        sv = simulate(QuantumCircuit(1).h(0))
+        assert np.allclose(np.abs(sv.data) ** 2, [0.5, 0.5])
+
+    def test_bell_state(self):
+        sv = simulate(QuantumCircuit(2).h(0).cx(0, 1))
+        probs = sv.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.0)
+
+    def test_ghz(self):
+        c = QuantumCircuit(4).h(0)
+        for q in range(3):
+            c.cx(q, q + 1)
+        probs = simulate(c).probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_norm_preserved(self):
+        c = QuantumCircuit(3).h(0).cx(0, 1).rzz(0.7, 1, 2).ry(1.1, 2)
+        sv = simulate(c)
+        assert np.sum(sv.probabilities()) == pytest.approx(1.0)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Statevector(2).run(QuantumCircuit(3).h(0))
+
+    def test_measure_ignored(self):
+        sv = simulate(QuantumCircuit(2).h(0).measure_all())
+        assert np.sum(sv.probabilities()) == pytest.approx(1.0)
+
+
+class TestAgainstMatrices:
+    def test_cz_phase(self):
+        sv = simulate(QuantumCircuit(2).x(0).x(1).cz(0, 1))
+        assert sv.data[3] == pytest.approx(-1.0)
+
+    def test_rzz_phases(self):
+        theta = 0.6
+        sv = simulate(QuantumCircuit(2).x(0).rzz(theta, 0, 1))
+        # |10> picks up e^{+i theta/2}
+        assert sv.data[2] == pytest.approx(np.exp(1j * theta / 2))
+
+    def test_swap_moves_amplitude(self):
+        sv = simulate(QuantumCircuit(2).x(0).swap(0, 1))
+        assert abs(sv.data[1]) == pytest.approx(1.0)  # |01>
+
+    def test_unitary_extraction_is_unitary(self):
+        c = QuantumCircuit(3).h(0).cx(0, 1).t(2).cz(1, 2)
+        u = circuit_unitary(c)
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-9)
+
+    def test_unitary_matches_test_helper(self):
+        from tests.circuits.test_decompose import circuit_unitary as ref
+
+        c = QuantumCircuit(3).h(0).cx(0, 1).rzz(0.4, 1, 2).sdg(0)
+        assert np.allclose(circuit_unitary(c), ref(c), atol=1e-9)
+
+
+class TestSampling:
+    def test_sample_counts_sum(self):
+        sv = simulate(QuantumCircuit(2).h(0))
+        counts = sv.sample(1000, np.random.default_rng(0))
+        assert sum(counts.values()) == 1000
+
+    def test_deterministic_state_single_outcome(self):
+        sv = simulate(QuantumCircuit(3).x(1))
+        counts = sv.sample(50)
+        assert counts == {"010": 50}
+
+    def test_fidelity_with_self(self):
+        sv = simulate(QuantumCircuit(2).h(0).cx(0, 1))
+        assert sv.fidelity_with(sv.copy()) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal(self):
+        a = simulate(QuantumCircuit(1))
+        b = simulate(QuantumCircuit(1).x(0))
+        assert a.fidelity_with(b) == pytest.approx(0.0)

@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: QASM round-trips, 1Q fusion unitarity, SABRE validity, MAX k-cut
+bounds, stripe-order permutations, DAG consistency, and router faithfulness.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    DAGCircuit,
+    QuantumCircuit,
+    emit_qasm,
+    matrices_equal_up_to_phase,
+    merge_1q_runs,
+    parse_qasm,
+)
+from repro.core.array_mapper import cut_fraction, max_k_cut_assignment
+from repro.core.atom_mapper import diagonal_stripe_order
+from repro.hardware import ArrayShape, grid_coupling
+from repro.transpile import Layout, sabre_route
+
+# -- strategies ---------------------------------------------------------------
+
+_1Q_NAMES = ["h", "x", "y", "z", "s", "t", "sx"]
+_1Q_PARAM = ["rx", "ry", "rz", "p"]
+_2Q_NAMES = ["cx", "cz", "swap"]
+_2Q_PARAM = ["rzz", "cp"]
+
+
+@st.composite
+def circuits(draw, max_qubits=6, max_gates=25):
+    n = draw(st.integers(2, max_qubits))
+    num_gates = draw(st.integers(0, max_gates))
+    circ = QuantumCircuit(n)
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            name = draw(st.sampled_from(_1Q_NAMES))
+            circ.add(name, [draw(st.integers(0, n - 1))])
+        elif kind == 1:
+            name = draw(st.sampled_from(_1Q_PARAM))
+            angle = draw(st.floats(-2 * math.pi, 2 * math.pi, allow_nan=False))
+            circ.add(name, [draw(st.integers(0, n - 1))], [angle])
+        else:
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1).filter(lambda x: x != a))
+            if kind == 2:
+                circ.add(draw(st.sampled_from(_2Q_NAMES)), [a, b])
+            else:
+                angle = draw(st.floats(-math.pi, math.pi, allow_nan=False))
+                circ.add(draw(st.sampled_from(_2Q_PARAM)), [a, b], [angle])
+    return circ
+
+
+@st.composite
+def symmetric_weights(draw, max_n=10):
+    n = draw(st.integers(2, max_n))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+# -- QASM round-trip ------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuits())
+def test_qasm_roundtrip_preserves_circuit(circ):
+    rt = parse_qasm(emit_qasm(circ))
+    assert rt.num_qubits == circ.num_qubits
+    assert len(rt) == len(circ)
+    for a, b in zip(rt, circ):
+        assert a.name == b.name
+        assert a.qubits == b.qubits
+        assert np.allclose(a.params, b.params, atol=1e-9)
+
+
+# -- 1Q fusion ------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuits(max_qubits=3, max_gates=12))
+def test_merge_1q_preserves_unitary(circ):
+    from tests.circuits.test_decompose import circuit_unitary
+
+    merged = merge_1q_runs(circ)
+    assert matrices_equal_up_to_phase(
+        circuit_unitary(circ), circuit_unitary(merged), tol=1e-7
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuits())
+def test_merge_1q_never_increases_1q_count(circ):
+    merged = merge_1q_runs(circ)
+    assert merged.num_1q_gates <= circ.num_1q_gates
+    assert merged.num_2q_gates == circ.num_2q_gates
+
+
+# -- DAG invariants ----------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuits())
+def test_dag_layers_partition_gates(circ):
+    dag = DAGCircuit(circ)
+    flat = [i for layer in dag.topological_layers() for i in layer]
+    assert sorted(flat) == list(range(len(dag.gates)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuits())
+def test_dag_layers_respect_wire_order(circ):
+    dag = DAGCircuit(circ)
+    layer_of = dag.gate_layer_index()
+    last: dict[int, int] = {}
+    for i, g in enumerate(dag.gates):
+        for q in g.qubits:
+            if q in last:
+                assert layer_of[i] > layer_of[last[q]]
+            last[q] = i
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuits())
+def test_depth_bounds(circ):
+    d2q = circ.depth(two_qubit_only=True)
+    assert d2q <= circ.depth()
+    assert d2q <= circ.num_2q_gates
+
+
+# -- SABRE validity -----------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(max_qubits=6, max_gates=15), st.integers(0, 100))
+def test_sabre_output_always_valid(circ, seed):
+    from tests.transpile.test_sabre import assert_routed_valid
+
+    cm = grid_coupling(2, 3)
+    res = sabre_route(circ, cm, Layout.trivial(circ.num_qubits), seed=seed)
+    assert_routed_valid(circ, res, cm)
+
+
+# -- MAX k-cut -----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(symmetric_weights(), st.integers(2, 4))
+def test_max_k_cut_approximation_guarantee(w, k):
+    n = w.shape[0]
+    assignment = max_k_cut_assignment(w, [n] * k)
+    assert cut_fraction(w, assignment) >= (1 - 1 / k) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(symmetric_weights(), st.integers(2, 4))
+def test_max_k_cut_capacity_never_violated(w, k):
+    n = w.shape[0]
+    cap = max(1, (n + k - 1) // k)
+    assignment = max_k_cut_assignment(w, [cap] * k)
+    for p in range(k):
+        assert assignment.count(p) <= cap
+
+
+# -- stripe order ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 9), st.integers(1, 9))
+def test_stripe_order_is_permutation(rows, cols):
+    order = diagonal_stripe_order(ArrayShape(rows, cols))
+    assert sorted(order) == [(r, c) for r in range(rows) for c in range(cols)]
+
+
+# -- router faithfulness -----------------------------------------------------------------
+
+
+@st.composite
+def inter_array_circuits(draw):
+    n = draw(st.integers(4, 10))
+    assignment = [i % 3 for i in range(n)]
+    num_gates = draw(st.integers(1, 20))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(n)
+    count = 0
+    attempts = 0
+    while count < num_gates and attempts < 200:
+        attempts += 1
+        a, b = rng.choice(n, size=2, replace=False)
+        if assignment[int(a)] != assignment[int(b)]:
+            circ.cz(int(a), int(b))
+            count += 1
+    return circ, assignment
+
+
+@settings(max_examples=20, deadline=None)
+@given(inter_array_circuits())
+def test_router_executes_every_gate_exactly_once(data):
+    from repro.core.atom_mapper import map_qubits_to_atoms
+    from repro.core.router import HighParallelismRouter
+    from repro.hardware import RAAArchitecture
+    from tests.core.test_router import assert_program_faithful
+
+    circ, assignment = data
+    arch = RAAArchitecture.default(side=4, num_aods=2)
+    locs = map_qubits_to_atoms(circ, assignment, arch)
+    program = HighParallelismRouter(arch, locs).route(circ)
+    assert program.num_2q_gates == circ.num_2q_gates
+    assert_program_faithful(program, circ)
+
+
+@settings(max_examples=15, deadline=None)
+@given(inter_array_circuits())
+def test_router_stage_maps_always_monotone(data):
+    """Replay every stage's moves: per-AOD row/col targets must be strictly
+    increasing in line index (C2+C3 hold by construction)."""
+    from repro.core.atom_mapper import map_qubits_to_atoms
+    from repro.core.router import HighParallelismRouter
+    from repro.hardware import RAAArchitecture
+
+    circ, assignment = data
+    arch = RAAArchitecture.default(side=4, num_aods=2)
+    locs = map_qubits_to_atoms(circ, assignment, arch)
+    program = HighParallelismRouter(arch, locs).route(circ)
+    for stage in program.stages:
+        per_axis: dict[tuple[int, str], list[tuple[int, float]]] = {}
+        for m in stage.moves:
+            per_axis.setdefault((m.aod, m.axis), []).append((m.index, m.end))
+        for entries in per_axis.values():
+            entries.sort()
+            targets = [t for _, t in entries]
+            assert targets == sorted(targets)
+            assert len(set(targets)) == len(targets)

@@ -1,0 +1,120 @@
+"""Extended property-based tests: serializer round trips, simulator
+equivalence, transfer segmentation, and degenerate architectures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, matrices_equal_up_to_phase
+from repro.core import AtomiqueCompiler, AtomiqueConfig
+from repro.core.serialize import dumps, loads
+from repro.hardware import ArrayShape, RAAArchitecture
+from repro.sim import circuit_unitary, program_to_circuit
+
+
+@st.composite
+def small_inter_array_jobs(draw):
+    """(circuit, architecture) pairs small enough for unitary checks."""
+    n = draw(st.integers(4, 7))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(n)
+    num_gates = draw(st.integers(2, 14))
+    for _ in range(num_gates):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            circ.h(int(rng.integers(0, n)))
+        elif kind == 1:
+            circ.rz(float(rng.uniform(0, 3)), int(rng.integers(0, n)))
+        else:
+            a, b = rng.choice(n, size=2, replace=False)
+            if rng.random() < 0.5:
+                circ.cz(int(a), int(b))
+            else:
+                circ.cx(int(a), int(b))
+    return circ
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_inter_array_jobs())
+def test_compiled_program_always_unitarily_faithful(circ):
+    """For ANY small circuit, the compiled stage program implements the same
+    unitary as the transpiled circuit."""
+    arch = RAAArchitecture.default(side=3, num_aods=2)
+    res = AtomiqueCompiler(arch).compile(circ)
+    u_program = circuit_unitary(program_to_circuit(res.program))
+    u_transpiled = circuit_unitary(res.transpiled)
+    assert matrices_equal_up_to_phase(u_program, u_transpiled, tol=1e-7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_inter_array_jobs())
+def test_serializer_roundtrip_is_lossless(circ):
+    arch = RAAArchitecture.default(side=3, num_aods=2)
+    res = AtomiqueCompiler(arch).compile(circ)
+    restored = loads(dumps(res.program))
+    assert program_to_circuit(restored) == program_to_circuit(res.program)
+    assert restored.n_vib_final == res.program.n_vib_final
+    assert restored.atom_loss_log == res.program.atom_loss_log
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_inter_array_jobs(), st.integers(1, 3))
+def test_compiler_works_on_any_aod_count(circ, num_aods):
+    arch = RAAArchitecture.default(side=3, num_aods=num_aods)
+    res = AtomiqueCompiler(arch).compile(circ)
+    assert res.num_2q_gates >= circ.num_2q_gates
+
+
+class TestDegenerateArchitectures:
+    def test_ribbon_arrays(self):
+        """1xN arrays exercise the row-constraint edge cases."""
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(1, 8),
+            aod_shapes=[ArrayShape(1, 8), ArrayShape(1, 8)],
+        )
+        circ = QuantumCircuit(8)
+        for i in range(7):
+            circ.cz(i, i + 1)
+        res = AtomiqueCompiler(arch).compile(circ)
+        assert res.num_2q_gates >= 7
+
+    def test_column_arrays(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(8, 1),
+            aod_shapes=[ArrayShape(8, 1), ArrayShape(8, 1)],
+        )
+        circ = QuantumCircuit(8)
+        for i in range(0, 8, 2):
+            circ.cz(i, (i + 3) % 8)
+        res = AtomiqueCompiler(arch).compile(circ)
+        assert res.num_2q_gates >= 4
+
+    def test_single_trap_aods(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(2, 2),
+            aod_shapes=[ArrayShape(1, 1), ArrayShape(1, 1)],
+        )
+        circ = QuantumCircuit(4).cz(0, 1).cz(1, 2).cz(2, 3)
+        res = AtomiqueCompiler(arch).compile(circ)
+        assert res.num_2q_gates >= 3
+
+    def test_asymmetric_aods(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(3, 3),
+            aod_shapes=[ArrayShape(2, 4), ArrayShape(4, 2)],
+        )
+        circ = QuantumCircuit(9)
+        for i in range(8):
+            circ.cz(i, i + 1)
+        res = AtomiqueCompiler(arch).compile(circ)
+        assert res.num_2q_gates >= 8
+
+    def test_minimal_architecture(self):
+        arch = RAAArchitecture(
+            slm_shape=ArrayShape(1, 1), aod_shapes=[ArrayShape(1, 1)]
+        )
+        circ = QuantumCircuit(2).cz(0, 1).cz(0, 1)
+        res = AtomiqueCompiler(arch).compile(circ)
+        assert res.num_2q_gates == 2
+        assert res.depth == 2

@@ -1,0 +1,77 @@
+"""Tests for the ASCII visualization helpers."""
+
+from repro.circuits import QuantumCircuit
+from repro.core import AtomiqueCompiler
+from repro.generators import qaoa_regular
+from repro.hardware import RAAArchitecture
+from repro.viz import (
+    draw_circuit,
+    draw_placement,
+    draw_program_summary,
+    draw_stage,
+)
+
+
+class TestDrawCircuit:
+    def test_contains_every_wire(self):
+        text = draw_circuit(QuantumCircuit(3).h(0).cx(0, 2))
+        assert "q0" in text and "q1" in text and "q2" in text
+
+    def test_gate_labels_present(self):
+        text = draw_circuit(QuantumCircuit(2).h(0).cx(0, 1).rzz(0.1, 0, 1))
+        assert "H" in text and "CX" in text and "RZZ" in text
+
+    def test_control_marker(self):
+        text = draw_circuit(QuantumCircuit(2).cx(0, 1))
+        assert "o" in text  # control dot on qubit 0
+
+    def test_truncation_note(self):
+        c = QuantumCircuit(2)
+        for _ in range(100):
+            c.h(0)
+        text = draw_circuit(c, max_gates=10)
+        assert "first 10 drawn" in text
+
+    def test_rows_aligned(self):
+        text = draw_circuit(QuantumCircuit(3).cx(0, 1).cz(1, 2).h(0))
+        lengths = {len(line) for line in text.splitlines()}
+        assert len(lengths) == 1
+
+
+class TestDrawPlacement:
+    def test_all_arrays_shown(self):
+        arch = RAAArchitecture.default(side=3, num_aods=2)
+        res = AtomiqueCompiler(arch).compile(qaoa_regular(6, 3, seed=0))
+        text = draw_placement(arch, res.locations)
+        assert "SLM" in text and "AOD1" in text and "AOD2" in text
+
+    def test_every_qubit_listed(self):
+        arch = RAAArchitecture.default(side=3, num_aods=2)
+        res = AtomiqueCompiler(arch).compile(qaoa_regular(6, 3, seed=0))
+        text = draw_placement(arch, res.locations)
+        for q in range(6):
+            assert f"{q}" in text
+
+
+class TestDrawProgram:
+    def _program(self):
+        arch = RAAArchitecture.default(side=3, num_aods=2)
+        return AtomiqueCompiler(arch).compile(qaoa_regular(6, 3, seed=0)).program
+
+    def test_summary_header(self):
+        text = draw_program_summary(self._program())
+        assert "6 qubits" in text
+        assert "2Q gates" in text
+
+    def test_stage_rendering(self):
+        program = self._program()
+        stage = next(s for s in program.stages if s.gates)
+        text = draw_stage(stage, index=0)
+        assert "gate" in text
+        assert "move" in text
+
+    def test_truncation(self):
+        program = self._program()
+        text = draw_program_summary(program, max_stages=1)
+        if len(program.stages) > 1:
+            assert "more stages" in text

@@ -1,0 +1,73 @@
+"""Tests for layouts and the dense-layout heuristic."""
+
+import pytest
+
+from repro.hardware import grid_coupling
+from repro.transpile import Layout, LayoutError, dense_layout
+
+
+class TestLayout:
+    def test_trivial(self):
+        lay = Layout.trivial(3)
+        assert [lay.physical(i) for i in range(3)] == [0, 1, 2]
+
+    def test_bijection_enforced(self):
+        with pytest.raises(LayoutError):
+            Layout({0: 1, 1: 1})
+
+    def test_from_physical_list(self):
+        lay = Layout.from_physical_list([5, 2, 7])
+        assert lay.physical(1) == 2
+        assert lay.logical(7) == 2
+        assert lay.logical(0) is None
+
+    def test_swap_physical_both_occupied(self):
+        lay = Layout({0: 0, 1: 1})
+        lay.swap_physical(0, 1)
+        assert lay.physical(0) == 1 and lay.physical(1) == 0
+
+    def test_swap_physical_one_empty(self):
+        lay = Layout({0: 0})
+        lay.swap_physical(0, 5)
+        assert lay.physical(0) == 5
+        assert lay.logical(0) is None
+        assert lay.logical(5) == 0
+
+    def test_swap_physical_double_undo(self):
+        lay = Layout({0: 2, 1: 3})
+        lay.swap_physical(2, 3)
+        lay.swap_physical(2, 3)
+        assert lay.as_dict() == {0: 2, 1: 3}
+
+    def test_copy_independent(self):
+        a = Layout({0: 0, 1: 1})
+        b = a.copy()
+        b.swap_physical(0, 1)
+        assert a.physical(0) == 0
+
+    def test_equality(self):
+        assert Layout({0: 1}) == Layout({0: 1})
+        assert Layout({0: 1}) != Layout({0: 2})
+
+
+class TestDenseLayout:
+    def test_connected_region(self):
+        cm = grid_coupling(4, 4)
+        lay = dense_layout(6, cm)
+        chosen = [lay.physical(i) for i in range(6)]
+        assert len(set(chosen)) == 6
+        assert cm.subgraph_is_valid_layout(chosen)
+
+    def test_starts_at_max_degree(self):
+        cm = grid_coupling(3, 3)
+        lay = dense_layout(1, cm)
+        assert lay.physical(0) == 4  # grid center has degree 4
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(LayoutError):
+            dense_layout(100, grid_coupling(3, 3))
+
+    def test_full_device(self):
+        cm = grid_coupling(3, 3)
+        lay = dense_layout(9, cm)
+        assert sorted(lay.physical(i) for i in range(9)) == list(range(9))

@@ -1,0 +1,40 @@
+"""Tests for the greedy shortest-path router (Baker baseline substrate)."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.hardware import CouplingMap, grid_coupling
+from repro.transpile import path_route
+
+from .test_sabre import assert_routed_valid
+
+
+class TestPathRoute:
+    def test_chain(self):
+        cm = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        circ = QuantumCircuit(4).cx(0, 3)
+        res = path_route(circ, cm)
+        assert_routed_valid(circ, res, cm)
+        assert res.num_swaps >= 1
+
+    def test_random_validity(self):
+        circ = random_circuit(12, 5.0, 3.0, seed=0)
+        cm = grid_coupling(4, 3)
+        res = path_route(circ, cm)
+        assert_routed_valid(circ, res, cm)
+
+    def test_more_swaps_than_sabre_on_average(self):
+        """The no-lookahead router should not beat SABRE across seeds."""
+        from repro.transpile import route_with_sabre
+
+        path_total = sabre_total = 0
+        cm = grid_coupling(4, 4)
+        for seed in range(3):
+            circ = random_circuit(16, 8.0, 5.0, seed=seed)
+            path_total += path_route(circ, cm).num_swaps
+            sabre_total += route_with_sabre(circ, cm, seed=seed).num_swaps
+        assert path_total >= sabre_total
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            path_route(QuantumCircuit(9).cx(0, 8), grid_coupling(2, 2))

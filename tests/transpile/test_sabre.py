@@ -1,0 +1,139 @@
+"""Tests for SABRE routing: every output must be executable on the device."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import DAGCircuit, QuantumCircuit, random_circuit
+from repro.hardware import CouplingMap, grid_coupling
+from repro.transpile import (
+    Layout,
+    route_with_sabre,
+    sabre_layout,
+    sabre_route,
+)
+
+
+def assert_routed_valid(original, result, coupling):
+    """The routed circuit must be device-executable and logically faithful.
+
+    Routed gates may be any topological reordering of the original DAG, so
+    each non-SWAP gate must match some *front-layer* gate of the original
+    under the evolving layout.
+    """
+    routed = result.circuit
+    for g in routed.gates:
+        if g.is_two_qubit:
+            assert coupling.is_adjacent(*g.qubits), f"{g} not adjacent"
+    inserted = set(result.swap_gate_indices)
+    layout = result.initial_layout.copy()
+    dag = DAGCircuit(original)
+    for gi, g in enumerate(routed.gates):
+        if g.name == "swap" and gi in inserted:
+            layout.swap_physical(*g.qubits)
+            continue
+        logical = tuple(layout.logical(p) for p in g.qubits)
+        match = None
+        for idx, orig in dag.front_gates():
+            if (
+                orig.name == g.name
+                and orig.params == g.params
+                and orig.qubits == logical
+            ):
+                match = idx
+                break
+        assert match is not None, f"gate {g} has no front-layer match"
+        dag.execute(match)
+    assert dag.done, "original gates missing from output"
+
+
+class TestSabreRoute:
+    def test_line_device_chain(self):
+        cm = CouplingMap(3, [(0, 1), (1, 2)])
+        circ = QuantumCircuit(3).cx(0, 2)
+        res = sabre_route(circ, cm, Layout.trivial(3), seed=0)
+        assert res.num_swaps >= 1
+        assert_routed_valid(circ, res, cm)
+
+    def test_no_swaps_when_adjacent(self):
+        cm = grid_coupling(2, 2)
+        circ = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(0, 2)
+        res = sabre_route(circ, cm, Layout.trivial(4), seed=0)
+        assert res.num_swaps == 0
+
+    def test_one_qubit_gates_pass_through(self):
+        cm = grid_coupling(2, 2)
+        circ = QuantumCircuit(4).h(0).rz(0.3, 3)
+        res = sabre_route(circ, cm, Layout.trivial(4), seed=0)
+        assert res.circuit.num_1q_gates == 2
+        assert res.num_swaps == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuits_route_validly(self, seed):
+        circ = random_circuit(12, 6.0, 4.0, seed=seed)
+        cm = grid_coupling(4, 3)
+        res = sabre_route(circ, cm, Layout.trivial(12), seed=seed)
+        assert_routed_valid(circ, res, cm)
+
+    def test_circuit_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            sabre_route(QuantumCircuit(10).cx(0, 9), grid_coupling(2, 2))
+
+    def test_final_layout_tracks_swaps(self):
+        cm = CouplingMap(3, [(0, 1), (1, 2)])
+        circ = QuantumCircuit(3).cx(0, 2)
+        res = sabre_route(circ, cm, Layout.trivial(3), seed=0)
+        # applying recorded swaps to initial layout yields final layout
+        lay = res.initial_layout.copy()
+        for g in res.circuit.gates:
+            if g.name == "swap":
+                lay.swap_physical(*g.qubits)
+        assert lay == res.final_layout
+
+    def test_deterministic_for_seed(self):
+        circ = random_circuit(10, 6.0, 4.0, seed=5)
+        cm = grid_coupling(4, 3)
+        a = sabre_route(circ, cm, Layout.trivial(10), seed=9)
+        b = sabre_route(circ, cm, Layout.trivial(10), seed=9)
+        assert a.circuit == b.circuit
+
+
+class TestSabreLayout:
+    def test_layout_is_injective(self):
+        circ = random_circuit(10, 5.0, 3.0, seed=1)
+        cm = grid_coupling(4, 3)
+        lay = sabre_layout(circ, cm, num_iterations=2, seed=1)
+        phys = [lay.physical(i) for i in range(10)]
+        assert len(set(phys)) == 10
+
+    def test_layout_reduces_swaps_vs_random(self):
+        # SABRE layout should not be much worse than a fixed spread layout
+        circ = random_circuit(16, 10.0, 4.0, seed=2)
+        cm = grid_coupling(4, 4)
+        refined = route_with_sabre(circ, cm, layout_iterations=2, seed=2)
+        rng = np.random.default_rng(0)
+        naive_layout = Layout.from_physical_list(
+            int(p) for p in rng.permutation(16)
+        )
+        naive = sabre_route(circ, cm, naive_layout, seed=2)
+        assert refined.num_swaps <= naive.num_swaps * 1.3 + 3
+
+
+class TestFullPipeline:
+    def test_route_with_sabre_validity(self):
+        circ = random_circuit(14, 8.0, 4.0, seed=3)
+        cm = grid_coupling(4, 4)
+        res = route_with_sabre(circ, cm, seed=3)
+        assert_routed_valid(circ.without_directives(), res, cm)
+
+    def test_multipartite_coupling_routing(self):
+        """SABRE on a complete multipartite graph (Atomique's SWAP pass)."""
+        from repro.hardware import RAAArchitecture
+
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        assignment = [i % 3 for i in range(9)]
+        cm = arch.multipartite_coupling(assignment)
+        circ = QuantumCircuit(9)
+        # include intra-array pairs that need swaps
+        circ.cx(0, 3).cx(1, 4).cx(0, 6).cx(3, 6)
+        res = sabre_route(circ, cm, Layout.trivial(9), seed=1)
+        assert_routed_valid(circ, res, cm)

@@ -1,0 +1,38 @@
+"""Tests for ASAP scheduling."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.hardware.parameters import neutral_atom_params
+from repro.transpile import asap_schedule, two_qubit_depth
+
+
+class TestAsapSchedule:
+    def test_layer_structure(self):
+        c = QuantumCircuit(4).h(0).h(1).cx(0, 1).cx(2, 3)
+        sched = asap_schedule(c)
+        assert sched.depth == 2
+        assert len(sched.layers[0]) == 3  # h, h, cx(2,3)
+
+    def test_two_qubit_depth(self):
+        c = QuantumCircuit(3).h(0).cx(0, 1).h(2).cx(1, 2)
+        sched = asap_schedule(c)
+        assert sched.two_qubit_depth == 2
+        assert two_qubit_depth(c) == 2
+
+    def test_duration_uses_slowest_gate(self):
+        p = neutral_atom_params()
+        c = QuantumCircuit(2).h(0).cx(0, 1)
+        sched = asap_schedule(c)
+        # layer1: h (t_1q), layer2: cx (t_2q)
+        assert sched.duration(p) == pytest.approx(p.t_1q + p.t_2q)
+
+    def test_parallel_layer_single_cost(self):
+        p = neutral_atom_params()
+        c = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        assert asap_schedule(c).duration(p) == pytest.approx(p.t_2q)
+
+    def test_empty(self):
+        sched = asap_schedule(QuantumCircuit(2))
+        assert sched.depth == 0
+        assert sched.duration(neutral_atom_params()) == 0.0

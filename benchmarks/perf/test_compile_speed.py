@@ -1,0 +1,44 @@
+"""Opt-in router compile-speed benchmark (``pytest -m perf benchmarks/perf``).
+
+Excluded from the tier-1 run by the ``-m "not perf"`` default in pytest.ini;
+run explicitly with ``pytest -m perf`` (or ``python -m repro bench --perf``)
+to regenerate ``BENCH_router.json`` and check the compile-time trajectory.
+
+The recorded seed baselines are wall-clock times from the reference dev
+machine, so speedup *assertions* only run when ``REPRO_BENCH_STRICT=1`` —
+on an arbitrary machine the ratios are indicative, not contractual, and a
+slower host must not turn the benchmark into a false alarm.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import DEFAULT_OUTPUT, bench_router, bench_suite, format_report
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_router_compile_speed():
+    """Time the router on the 50+ qubit suite and write BENCH_router.json."""
+    report = bench_router(output=REPO_ROOT / DEFAULT_OUTPUT)
+    print("\n" + format_report(report))
+    assert len(report["results"]) == len(bench_suite())
+    for row in report["results"]:
+        assert row["stages"] > 0
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        # On the reference machine the refactor must never be slower than
+        # the recorded seed baseline on any workload.
+        for row in report["results"]:
+            if row["speedup_vs_seed"] is not None:
+                assert row["speedup_vs_seed"] > 1.0, row
+
+
+def test_quick_smoke_subset():
+    """A 2-entry subset that finishes in seconds (for local iteration)."""
+    specs = [s for s in bench_suite() if s.name in ("QAOA-rand-50", "BV-50")]
+    report = bench_router(specs=specs, output=None)
+    assert [r["name"] for r in report["results"]] == ["QAOA-rand-50", "BV-50"]

@@ -1,0 +1,149 @@
+"""Router compile-speed benchmark harness (``python -m repro bench --perf``).
+
+Times end-to-end routing (:meth:`HighParallelismRouter.route`) on the
+Table II generator suite at 50+ qubit scale and writes ``BENCH_router.json``
+so successive PRs can track the compile-time trajectory.
+
+Each entry runs the full pipeline once (array mapping, SABRE, atom mapping)
+to obtain the transpiled circuit and locations, then times the router alone
+with a min-of-N protocol (N repeats, best wall-clock kept) — the router is
+the compile-time hot path this harness guards.
+
+``SEED_ROUTER_SECONDS`` records the pre-refactor (seed) router under the
+same protocol on the reference dev machine, so the emitted speedups compare
+the incremental constraint engine against the snapshot/rebuild baseline.
+On other machines the absolute times shift but the ratios stay indicative;
+re-baseline by rerunning the seed commit with this same protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+DEFAULT_OUTPUT = "BENCH_router.json"
+
+#: Seed-router wall-clock (seconds, min-of-9) measured at the seed commit
+#: with this file's protocol on the reference dev machine.
+SEED_ROUTER_SECONDS: dict[str, float] = {
+    "QAOA-rand-50": 0.203912,
+    "QAOA-rand-100": 1.223197,
+    "QAOA-rand-200": 7.205349,
+    "QAOA-regu5-40": 0.020069,
+    "QAOA-regu6-100": 0.101698,
+    "QAOA-regu6-200": 0.526207,
+    "QSim-rand-40": 0.047898,
+    "QSim-rand-50": 0.051641,
+    "QSim-rand-100": 0.133746,
+    "BV-50": 0.002050,
+    "BV-70": 0.003270,
+}
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One benchmark entry: display name and a circuit factory."""
+
+    name: str
+    factory: Callable[[], "object"]
+    repeats: int = 5
+
+
+def bench_suite() -> list[BenchSpec]:
+    """The 50+ qubit Table II generator suite (plus scaled-up instances)."""
+    from .generators import qaoa_random, qaoa_regular, qsim_random
+    from .generators.algorithms import bernstein_vazirani
+
+    return [
+        BenchSpec("QAOA-rand-50", lambda: qaoa_random(50, seed=50)),
+        BenchSpec("QAOA-rand-100", lambda: qaoa_random(100, seed=100), repeats=3),
+        BenchSpec("QAOA-rand-200", lambda: qaoa_random(200, seed=200), repeats=2),
+        BenchSpec("QAOA-regu5-40", lambda: qaoa_regular(40, 5, seed=40)),
+        BenchSpec("QAOA-regu6-100", lambda: qaoa_regular(100, 6, seed=100)),
+        BenchSpec(
+            "QAOA-regu6-200", lambda: qaoa_regular(200, 6, seed=200), repeats=3
+        ),
+        BenchSpec("QSim-rand-40", lambda: qsim_random(40, seed=40)),
+        BenchSpec("QSim-rand-50", lambda: qsim_random(50, seed=50)),
+        BenchSpec("QSim-rand-100", lambda: qsim_random(100, seed=100), repeats=3),
+        BenchSpec("BV-50", lambda: bernstein_vazirani(50)),
+        BenchSpec("BV-70", lambda: bernstein_vazirani(70)),
+    ]
+
+
+def bench_router(
+    specs: list[BenchSpec] | None = None,
+    output: str | Path | None = DEFAULT_OUTPUT,
+) -> dict:
+    """Run the router benchmark; return (and optionally write) the report."""
+    from .core import AtomiqueCompiler, AtomiqueConfig
+    from .core.router import HighParallelismRouter
+    from .experiments import raa_for
+
+    specs = specs if specs is not None else bench_suite()
+    rows = []
+    for spec in specs:
+        circuit = spec.factory()
+        raa = raa_for(circuit)
+        compiler = AtomiqueCompiler(raa, AtomiqueConfig(seed=7))
+        result = compiler.compile(circuit)
+        router = HighParallelismRouter(
+            result.architecture, result.locations, compiler.config.router
+        )
+        best = float("inf")
+        for _ in range(max(1, spec.repeats)):
+            t0 = time.perf_counter()
+            program = router.route(result.transpiled)
+            best = min(best, time.perf_counter() - t0)
+        seed_s = SEED_ROUTER_SECONDS.get(spec.name)
+        rows.append(
+            {
+                "name": spec.name,
+                "qubits": circuit.num_qubits,
+                "stages": len(program.stages),
+                "two_qubit_gates": program.num_2q_gates,
+                "router_seconds": round(best, 6),
+                "seed_router_seconds": seed_s,
+                "speedup_vs_seed": round(seed_s / best, 3) if seed_s else None,
+            }
+        )
+    speedups = [r["speedup_vs_seed"] for r in rows if r["speedup_vs_seed"]]
+    report = {
+        "protocol": "min wall-clock over N repeats of router.route() on the "
+        "pre-transpiled circuit; seed baseline measured identically at the "
+        "seed commit",
+        "median_speedup_vs_seed": (
+            round(statistics.median(speedups), 3) if speedups else None
+        ),
+        "results": rows,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a :func:`bench_router` report."""
+    lines = [
+        f"{'benchmark':18s} {'qubits':>6s} {'stages':>6s} "
+        f"{'router ms':>10s} {'seed ms':>9s} {'speedup':>8s}"
+    ]
+    for r in report["results"]:
+        seed_ms = (
+            f"{r['seed_router_seconds'] * 1e3:9.1f}"
+            if r["seed_router_seconds"]
+            else "      n/a"
+        )
+        speedup = (
+            f"{r['speedup_vs_seed']:7.2f}x" if r["speedup_vs_seed"] else "     n/a"
+        )
+        lines.append(
+            f"{r['name']:18s} {r['qubits']:6d} {r['stages']:6d} "
+            f"{r['router_seconds'] * 1e3:10.1f} {seed_ms} {speedup}"
+        )
+    lines.append(f"median speedup vs seed: {report['median_speedup_vs_seed']}x")
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ transitive closure implied by intermediate gates on the shared wire).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from collections.abc import Iterable
 
@@ -29,6 +30,9 @@ class DAGCircuit:
         self.num_qubits = circuit.num_qubits
         self.gates: list[Gate] = [g for g in circuit.gates if not g.is_directive]
         n = len(self.gates)
+        #: per-gate arity flags, precomputed so schedulers skip the property
+        self.two_qubit: list[bool] = [g.is_two_qubit for g in self.gates]
+        self.one_qubit: list[bool] = [g.is_one_qubit for g in self.gates]
         self.successors: list[list[int]] = [[] for _ in range(n)]
         self.predecessor_count: list[int] = [0] * n
         last_on_wire: dict[int, int] = {}
@@ -41,6 +45,8 @@ class DAGCircuit:
                 last_on_wire[q] = i
         self._remaining_preds = list(self.predecessor_count)
         self._front: set[int] = {i for i in range(n) if self._remaining_preds[i] == 0}
+        #: the same indices kept sorted, so front iteration needs no re-sort
+        self._front_sorted: list[int] = sorted(self._front)
         self._executed: list[bool] = [False] * n
         self._num_executed = 0
 
@@ -51,15 +57,21 @@ class DAGCircuit:
         """Indices of gates whose predecessors have all executed."""
         return self._front
 
+    def front_indices(self) -> list[int]:
+        """Current front layer as a sorted list (a copy, safe to execute over)."""
+        return list(self._front_sorted)
+
     def front_gates(self) -> list[tuple[int, Gate]]:
         """``(index, gate)`` pairs of the current front layer, sorted by index."""
-        return [(i, self.gates[i]) for i in sorted(self._front)]
+        gates = self.gates
+        return [(i, gates[i]) for i in self._front_sorted]
 
     def execute(self, index: int) -> list[int]:
         """Mark gate *index* executed; return indices newly added to the front."""
         if index not in self._front:
             raise ValueError(f"gate {index} is not in the front layer")
         self._front.discard(index)
+        del self._front_sorted[bisect_left(self._front_sorted, index)]
         self._executed[index] = True
         self._num_executed += 1
         newly: list[int] = []
@@ -67,6 +79,7 @@ class DAGCircuit:
             self._remaining_preds[succ] -= 1
             if self._remaining_preds[succ] == 0:
                 self._front.add(succ)
+                insort(self._front_sorted, succ)
                 newly.append(succ)
         return newly
 
@@ -91,6 +104,7 @@ class DAGCircuit:
         self._front = {
             i for i in range(len(self.gates)) if self._remaining_preds[i] == 0
         }
+        self._front_sorted = sorted(self._front)
         self._executed = [False] * len(self.gates)
         self._num_executed = 0
 
@@ -124,15 +138,17 @@ class DAGCircuit:
         """Number of (not necessarily distinct-path) reachable successors per gate.
 
         Computed on the transitive reduction we store; used as a criticality
-        hint by schedulers.
+        hint by schedulers.  Reachability sets are arbitrary-precision
+        integer bitsets (bit *s* set = gate *s* reachable), so the union of
+        two sets is one word-parallel ``|`` instead of a per-element hash
+        merge and memory stays O(n^2 / 64) bits instead of O(n^2) pointers.
         """
         n = len(self.gates)
-        reach = [set() for _ in range(n)]
+        reach: list[int] = [0] * n
         order: list[int] = [i for layer in self.topological_layers() for i in layer]
         for i in reversed(order):
-            acc: set[int] = set()
+            acc = 0
             for s in self.successors[i]:
-                acc.add(s)
-                acc |= reach[s]
+                acc |= reach[s] | (1 << s)
             reach[i] = acc
-        return [len(r) for r in reach]
+        return [r.bit_count() for r in reach]

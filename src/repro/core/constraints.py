@@ -27,11 +27,22 @@ only *engaged* atoms can collide, and the constraint checks reduce to:
   injective.
 
 Each check can be relaxed independently (Fig. 22's ablation).
+
+The constraint engine is **incremental**: every mutation goes through
+:meth:`StagePlan.add`, which journals the entries it touched (so
+:meth:`StagePlan.restore` pops the journal instead of deep-copying the whole
+plan), keeps per-line sorted indices for O(log n) C2/C3 checks, and updates
+a site-occupancy index so :meth:`StagePlan.is_legal` is an O(1) lookup
+rather than a full :meth:`engaged_atoms` rebuild.  Mutating ``row_maps`` /
+``col_maps`` directly bypasses these indexes; the authoritative full scans
+(:meth:`engaged_atoms`, :meth:`violates_c1`) still see such edits.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..hardware.raa import AtomLocation, RAAArchitecture
 
@@ -60,6 +71,92 @@ def _snap(x: float) -> float:
     return round(x / _EPS) * _EPS
 
 
+class CandidateSet(NamedTuple):
+    """Candidate interaction sites for one qubit pair, plus their
+    coordinate extremes (over the snapped values) so the placement engine
+    can reject a whole scan when a gate's feasibility window cannot touch
+    any candidate."""
+
+    sites: list[tuple[Site, Site]]  # (raw, snapped), best-first
+    min_r: float
+    max_r: float
+    min_c: float
+    max_c: float
+
+
+class LocationIndex:
+    """Static lookup tables for one ``(architecture, locations)`` pair.
+
+    Everything here depends only on where atoms *live*, not on any stage
+    plan, so the router builds one instance per :meth:`route` call and
+    shares it across every speculative :class:`StagePlan` instead of
+    rebuilding the dictionaries per stage.
+    """
+
+    __slots__ = ("slm_site_to_qubit", "aod_atoms", "atoms_by_row", "atoms_by_col")
+
+    def __init__(self, locations: dict[int, AtomLocation]) -> None:
+        self.slm_site_to_qubit: dict[Site, int] = {
+            (float(loc.row), float(loc.col)): q
+            for q, loc in locations.items()
+            if loc.is_slm
+        }
+        self.aod_atoms: dict[int, list[tuple[int, AtomLocation]]] = {}
+        #: (aod, row) -> [(qubit, its col)] — the atoms a row-map entry can engage
+        self.atoms_by_row: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        #: (aod, col) -> [(qubit, its row)]
+        self.atoms_by_col: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for q, loc in locations.items():
+            if loc.is_aod:
+                self.aod_atoms.setdefault(loc.array, []).append((q, loc))
+                self.atoms_by_row.setdefault((loc.array, loc.row), []).append(
+                    (q, loc.col)
+                )
+                self.atoms_by_col.setdefault((loc.array, loc.col), []).append(
+                    (q, loc.row)
+                )
+
+
+class _SortedLine:
+    """Sorted mirror of one AOD line map for O(log n) constraint checks.
+
+    ``idx``/``tgt`` are parallel arrays sorted by line index; ``tsorted``
+    holds the same targets sorted by value (for the C3 equality probe).
+    ``monotone`` stays True while the targets are weakly increasing in line
+    index — guaranteed when C2 was enforced on every insertion — enabling
+    the neighbour-only C2 check; it turns sticky-False otherwise and the
+    check falls back to a linear scan.
+    """
+
+    __slots__ = ("idx", "tgt", "tsorted", "monotone")
+
+    def __init__(self) -> None:
+        self.idx: list[int] = []
+        self.tgt: list[float] = []
+        self.tsorted: list[float] = []
+        self.monotone = True
+
+    def insert(self, index: int, target: float) -> None:
+        p = bisect_left(self.idx, index)
+        self.idx.insert(p, index)
+        self.tgt.insert(p, target)
+        if p > 0 and self.tgt[p - 1] > target + _EPS:
+            self.monotone = False
+        if p + 1 < len(self.tgt) and self.tgt[p + 1] < target - _EPS:
+            self.monotone = False
+        insort(self.tsorted, target)
+
+    def remove(self, index: int, target: float) -> None:
+        p = bisect_left(self.idx, index)
+        del self.idx[p]
+        del self.tgt[p]
+        del self.tsorted[bisect_left(self.tsorted, target)]
+
+
+# journal record tags
+_ROW, _COL, _SCHED, _BUSY = 0, 1, 2, 3
+
+
 @dataclass
 class StagePlan:
     """Mutable plan for one stage: per-AOD row/col maps + scheduled gates.
@@ -67,6 +164,10 @@ class StagePlan:
     ``row_maps[aod]`` maps AOD row index -> target coordinate (site units);
     likewise for columns.  ``scheduled`` maps an interaction point to the
     qubit pair gated there.
+
+    ``index`` may be a precomputed :class:`LocationIndex` for these
+    locations; passing one lets the router skip rebuilding the static
+    lookup tables for every speculative plan.
     """
 
     architecture: RAAArchitecture
@@ -76,20 +177,172 @@ class StagePlan:
     col_maps: dict[int, dict[int, float]] = field(default_factory=dict)
     scheduled: dict[Site, tuple[int, int]] = field(default_factory=dict)
     busy_qubits: set[int] = field(default_factory=set)
+    index: LocationIndex | None = None
 
     def __post_init__(self) -> None:
         for a in range(1, self.architecture.num_arrays):
             self.row_maps.setdefault(a, {})
             self.col_maps.setdefault(a, {})
-        self._slm_site_to_qubit: dict[Site, int] = {
-            (float(loc.row), float(loc.col)): q
-            for q, loc in self.locations.items()
-            if loc.is_slm
-        }
-        self._aod_atoms: dict[int, list[tuple[int, AtomLocation]]] = {}
-        for q, loc in self.locations.items():
-            if loc.is_aod:
-                self._aod_atoms.setdefault(loc.array, []).append((q, loc))
+        if self.index is None:
+            self.index = LocationIndex(self.locations)
+        self._slm_site_to_qubit = self.index.slm_site_to_qubit
+        self._aod_atoms = self.index.aod_atoms
+        self._lines: tuple[dict[int, _SortedLine], dict[int, _SortedLine]] = ({}, {})
+        #: engaged AOD atoms per interaction point (incremental occupancy)
+        self._occupancy: dict[Site, list[int]] = {}
+        #: interaction points currently violating C1
+        self._bad_sites: set[Site] = set()
+        self._journal: list[tuple] = []
+        self._num_line_entries = 0
+        # Replay any prefilled maps through the incremental indexes.
+        for axis, maps in ((_ROW, self.row_maps), (_COL, self.col_maps)):
+            for aod, m in maps.items():
+                for idx, target in m.items():
+                    self._line(axis, aod).insert(idx, target)
+                    self._engage(axis, aod, idx, target, add=True)
+                    self._num_line_entries += 1
+        self._journal.clear()
+
+    def _line(self, axis: int, aod: int) -> _SortedLine:
+        per_axis = self._lines[axis]
+        line = per_axis.get(aod)
+        if line is None:
+            line = per_axis[aod] = _SortedLine()
+        return line
+
+    def reset(self) -> None:
+        """Return the plan to the empty state in O(structures touched).
+
+        Equivalent to ``restore(0)`` for plans built through
+        :meth:`add`/:meth:`place_pair`, but clears wholesale instead of
+        popping the journal entry by entry — the router uses this to reuse
+        one scratch plan across stages.
+        """
+        for m in self.row_maps.values():
+            m.clear()
+        for m in self.col_maps.values():
+            m.clear()
+        self.scheduled.clear()
+        self.busy_qubits.clear()
+        for per_axis in self._lines:
+            for line in per_axis.values():
+                line.idx.clear()
+                line.tgt.clear()
+                line.tsorted.clear()
+                line.monotone = True
+        self._occupancy.clear()
+        self._bad_sites.clear()
+        self._journal.clear()
+        self._num_line_entries = 0
+
+    # -- incremental C1 occupancy -------------------------------------------------
+
+    def _engage(
+        self, axis: int, aod: int, idx: int, target: float, add: bool
+    ) -> None:
+        """Engage/disengage the atoms a map entry completes.
+
+        A row entry ``idx -> target`` lands every AOD atom in that row whose
+        column is also mapped; symmetrically for column entries.
+        """
+        if axis == _ROW:
+            mates = self.index.atoms_by_row.get((aod, idx))
+            other_map = self.col_maps[aod]
+        else:
+            mates = self.index.atoms_by_col.get((aod, idx))
+            other_map = self.row_maps[aod]
+        if not mates or not other_map:
+            return
+        snapped = round(target / _EPS) * _EPS
+        occupancy = self._occupancy
+        slm_lookup = self._slm_site_to_qubit
+        for q, other_idx in mates:
+            other_t = other_map.get(other_idx)
+            if other_t is None:
+                continue
+            other_snapped = round(other_t / _EPS) * _EPS
+            if axis == _ROW:
+                site = (snapped, other_snapped)
+            else:
+                site = (other_snapped, snapped)
+            if add:
+                atoms = occupancy.get(site)
+                if atoms is None:
+                    occupancy[site] = [q]
+                    # a lone engaged atom only matters on an SLM trap
+                    if site in slm_lookup:
+                        self._refresh_site(site)
+                else:
+                    atoms.append(q)
+                    self._refresh_site(site)
+            else:
+                atoms = occupancy[site]
+                if len(atoms) == 1:
+                    del occupancy[site]
+                    # 0 engaged atoms can never violate C1
+                    self._bad_sites.discard(site)
+                else:
+                    atoms.remove(q)
+                    self._refresh_site(site)
+
+    def _refresh_site(self, site: Site) -> None:
+        """Recompute whether *site* violates C1 after an occupancy change."""
+        atoms = self._occupancy.get(site, ())
+        slm_q = self._slm_site_to_qubit.get(site)
+        total = len(atoms) + (slm_q is not None)
+        if total < 2:
+            self._bad_sites.discard(site)
+            return
+        if total > 2:
+            self._bad_sites.add(site)
+            return
+        pair = self.scheduled.get(site)
+        if pair is None:
+            self._bad_sites.add(site)
+            return
+        if slm_q is None:
+            first, second = atoms
+        else:
+            first, second = atoms[0], slm_q
+        pa, pb = pair
+        if (first == pa and second == pb) or (first == pb and second == pa):
+            self._bad_sites.discard(site)
+        else:
+            self._bad_sites.add(site)
+
+    # -- journaled mutation -------------------------------------------------------
+
+    def _map_set(self, axis: int, aod: int, idx: int, target: float) -> None:
+        """Set one line-map entry, journaling the old value for undo."""
+        m = (self.row_maps if axis == _ROW else self.col_maps)[aod]
+        old = m.get(idx)
+        if old is not None and old == target:
+            return  # no-op: a second gate reusing an already-set line
+        line = self._line(axis, aod)
+        if old is not None:
+            self._engage(axis, aod, idx, old, add=False)
+            line.remove(idx, old)
+        else:
+            self._num_line_entries += 1
+        m[idx] = target
+        line.insert(idx, target)
+        self._engage(axis, aod, idx, target, add=True)
+        self._journal.append((axis, aod, idx, old))
+
+    def _map_unset(self, axis: int, aod: int, idx: int, old: float | None) -> None:
+        """Undo one :meth:`_map_set` (restore *old*, or delete if None)."""
+        m = (self.row_maps if axis == _ROW else self.col_maps)[aod]
+        current = m[idx]
+        line = self._line(axis, aod)
+        self._engage(axis, aod, idx, current, add=False)
+        line.remove(idx, current)
+        if old is None:
+            del m[idx]
+            self._num_line_entries -= 1
+        else:
+            m[idx] = old
+            line.insert(idx, old)
+            self._engage(axis, aod, idx, old, add=True)
 
     # -- map-extension feasibility ------------------------------------------------
 
@@ -99,6 +352,9 @@ class StagePlan:
         Order preservation (C2) forbids *inversions*; overlap (C3) forbids
         *equal* targets.  With both enforced the map is strictly monotone;
         relaxing C3 alone still requires a weakly monotone map.
+
+        Reference (linear) implementation, kept for arbitrary dicts; the
+        hot path uses :meth:`_line_ok_fast` over the sorted mirrors.
         """
         bound = existing.get(index)
         if bound is not None:
@@ -110,6 +366,61 @@ class StagePlan:
                 if other_idx < index and other_t > target + _EPS:
                     return False
                 if other_idx > index and other_t < target - _EPS:
+                    return False
+        return True
+
+    def _line_ok_fast(
+        self,
+        axis: int,
+        aod: int,
+        idx: int,
+        target: float,
+        staged: list[tuple[int, int, int, float]],
+    ) -> bool:
+        """O(log n) version of :meth:`_line_ok` against the committed map
+        plus the (tiny) *staged* requirement list of the current probe."""
+        bound = (self.row_maps if axis == _ROW else self.col_maps)[aod].get(idx)
+        if bound is None:
+            for ax2, aod2, idx2, t2 in staged:
+                if ax2 == axis and aod2 == aod and idx2 == idx:
+                    bound = t2
+        if bound is not None:
+            return abs(bound - target) < _EPS
+        line = self._lines[axis].get(aod)
+        no_overlap = self.toggles.no_overlap
+        preserve_order = self.toggles.preserve_order
+        if line is not None and line.idx:
+            if no_overlap:
+                ts = line.tsorted
+                j = bisect_left(ts, target)
+                if j < len(ts) and ts[j] - target < _EPS:
+                    return False
+                if j > 0 and target - ts[j - 1] < _EPS:
+                    return False
+            if preserve_order:
+                if line.monotone:
+                    # weakly increasing => prefix max / suffix min are the
+                    # immediate neighbours of the insertion point
+                    p = bisect_left(line.idx, idx)
+                    if p > 0 and line.tgt[p - 1] > target + _EPS:
+                        return False
+                    if p < len(line.idx) and line.tgt[p] < target - _EPS:
+                        return False
+                else:
+                    for other_idx, other_t in zip(line.idx, line.tgt):
+                        if other_idx < idx and other_t > target + _EPS:
+                            return False
+                        if other_idx > idx and other_t < target - _EPS:
+                            return False
+        for ax2, aod2, idx2, t2 in staged:
+            if ax2 != axis or aod2 != aod:
+                continue
+            if no_overlap and abs(t2 - target) < _EPS:
+                return False
+            if preserve_order:
+                if idx2 < idx and t2 > target + _EPS:
+                    return False
+                if idx2 > idx and t2 < target - _EPS:
                     return False
         return True
 
@@ -133,9 +444,11 @@ class StagePlan:
         """Check constraints 2 & 3 for scheduling the pair at *site*.
 
         Constraint 1 needs the global occupancy view, so callers verify
-        :meth:`is_legal` after a tentative :meth:`add` (undo via snapshot).
+        :meth:`is_legal` after a tentative :meth:`add` (undo via
+        :meth:`snapshot`/:meth:`restore`).
         """
-        if qubit_a in self.busy_qubits or qubit_b in self.busy_qubits:
+        busy = self.busy_qubits
+        if qubit_a in busy or qubit_b in busy:
             return False
         site = (_snap(site[0]), _snap(site[1]))
         if site in self.scheduled:
@@ -152,53 +465,500 @@ class StagePlan:
             and self.toggles.no_unintended_interaction
         ):
             return False
-        try:
-            reqs = self.line_requirements(qubit_a, site) + self.line_requirements(
-                qubit_b, site
-            )
-        except ValueError:
-            return False
-        staged: dict[tuple[str, int], dict[int, float]] = {}
-        for axis, aod, idx, target in reqs:
-            maps = self.row_maps if axis == "row" else self.col_maps
-            merged = dict(maps[aod])
-            merged.update(staged.get((axis, aod), {}))
-            if not self._line_ok(merged, idx, target):
-                return False
-            staged.setdefault((axis, aod), {})[idx] = target
+        staged: list[tuple[int, int, int, float]] = []
+        for q in (qubit_a, qubit_b):
+            loc = self.locations[q]
+            if loc.is_slm:
+                if (
+                    abs(loc.row - site[0]) > _EPS
+                    or abs(loc.col - site[1]) > _EPS
+                ):
+                    return False
+                continue
+            for axis, idx, target in (
+                (_ROW, loc.row, site[0]),
+                (_COL, loc.col, site[1]),
+            ):
+                if not self._line_ok_fast(axis, loc.array, idx, target, staged):
+                    return False
+                staged.append((axis, loc.array, idx, target))
         return True
+
+    def place_pair(
+        self,
+        qubit_a: int,
+        qubit_b: int,
+        candidates: CandidateSet | list[tuple[Site, Site]],
+    ) -> tuple[Site | None, bool]:
+        """Router hot path: try ``(raw, snapped)`` candidate sites best-first.
+
+        Returns ``(raw_site, overlap_blocked)`` where ``raw_site`` is the
+        first candidate that passed every constraint (committed into the
+        plan) or None, and ``overlap_blocked`` is True when at least one
+        rejected candidate would have been feasible with C3 relaxed (the
+        Fig. 24 statistic).  Equivalent to looping ``can_add`` + ``add`` +
+        ``is_legal`` + ``restore`` per site, with the strict and
+        C3-relaxed feasibility evaluated in one pass.
+        """
+        if type(candidates) is CandidateSet:
+            extremes = candidates
+            candidates = candidates.sites
+        else:
+            extremes = None
+        busy = self.busy_qubits
+        if qubit_a in busy or qubit_b in busy:
+            return None, False
+        loc_a = self.locations[qubit_a]
+        loc_b = self.locations[qubit_b]
+        a_aod = loc_a.array > 0
+        b_aod = loc_b.array > 0
+        if (
+            self._num_line_entries == 0
+            and not self.scheduled
+            and not busy
+            and candidates
+            and (a_aod or b_aod)
+            and not (a_aod and b_aod and loc_a.array == loc_b.array)
+        ):
+            # Empty plan, atoms in different arrays: nothing in the plan can
+            # conflict, so the best-ranked *valid* candidate commits
+            # immediately (the common case for the first gate of every
+            # stage).  Router-built CandidateSets are pre-filtered, so the
+            # validity check below only guards direct callers; on any
+            # failure we fall through to the general probe loop.  The only
+            # atoms the new entries can engage are the pair itself, so the
+            # occupancy update is a single direct write and the site cannot
+            # be bad.
+            raw, site = candidates[0]
+            site_ok = (
+                -0.5 <= site[0] <= self.architecture.site_rows - 0.5
+                and -0.5 <= site[1] <= self.architecture.site_cols - 0.5
+            )
+            if site_ok:
+                slm_here = self._slm_site_to_qubit.get(site)
+                if (
+                    slm_here is not None
+                    and slm_here != qubit_a
+                    and slm_here != qubit_b
+                    and self.toggles.no_unintended_interaction
+                ):
+                    site_ok = False
+            if site_ok:
+                for loc, aod_flag in ((loc_a, a_aod), (loc_b, b_aod)):
+                    if not aod_flag and (
+                        abs(loc.row - site[0]) > _EPS
+                        or abs(loc.col - site[1]) > _EPS
+                    ):
+                        site_ok = False
+                        break
+            if site_ok:
+                journal_append = self._journal.append
+                engaged: list[int] = []
+                for loc, aod_flag, q in (
+                    (loc_a, a_aod, qubit_a),
+                    (loc_b, b_aod, qubit_b),
+                ):
+                    if not aod_flag:
+                        continue
+                    aod = loc.array
+                    for axis, m, idx, target in (
+                        (_ROW, self.row_maps[aod], loc.row, site[0]),
+                        (_COL, self.col_maps[aod], loc.col, site[1]),
+                    ):
+                        m[idx] = target
+                        self._line(axis, aod).insert(idx, target)
+                        self._num_line_entries += 1
+                        journal_append((axis, aod, idx, None))
+                    engaged.append(q)
+                self._occupancy[
+                    (round(site[0] / _EPS) * _EPS, round(site[1] / _EPS) * _EPS)
+                ] = engaged
+                self.scheduled[site] = (qubit_a, qubit_b)
+                journal_append((_SCHED, site))
+                busy.add(qubit_a)
+                busy.add(qubit_b)
+                journal_append((_BUSY, qubit_a))
+                journal_append((_BUSY, qubit_b))
+                return raw, False
+            # fall through: validate every candidate via the general loop
+        # Requirement template: everything about the pair that does not
+        # depend on the candidate site, with the line map dict and sorted
+        # mirror resolved up front.  (axis, aod) identity == line identity.
+        reqs: list[tuple[dict, _SortedLine, int, int, int, int]] = []
+        slm_homes: list[tuple[int, int]] = []
+        for loc in (loc_a, loc_b):
+            aod = loc.array
+            if aod == 0:
+                slm_homes.append((loc.row, loc.col))
+            else:
+                reqs.append(
+                    (self.row_maps[aod], self._line(_ROW, aod), loc.row, 0, _ROW, aod)
+                )
+                reqs.append(
+                    (self.col_maps[aod], self._line(_COL, aod), loc.col, 1, _COL, aod)
+                )
+        toggles = self.toggles
+        check_c1 = toggles.no_unintended_interaction
+        no_overlap = toggles.no_overlap
+        preserve_order = toggles.preserve_order
+        max_r = self.architecture.site_rows - 0.5
+        max_c = self.architecture.site_cols - 0.5
+        scheduled = self.scheduled
+        slm_lookup = self._slm_site_to_qubit
+        overlap_blocked = False
+
+        # Fast path: default toggles, weakly monotone committed lines, and
+        # no two requirements on the same physical line (after deduping the
+        # identical ones).  The plan is frozen for the whole probe loop, so
+        # each requirement's committed bound and its idx-space neighbours
+        # are computed once and *combined per axis*: committed bounds on an
+        # axis must all pin the same coordinate, and C2 windows intersect to
+        # (max of predecessors, min of successors).  The committed value
+        # nearest the target in value space is always one of those extremes
+        # whenever the C2 window admits it, so the C3 probe needs no
+        # per-candidate bisect.  Every candidate then costs a handful of
+        # float compares against the two axis summaries.
+        if no_overlap and preserve_order:
+            ok = True
+            seen_pairs: set[tuple[int, int]] = set()
+            line_ids: set[int] = set()
+            inf = float("inf")
+            bounds: list[float | None] = [None, None]  # per-axis pinned coord
+            pred_max = [-inf, -inf]
+            succ_min = [inf, inf]
+            #: (mates, committed other-axis map, is_row) per *new* line entry —
+            #: the atoms that entry could newly engage (C1 pre-check)
+            scan_specs: list[tuple[list, dict, bool]] = []
+            atom_index = self.index
+            for m, line, idx, coord, axis, aod in reqs:
+                if not line.monotone:
+                    ok = False
+                    break
+                key = (id(line), idx)
+                if key in seen_pairs:
+                    continue  # both atoms need the identical entry
+                if id(line) in line_ids:
+                    ok = False  # distinct entries on one line: generic path
+                    break
+                seen_pairs.add(key)
+                line_ids.add(id(line))
+                bound = m.get(idx)
+                if bound is not None:
+                    prev = bounds[coord]
+                    if prev is not None and prev != bound:
+                        # two committed lines pinned to different coords:
+                        # no site can satisfy both, with or without C3
+                        return None, False
+                    bounds[coord] = bound
+                    continue
+                p = bisect_left(line.idx, idx)
+                if p > 0 and line.tgt[p - 1] > pred_max[coord]:
+                    pred_max[coord] = line.tgt[p - 1]
+                if p < len(line.tgt) and line.tgt[p] < succ_min[coord]:
+                    succ_min[coord] = line.tgt[p]
+                if axis == _ROW:
+                    mates = atom_index.atoms_by_row.get((aod, idx))
+                    if mates:
+                        scan_specs.append((mates, self.col_maps[aod], True))
+                else:
+                    mates = atom_index.atoms_by_col.get((aod, idx))
+                    if mates:
+                        scan_specs.append((mates, self.row_maps[aod], False))
+            if ok:
+                rbound, cbound = bounds
+                rpred, cpred = pred_max
+                rsucc, csucc = succ_min
+                # Whole-gate shortcuts: if the combined C2 window on either
+                # axis is empty, or contradicts a pinned coordinate, no
+                # candidate can pass even with C3 relaxed — the entire scan
+                # (and the Fig. 24 statistic) is decided without probing.
+                two_eps = _EPS + _EPS
+                if (
+                    rpred > rsucc + two_eps
+                    or cpred > csucc + two_eps
+                    or (
+                        rbound is not None
+                        and (rpred > rbound + _EPS or rsucc < rbound - _EPS)
+                    )
+                    or (
+                        cbound is not None
+                        and (cpred > cbound + _EPS or csucc < cbound - _EPS)
+                    )
+                ):
+                    return None, False
+                if extremes is not None and (
+                    rpred > extremes.max_r + _EPS
+                    or rsucc < extremes.min_r - _EPS
+                    or cpred > extremes.max_c + _EPS
+                    or csucc < extremes.min_c - _EPS
+                    or (
+                        rbound is not None
+                        and (
+                            rbound < extremes.min_r - _EPS
+                            or rbound > extremes.max_r + _EPS
+                        )
+                    )
+                    or (
+                        cbound is not None
+                        and (
+                            cbound < extremes.min_c - _EPS
+                            or cbound > extremes.max_c + _EPS
+                        )
+                    )
+                ):
+                    # The feasibility window cannot touch any candidate:
+                    # every probe would fail C2 (or the pinned coordinate),
+                    # strict and relaxed alike.
+                    return None, False
+                for raw, site in candidates:
+                    if site in scheduled:
+                        continue
+                    r, c = site
+                    if not (-0.5 <= r <= max_r and -0.5 <= c <= max_c):
+                        continue
+                    slm_here = slm_lookup.get(site)
+                    if (
+                        slm_here is not None
+                        and check_c1
+                        and slm_here != qubit_a
+                        and slm_here != qubit_b
+                    ):
+                        continue
+                    feasible = True
+                    for hr, hc in slm_homes:
+                        if abs(hr - r) > _EPS or abs(hc - c) > _EPS:
+                            feasible = False
+                            break
+                    if not feasible:
+                        continue
+                    if rbound is not None and abs(rbound - r) >= _EPS:
+                        continue
+                    if cbound is not None and abs(cbound - c) >= _EPS:
+                        continue
+                    if (
+                        rpred > r + _EPS
+                        or rsucc < r - _EPS
+                        or cpred > c + _EPS
+                        or csucc < c - _EPS
+                    ):
+                        continue  # C2: fails relaxed too
+                    if (
+                        abs(r - rpred) < _EPS
+                        or abs(r - rsucc) < _EPS
+                        or abs(c - cpred) < _EPS
+                        or abs(c - csucc) < _EPS
+                    ):
+                        overlap_blocked = True  # C3 alone blocked this site
+                        continue
+                    if check_c1:
+                        # Exact C1 pre-check: committing would violate C1
+                        # iff a stray atom already sits on this site, or an
+                        # atom newly engaged by the new line entries lands
+                        # on the gate site, an occupied point, an SLM trap,
+                        # or the same point as another newly engaged atom.
+                        # Skipping the doomed commit+rollback here is what
+                        # the old code did via add()/is_legal()/restore().
+                        occupancy = self._occupancy
+                        eng_r = round(r / _EPS) * _EPS
+                        eng_c = round(c / _EPS) * _EPS
+                        eng_site = (eng_r, eng_c)
+                        viol = False
+                        pre = occupancy.get(eng_site)
+                        if pre:
+                            for x in pre:
+                                if x != qubit_a and x != qubit_b:
+                                    viol = True
+                                    break
+                        if not viol and scan_specs:
+                            landings: list[Site] = []
+                            for mates, other_map, is_row in scan_specs:
+                                for q, other_idx in mates:
+                                    if q == qubit_a or q == qubit_b:
+                                        continue
+                                    other_t = other_map.get(other_idx)
+                                    if other_t is None:
+                                        continue
+                                    other_t = round(other_t / _EPS) * _EPS
+                                    landing = (
+                                        (eng_r, other_t)
+                                        if is_row
+                                        else (other_t, eng_c)
+                                    )
+                                    if (
+                                        landing == eng_site
+                                        or occupancy.get(landing)
+                                        or landing in slm_lookup
+                                        or landing in landings
+                                    ):
+                                        viol = True
+                                        break
+                                    landings.append(landing)
+                                if viol:
+                                    break
+                        if viol:
+                            continue
+                    token = len(self._journal)
+                    for _m, _line, idx, coord, axis, aod in reqs:
+                        self._map_set(axis, aod, idx, site[coord])
+                    pair = (qubit_a, qubit_b)
+                    scheduled[site] = pair
+                    self._journal.append((_SCHED, site))
+                    self._refresh_site(site)
+                    for q in pair:
+                        if q not in busy:
+                            busy.add(q)
+                            self._journal.append((_BUSY, q))
+                    if not (check_c1 and self._bad_sites):
+                        return raw, overlap_blocked
+                    self.restore(token)
+                return None, overlap_blocked
+
+        staged: list[tuple[_SortedLine, int, float]] = []
+        for raw, site in candidates:
+            if site in scheduled:
+                continue
+            r, c = site
+            if not (-0.5 <= r <= max_r and -0.5 <= c <= max_c):
+                continue
+            slm_here = slm_lookup.get(site)
+            if (
+                slm_here is not None
+                and check_c1
+                and slm_here != qubit_a
+                and slm_here != qubit_b
+            ):
+                continue
+            feasible = True
+            for hr, hc in slm_homes:
+                if abs(hr - r) > _EPS or abs(hc - c) > _EPS:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            # Strict (toggles as-is) and C3-relaxed feasibility in one pass.
+            del staged[:]
+            strict_ok = True
+            relaxed_ok = True
+            for m, line, idx, coord, _axis, _aod in reqs:
+                target = site[coord]
+                bound = m.get(idx)
+                if bound is None:
+                    for line2, idx2, t2 in staged:
+                        if line2 is line and idx2 == idx:
+                            bound = t2
+                            break
+                if bound is not None:
+                    if abs(bound - target) >= _EPS:
+                        strict_ok = relaxed_ok = False
+                        break
+                    continue
+                if line.idx:
+                    if no_overlap and strict_ok:
+                        ts = line.tsorted
+                        j = bisect_left(ts, target)
+                        if (j < len(ts) and ts[j] - target < _EPS) or (
+                            j > 0 and target - ts[j - 1] < _EPS
+                        ):
+                            strict_ok = False
+                            if overlap_blocked:
+                                break  # relaxed outcome no longer matters
+                    if preserve_order:
+                        if line.monotone:
+                            p = bisect_left(line.idx, idx)
+                            if (
+                                p > 0 and line.tgt[p - 1] > target + _EPS
+                            ) or (
+                                p < len(line.idx)
+                                and line.tgt[p] < target - _EPS
+                            ):
+                                strict_ok = relaxed_ok = False
+                                break
+                        else:
+                            for other_idx, other_t in zip(line.idx, line.tgt):
+                                if other_idx < idx and other_t > target + _EPS:
+                                    strict_ok = relaxed_ok = False
+                                    break
+                                if other_idx > idx and other_t < target - _EPS:
+                                    strict_ok = relaxed_ok = False
+                                    break
+                            if not relaxed_ok:
+                                break
+                for line2, idx2, t2 in staged:
+                    if line2 is not line:
+                        continue
+                    if no_overlap and strict_ok and abs(t2 - target) < _EPS:
+                        strict_ok = False
+                        if overlap_blocked:
+                            break
+                    if preserve_order:
+                        if idx2 < idx and t2 > target + _EPS:
+                            strict_ok = relaxed_ok = False
+                            break
+                        if idx2 > idx and t2 < target - _EPS:
+                            strict_ok = relaxed_ok = False
+                            break
+                if not relaxed_ok or (not strict_ok and overlap_blocked):
+                    break
+                staged.append((line, idx, target))
+            if not strict_ok:
+                if relaxed_ok and no_overlap:
+                    overlap_blocked = True
+                continue
+            # Constraints 2/3 hold; commit and verify C1 incrementally.
+            token = len(self._journal)
+            for _m, _line, idx, coord, axis, aod in reqs:
+                self._map_set(axis, aod, idx, site[coord])
+            pair = (qubit_a, qubit_b)
+            scheduled[site] = pair
+            self._journal.append((_SCHED, site))
+            self._refresh_site(site)
+            for q in pair:
+                if q not in busy:
+                    busy.add(q)
+                    self._journal.append((_BUSY, q))
+            if not (check_c1 and self._bad_sites):
+                return raw, overlap_blocked
+            self.restore(token)
+        return None, overlap_blocked
 
     def add(self, qubit_a: int, qubit_b: int, site: Site) -> None:
         """Commit the pair at *site* (must have passed :meth:`can_add`)."""
         site = (_snap(site[0]), _snap(site[1]))
         for q in (qubit_a, qubit_b):
             for axis, aod, idx, target in self.line_requirements(q, site):
-                maps = self.row_maps if axis == "row" else self.col_maps
-                maps[aod][idx] = target
+                self._map_set(_ROW if axis == "row" else _COL, aod, idx, target)
         self.scheduled[site] = (qubit_a, qubit_b)
-        self.busy_qubits.add(qubit_a)
-        self.busy_qubits.add(qubit_b)
+        self._journal.append((_SCHED, site))
+        self._refresh_site(site)
+        for q in (qubit_a, qubit_b):
+            if q not in self.busy_qubits:
+                self.busy_qubits.add(q)
+                self._journal.append((_BUSY, q))
 
-    def snapshot(self) -> tuple:
-        """Cheap undo token for speculative adds."""
-        return (
-            {a: dict(m) for a, m in self.row_maps.items()},
-            {a: dict(m) for a, m in self.col_maps.items()},
-            dict(self.scheduled),
-            set(self.busy_qubits),
-        )
+    def snapshot(self) -> int:
+        """O(1) undo token for speculative adds: the journal length."""
+        return len(self._journal)
 
-    def restore(self, token: tuple) -> None:
-        rows, cols, sched, busy = token
-        self.row_maps = {a: dict(m) for a, m in rows.items()}
-        self.col_maps = {a: dict(m) for a, m in cols.items()}
-        self.scheduled = dict(sched)
-        self.busy_qubits = set(busy)
+    def restore(self, token: int) -> None:
+        """Pop the journal back to *token*, undoing every later mutation."""
+        journal = self._journal
+        while len(journal) > token:
+            rec = journal.pop()
+            tag = rec[0]
+            if tag == _SCHED:
+                site = rec[1]
+                del self.scheduled[site]
+                self._refresh_site(site)
+            elif tag == _BUSY:
+                self.busy_qubits.discard(rec[1])
+            else:  # _ROW / _COL map entry
+                _, aod, idx, old = rec
+                self._map_unset(tag, aod, idx, old)
 
     # -- constraint 1 (global occupancy) ----------------------------------------
 
     def engaged_atoms(self) -> list[tuple[int, Site]]:
-        """All engaged AOD atoms and their landing coordinates."""
+        """All engaged AOD atoms and their landing coordinates (full scan)."""
         out: list[tuple[int, Site]] = []
         for aod, atoms in self._aod_atoms.items():
             rmap = self.row_maps[aod]
@@ -213,7 +973,11 @@ class StagePlan:
         return out
 
     def violates_c1(self) -> bool:
-        """True if any interaction point hosts a non-scheduled pair or >2 atoms."""
+        """True if any interaction point hosts a non-scheduled pair or >2 atoms.
+
+        Authoritative full scan (sees even direct map edits); the router's
+        hot path uses the incremental :meth:`is_legal` instead.
+        """
         occupancy: dict[Site, list[int]] = {}
         for q, site in self.engaged_atoms():
             occupancy.setdefault(site, []).append(q)
@@ -232,7 +996,10 @@ class StagePlan:
         return False
 
     def is_legal(self) -> bool:
-        """Full legality under the active toggles (C2/C3 hold by construction)."""
-        if self.toggles.no_unintended_interaction and self.violates_c1():
+        """Full legality under the active toggles (C2/C3 hold by construction).
+
+        O(1): reads the incrementally maintained violating-site set.
+        """
+        if self.toggles.no_unintended_interaction and self._bad_sites:
             return False
         return True

@@ -19,7 +19,7 @@ from ..hardware.parameters import HardwareParams
 from ..hardware.raa import AtomLocation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RamanPulse:
     """Individually-addressed single-qubit gate on *qubit* (front laser)."""
 
@@ -28,7 +28,7 @@ class RamanPulse:
     params: tuple[float, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Move:
     """Move of one AOD row or column.
 
@@ -47,7 +47,7 @@ class Move:
         return abs(self.end - self.start)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RydbergGate:
     """One two-qubit CZ executed by the global Rydberg pulse.
 
@@ -64,7 +64,7 @@ class RydbergGate:
     params: tuple[float, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoolingEvent:
     """Swap an overheated AOD array with a pre-cooled one (Sec. IV).
 
@@ -79,7 +79,7 @@ class CoolingEvent:
         return 2 * self.num_atoms
 
 
-@dataclass
+@dataclass(slots=True)
 class Stage:
     """One router iteration: 1Q flush + moves + global Rydberg pulse."""
 

@@ -57,6 +57,25 @@ class MovementTracker:
             if loc.is_aod:
                 self._atoms_by_row.setdefault((loc.array, loc.row), []).append(q)
                 self._atoms_by_col.setdefault((loc.array, loc.col), []).append(q)
+        self._atoms_by_array: dict[int, list[int]] = {}
+        self._array_of: dict[int, int] = {}
+        for q, loc in self.locations.items():
+            self._atoms_by_array.setdefault(loc.array, []).append(q)
+            self._array_of[q] = loc.array
+        #: running max n_vib per array (reset on cooling), so maybe_cool
+        #: need not rescan every atom each stage
+        self._max_n_vib: dict[int, float] = {
+            a: 0.0 for a in self._atoms_by_array
+        }
+        for q, n in self.n_vib.items():
+            a = self._array_of[q]
+            if n > self._max_n_vib[a]:
+                self._max_n_vib[a] = n
+        #: heating-formula denominator, factored out of the per-move loop;
+        #: identical float product to HardwareParams.delta_n_vib's
+        self._dnv_denom = (
+            self.params.xzpf * (self.params.omega0**2) * (self.params.t_per_move**2)
+        )
 
     # -- stage application ------------------------------------------------------
 
@@ -74,39 +93,58 @@ class MovementTracker:
         """
         pitch = self.params.atom_distance
         moves: list[Move] = []
+        moves_append = moves.append
         dx: dict[int, float] = {}
         dy: dict[int, float] = {}
+        atoms_by_row = self._atoms_by_row
+        atoms_by_col = self._atoms_by_col
 
         for aod, rmap in row_maps.items():
+            if not rmap:
+                continue
             off = parking_offset(aod)
+            pos = self.row_pos[aod]
             for r, target in rmap.items():
-                start = self.row_pos[aod][r]
+                start = pos[r]
                 travel = abs(start - target) + off
-                moves.append(Move(aod, "row", r, start, float(target)))
-                self.row_pos[aod][r] = target + off
-                for q in self._atoms_by_row.get((aod, r), []):
+                moves_append(Move(aod, "row", r, start, float(target)))
+                pos[r] = target + off
+                for q in atoms_by_row.get((aod, r), ()):
                     dy[q] = travel
         for aod, cmap in col_maps.items():
+            if not cmap:
+                continue
             off = parking_offset(aod)
+            pos = self.col_pos[aod]
             for c, target in cmap.items():
-                start = self.col_pos[aod][c]
+                start = pos[c]
                 travel = abs(start - target) + off
-                moves.append(Move(aod, "col", c, start, float(target)))
-                self.col_pos[aod][c] = target + off
-                for q in self._atoms_by_col.get((aod, c), []):
+                moves_append(Move(aod, "col", c, start, float(target)))
+                pos[c] = target + off
+                for q in atoms_by_col.get((aod, c), ()):
                     dx[q] = travel
 
         distances: dict[int, float] = {}
+        n_vib = self.n_vib
+        dnv_denom = self._dnv_denom
+        loss_append = self.loss_samples.append
+        array_of = self._array_of
+        max_n_vib = self._max_n_vib
         for q in set(dx) | set(dy):
             d_sites = (dx.get(q, 0.0) ** 2 + dy.get(q, 0.0) ** 2) ** 0.5
             if d_sites <= 0.0:
                 continue
             d_m = d_sites * pitch
             distances[q] = d_m
-            self.n_vib[q] += self.params.delta_n_vib(d_m)
+            # delta_n_vib(d_m) inlined (same expression order bit-for-bit)
+            val = 6.0 * d_m / dnv_denom
+            n = n_vib[q] + 0.5 * val * val
+            n_vib[q] = n
+            if n > max_n_vib[array_of[q]]:
+                max_n_vib[array_of[q]] = n
             # The atom is hottest *during* the move; the loss model samples
             # the post-move vibrational state.
-            self.loss_samples.append(self.n_vib[q])
+            loss_append(n)
 
         return moves, distances
 
@@ -115,13 +153,14 @@ class MovementTracker:
         events: list[CoolingEvent] = []
         threshold = float(self.cooling_threshold)
         for aod in range(1, self.architecture.num_arrays):
-            atoms = [q for q, loc in self.locations.items() if loc.array == aod]
+            atoms = self._atoms_by_array.get(aod)
             if not atoms:
                 continue
-            if max(self.n_vib[q] for q in atoms) > threshold:
+            if self._max_n_vib[aod] > threshold:
                 events.append(CoolingEvent(aod=aod, num_atoms=len(atoms)))
                 for q in atoms:
                     self.n_vib[q] = 0.0
+                self._max_n_vib[aod] = 0.0
                 self.num_cooling_events += 1
         return events
 

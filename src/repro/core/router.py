@@ -30,7 +30,14 @@ from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import DAGCircuit
 from ..circuits.gates import Gate
 from ..hardware.raa import AtomLocation, RAAArchitecture
-from .constraints import ConstraintToggles, Site, StagePlan
+from .constraints import (
+    CandidateSet,
+    ConstraintToggles,
+    LocationIndex,
+    Site,
+    StagePlan,
+    _snap,
+)
 from .instructions import RAAProgram, RamanPulse, RydbergGate, Stage
 from .movement import MovementTracker
 
@@ -59,6 +66,26 @@ class RouterConfig:
     seed: int = 11
 
 
+#: ring offsets of the half-lattice diamond, shared across all calls
+_DIAMOND_OFFSETS: dict[float, tuple[tuple[float, float], ...]] = {}
+
+
+def _diamond_offsets(radius: float) -> tuple[tuple[float, float], ...]:
+    offsets = _DIAMOND_OFFSETS.get(radius)
+    if offsets is None:
+        steps = int(radius * 2)
+        if steps == 0:
+            offsets = ((0.0, 0.0),)
+        else:
+            offsets = tuple(
+                (-radius + i, dc_sign * (radius - abs(-radius + i)))
+                for i in range(steps + 1)
+                for dc_sign in (-1.0, 1.0)
+            )
+        _DIAMOND_OFFSETS[radius] = offsets
+    return offsets
+
+
 def candidate_sites(
     qubit_a: int,
     qubit_b: int,
@@ -80,36 +107,34 @@ def candidate_sites(
     anchor_c = (la.col + lb.col) / 2.0
     points: list[Site] = []
     seen: set[Site] = set()
-
-    def push(r: float, c: float) -> None:
-        if not (-0.5 <= r <= max_r and -0.5 <= c <= max_c):
-            return
-        site = (r, c)
-        if site in seen or site in slm_sites:
-            return
-        seen.add(site)
-        points.append(site)
+    seen_add = seen.add
+    points_append = points.append
 
     # Expanding half-lattice diamond around the anchor.
     base_r = round(anchor_r * 2) / 2.0
     base_c = round(anchor_c * 2) / 2.0
     radius = 0.0
-    while len(points) < limit and radius <= max(max_r, max_c) + 1.0:
-        steps = int(radius * 2)
-        if steps == 0:
-            push(base_r + 0.5, base_c + 0.5)
-            push(base_r, base_c)
-        else:
-            for i in range(steps + 1):
-                dr = -radius + i
-                for dc in (-(radius - abs(dr)), radius - abs(dr)):
-                    push(base_r + 0.5 + dr, base_c + 0.5 + dc)
-                    push(base_r + dr, base_c + dc)
+    max_radius = max(max_r, max_c) + 1.0
+    while len(points) < limit and radius <= max_radius:
+        offsets = _diamond_offsets(radius)
+        for dr, dc in offsets:
+            for r, c in (
+                (base_r + 0.5 + dr, base_c + 0.5 + dc),
+                (base_r + dr, base_c + dc),
+            ):
+                if not (-0.5 <= r <= max_r and -0.5 <= c <= max_c):
+                    continue
+                site = (r, c)
+                if site in seen or site in slm_sites:
+                    continue
+                seen_add(site)
+                points_append(site)
         radius += 0.5
-    points.sort(
-        key=lambda p: ((p[0] - anchor_r) ** 2 + (p[1] - anchor_c) ** 2, p)
-    )
-    return points[:limit]
+    keyed = [
+        ((p[0] - anchor_r) ** 2 + (p[1] - anchor_c) ** 2, p) for p in points
+    ]
+    keyed.sort()
+    return [p for _d, p in keyed[:limit]]
 
 
 class HighParallelismRouter:
@@ -129,61 +154,109 @@ class HighParallelismRouter:
             for loc in locations.values()
             if loc.is_slm
         }
+        # Rebuilt at every route() call (= one locations epoch): candidate
+        # interaction sites per qubit pair, reused across stages and trials.
+        self._site_cache: dict[tuple, CandidateSet] = {}
+        self._plan_index: LocationIndex | None = None
+        self._scratch_plan: StagePlan | None = None
+
+    def _candidate_sites(self, qubit_a: int, qubit_b: int) -> CandidateSet:
+        """Cached candidate sites for one pair (locations are fixed for the
+        duration of a route() call).
+
+        The raw coordinate is what ends up on the emitted
+        :class:`RydbergGate`; the snapped one is what the constraint
+        engine compares against, pre-computed once instead of per probe,
+        along with the coordinate extremes the engine's whole-scan
+        shortcuts test against.
+        """
+        key = (qubit_a, qubit_b)
+        sites = self._site_cache.get(key)
+        if sites is None:
+            la = self.locations[qubit_a]
+            lb = self.locations[qubit_b]
+            anchor_key = None
+            if la.is_aod and lb.is_aod:
+                # AOD-AOD candidates depend only on the anchor midpoint, so
+                # pairs sharing it share one (read-only) candidate set.
+                anchor_key = ("anchor", la.row + lb.row, la.col + lb.col)
+                sites = self._site_cache.get(anchor_key)
+                if sites is not None:
+                    self._site_cache[key] = sites
+                    return sites
+            pairs = [
+                (site, (_snap(site[0]), _snap(site[1])))
+                for site in candidate_sites(
+                    qubit_a,
+                    qubit_b,
+                    self.locations,
+                    self.architecture,
+                    self._slm_sites,
+                    self.config.max_candidate_sites,
+                )
+            ]
+            if pairs:
+                rs = [s[0] for _raw, s in pairs]
+                cs = [s[1] for _raw, s in pairs]
+                sites = CandidateSet(
+                    pairs, min(rs), max(rs), min(cs), max(cs)
+                )
+            else:
+                sites = CandidateSet(pairs, 0.0, 0.0, 0.0, 0.0)
+            self._site_cache[key] = sites
+            if anchor_key is not None:
+                self._site_cache[anchor_key] = sites
+        return sites
 
     def _select_gates(
         self, ordering: list[tuple[int, Gate]]
     ) -> tuple[StagePlan, list[tuple[int, Gate, Site]], int]:
         """Greedily build one stage's legal parallel gate set from *ordering*."""
-        plan = StagePlan(
-            architecture=self.architecture,
-            locations=self.locations,
-            toggles=self.config.toggles,
-        )
+        if self.config.ordering_trials <= 1:
+            # Single-trial stages reuse one scratch plan via the wholesale
+            # reset() — cheaper than rebuilding every per-stage structure.
+            plan = self._scratch_plan
+            if plan is None:
+                plan = self._scratch_plan = StagePlan(
+                    architecture=self.architecture,
+                    locations=self.locations,
+                    toggles=self.config.toggles,
+                    index=self._plan_index,
+                )
+            else:
+                plan.reset()
+        else:
+            plan = StagePlan(
+                architecture=self.architecture,
+                locations=self.locations,
+                toggles=self.config.toggles,
+                index=self._plan_index,
+            )
         chosen: list[tuple[int, Gate, Site]] = []
         overlap_rejections = 0
+        serial = self.config.serial
+        place_pair = plan.place_pair
+        site_cache = self._site_cache
         for idx, g in ordering:
-            if self.config.serial and chosen:
+            if serial and chosen:
                 break
             a, b = g.qubits
-            placed = False
-            overlap_blocked = False
-            for site in candidate_sites(
-                a,
-                b,
-                self.locations,
-                self.architecture,
-                self._slm_sites,
-                self.config.max_candidate_sites,
-            ):
-                if not plan.can_add(a, b, site):
-                    if self.config.toggles.no_overlap:
-                        relaxed = ConstraintToggles(
-                            no_unintended_interaction=(
-                                self.config.toggles.no_unintended_interaction
-                            ),
-                            preserve_order=self.config.toggles.preserve_order,
-                            no_overlap=False,
-                        )
-                        saved = plan.toggles
-                        plan.toggles = relaxed
-                        if plan.can_add(a, b, site):
-                            overlap_blocked = True
-                        plan.toggles = saved
-                    continue
-                token = plan.snapshot()
-                plan.add(a, b, site)
-                if plan.is_legal():
-                    chosen.append((idx, g, site))
-                    placed = True
-                    break
-                plan.restore(token)
-            if not placed and overlap_blocked:
+            candidates = site_cache.get((a, b))
+            if candidates is None:
+                candidates = self._candidate_sites(a, b)
+            site, overlap_blocked = place_pair(a, b, candidates)
+            if site is not None:
+                chosen.append((idx, g, site))
+            elif overlap_blocked:
                 overlap_rejections += 1
         return plan, chosen, overlap_rejections
 
     def route(self, circuit: QuantumCircuit) -> RAAProgram:
         """Route *circuit* (CZ/1Q basis, all 2Q gates inter-array)."""
         t0 = time.perf_counter()
+        self._site_cache = {}
+        self._plan_index = LocationIndex(self.locations)
+        self._scratch_plan: StagePlan | None = None
         dag = DAGCircuit(circuit)
         tracker = MovementTracker(
             architecture=self.architecture,
@@ -193,22 +266,28 @@ class HighParallelismRouter:
         )
         stages: list[Stage] = []
         overlap_rejections = 0
+        gates = dag.gates
+        is_2q = dag.two_qubit
+        is_1q = dag.one_qubit
+        trials = max(1, self.config.ordering_trials)
 
         while not dag.done:
             stage = Stage()
             # Step 1: flush frontier 1Q gates (Fig. 8 "Execute 1Q Gates").
+            # Gates that are neither 1Q nor 2Q stay in the front and hit the
+            # RoutingError below — the router has no lowering for them.
+            pulses = stage.one_qubit_gates
             flushed = True
             while flushed:
                 flushed = False
-                for idx, g in dag.front_gates():
-                    if g.is_one_qubit:
-                        stage.one_qubit_gates.append(
-                            RamanPulse(g.qubits[0], g.name, g.params)
-                        )
+                for idx in dag.front_indices():
+                    if is_1q[idx]:
+                        g = gates[idx]
+                        pulses.append(RamanPulse(g.qubits[0], g.name, g.params))
                         dag.execute(idx)
                         flushed = True
 
-            front_2q = [(idx, g) for idx, g in dag.front_gates() if g.is_two_qubit]
+            front_2q = [(idx, gates[idx]) for idx in dag.front_indices() if is_2q[idx]]
             if not front_2q:
                 if stage.one_qubit_gates:
                     stages.append(stage)
@@ -217,8 +296,11 @@ class HighParallelismRouter:
                 raise RoutingError("front layer stuck without 2Q gates")
 
             best: tuple[StagePlan, list[tuple[int, Gate, Site]], int] | None = None
-            trials = max(1, self.config.ordering_trials)
-            rng = np.random.default_rng(self.config.seed + len(stages))
+            rng = (
+                np.random.default_rng(self.config.seed + len(stages))
+                if trials > 1
+                else None
+            )
             for trial in range(trials):
                 ordering = list(front_2q)
                 if trial > 0:

@@ -54,21 +54,24 @@ class Statevector:
         self.apply_matrix(matrix, gate.qubits)
 
     def apply_matrix(self, matrix: np.ndarray, qubits: tuple[int, ...]) -> None:
-        """Apply *matrix* to the given qubits in place."""
+        """Apply *matrix* to the given qubits in place.
+
+        Contracts the gate tensor against the state with ``np.tensordot``
+        and moves the produced axes back with ``np.moveaxis`` — one
+        materialised copy per gate instead of the two explicit
+        transpose-reshape round trips of the naive formulation.
+        """
         n = self.num_qubits
         k = len(qubits)
         if matrix.shape != (2**k, 2**k):
             raise SimulationError("matrix arity mismatch")
         tensor = self.data.reshape([2] * n)
-        # Move the target axes to the front, contract, move back.
-        axes = list(qubits)
-        rest = [a for a in range(n) if a not in axes]
-        perm = axes + rest
-        tensor = np.transpose(tensor, perm).reshape(2**k, -1)
-        tensor = matrix @ tensor
-        tensor = tensor.reshape([2] * n)
-        inverse = np.argsort(perm)
-        self.data = np.transpose(tensor, inverse).reshape(-1)
+        gate = matrix.reshape([2] * (2 * k))
+        # Output axes of the contraction come first, in gate-qubit order.
+        tensor = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), list(qubits)))
+        self.data = np.ascontiguousarray(
+            np.moveaxis(tensor, range(k), qubits)
+        ).reshape(-1)
 
     def run(self, circuit: QuantumCircuit) -> "Statevector":
         """Apply every gate of *circuit* in order; returns self."""
@@ -90,11 +93,12 @@ class Statevector:
         probs = self.probabilities()
         probs = probs / probs.sum()
         outcomes = rng.choice(len(probs), size=shots, p=probs)
-        counts: dict[str, int] = {}
-        for o in outcomes:
-            key = format(int(o), f"0{self.num_qubits}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        values, tallies = np.unique(outcomes, return_counts=True)
+        width = self.num_qubits
+        return {
+            format(int(v), f"0{width}b"): int(c)
+            for v, c in zip(values, tallies)
+        }
 
     def fidelity_with(self, other: "Statevector") -> float:
         """``|<self|other>|^2``."""

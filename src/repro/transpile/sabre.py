@@ -111,7 +111,7 @@ def sabre_route(
         changed = True
         while changed:
             changed = False
-            for idx in sorted(dag.front_layer):
+            for idx in dag.front_indices():
                 g = dag.gates[idx]
                 if g.is_two_qubit:
                     pa, pb = layout.physical(g.qubits[0]), layout.physical(g.qubits[1])
@@ -146,28 +146,34 @@ def sabre_route(
             for nb in coupling.neighbors(p):
                 candidates.add((min(p, nb), max(p, nb)))
 
-        def score(edge: tuple[int, int]) -> float:
+        # Score every candidate edge exactly once.  Instead of copying the
+        # layout per edge we apply the swap in place, measure, and swap
+        # back (swap_physical is an involution) — same numbers, no O(n)
+        # dict rebuild per candidate.
+        front_pairs = [dag.gates[i].qubits for i in front_2q]
+        ext_pairs = [dag.gates[i].qubits for i in ext]
+        physical = layout.physical
+        scores: dict[tuple[int, int], float] = {}
+        for edge in candidates:
             p1, p2 = edge
-            trial = layout.copy()
-            trial.swap_physical(p1, p2)
+            layout.swap_physical(p1, p2)
             front_cost = 0.0
-            for i in front_2q:
-                a, b = dag.gates[i].qubits
-                front_cost += dist[trial.physical(a), trial.physical(b)]
-            front_cost /= len(front_2q)
+            for a, b in front_pairs:
+                front_cost += dist[physical(a), physical(b)]
+            front_cost /= len(front_pairs)
             ext_cost = 0.0
-            if ext:
-                for i in ext:
-                    a, b = dag.gates[i].qubits
-                    ext_cost += dist[trial.physical(a), trial.physical(b)]
-                ext_cost /= len(ext)
-            return max(decay[p1], decay[p2]) * (
+            if ext_pairs:
+                for a, b in ext_pairs:
+                    ext_cost += dist[physical(a), physical(b)]
+                ext_cost /= len(ext_pairs)
+            layout.swap_physical(p1, p2)
+            scores[edge] = max(decay[p1], decay[p2]) * (
                 front_cost + EXTENDED_SET_WEIGHT * ext_cost
             )
 
-        scored = sorted(candidates, key=lambda e: (score(e), e))
-        best_score = score(scored[0])
-        ties = [e for e in scored if score(e) <= best_score + 1e-12]
+        scored = sorted(candidates, key=lambda e: (scores[e], e))
+        best_score = scores[scored[0]]
+        ties = [e for e in scored if scores[e] <= best_score + 1e-12]
         p1, p2 = ties[int(rng.integers(0, len(ties)))]
 
         out.append(Gate("swap", (p1, p2)))

@@ -98,3 +98,72 @@ class TestLayers:
         dag = DAGCircuit(QuantumCircuit(4).cx(0, 1).cx(2, 3))
         assert dag.successors[0] == []
         assert dag.successors[1] == []
+
+
+class TestDescendantsBitsets:
+    """Micro-tests for the bitset reachability rewrite on known DAGs."""
+
+    def test_known_diamond_dag(self):
+        # wire DAG: g0=h(0); g1=cx(0,1); g2=cx(0,2); g3=cx(1,2)
+        # edges: g0->g1 (wire 0), g1->g2 (wire 0), g1->g3 (wire 1),
+        # g2->g3 (wire 2): distinct descendant sets, not path counts.
+        c = QuantumCircuit(3).h(0).cx(0, 1).cx(0, 2).cx(1, 2)
+        dag = DAGCircuit(c)
+        assert dag.descendants_count() == [3, 2, 1, 0]
+
+    def test_parallel_chains_do_not_leak(self):
+        # two independent 2-gate chains: descendants stay within each chain
+        c = QuantumCircuit(4).h(0).cx(0, 1).h(2).cx(2, 3)
+        dag = DAGCircuit(c)
+        assert dag.descendants_count() == [1, 0, 1, 0]
+
+    def test_shared_descendant_counted_once(self):
+        # g0 and g1 both reach g2 through different wires; g0 also reaches
+        # g3 via g2.  Reachability is a set union, not a path count.
+        c = QuantumCircuit(3).h(0).h(1).cx(0, 1).cx(1, 2)
+        dag = DAGCircuit(c)
+        assert dag.descendants_count() == [2, 2, 1, 0]
+
+    def test_matches_set_reference_on_random_dag(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        c = QuantumCircuit(6)
+        for _ in range(40):
+            a, b = rng.choice(6, size=2, replace=False)
+            c.cx(int(a), int(b))
+        dag = DAGCircuit(c)
+        # reference: straightforward set-union reachability
+        n = len(dag.gates)
+        reach = [set() for _ in range(n)]
+        order = [i for layer in dag.topological_layers() for i in layer]
+        for i in reversed(order):
+            acc = set()
+            for s in dag.successors[i]:
+                acc.add(s)
+                acc |= reach[s]
+            reach[i] = acc
+        assert dag.descendants_count() == [len(r) for r in reach]
+
+
+class TestSortedFront:
+    def test_front_indices_is_sorted_copy(self):
+        dag = DAGCircuit(QuantumCircuit(4).h(3).h(1).h(2).h(0))
+        idxs = dag.front_indices()
+        assert idxs == sorted(dag.front_layer)
+        idxs.append(99)  # mutating the copy must not affect the DAG
+        assert 99 not in dag.front_layer
+        assert dag.front_indices() == sorted(dag.front_layer)
+
+    def test_front_stays_sorted_through_execution(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        c = QuantumCircuit(5)
+        for _ in range(25):
+            a, b = rng.choice(5, size=2, replace=False)
+            c.cx(int(a), int(b))
+        dag = DAGCircuit(c)
+        while not dag.done:
+            assert dag.front_indices() == sorted(dag.front_layer)
+            dag.execute(dag.front_indices()[-1])  # pop from the middle/end

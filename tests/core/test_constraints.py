@@ -283,3 +283,162 @@ class TestAodAodGates:
         }
         plan = make_plan(locs)
         assert plan.can_add(0, 1, (2.0, 2.0))
+
+
+class TestJournaledRestore:
+    """Regression tests pinning snapshot/restore semantics after the move
+    from full-dict deep copies to the journaled undo log (the old restore
+    also performed a redundant second deep copy of its token)."""
+
+    def locs(self):
+        return {
+            0: AtomLocation(0, 1, 1),
+            1: AtomLocation(1, 0, 0),
+            2: AtomLocation(0, 2, 2),
+            3: AtomLocation(1, 1, 1),
+            4: AtomLocation(2, 0, 0),
+            5: AtomLocation(2, 1, 1),
+        }
+
+    def snapshot_state(self, plan):
+        return (
+            {a: dict(m) for a, m in plan.row_maps.items()},
+            {a: dict(m) for a, m in plan.col_maps.items()},
+            dict(plan.scheduled),
+            set(plan.busy_qubits),
+            sorted(plan.engaged_atoms()),
+        )
+
+    def test_restore_exact_state(self):
+        plan = make_plan(self.locs())
+        plan.add(0, 1, (1.0, 1.0))
+        before = self.snapshot_state(plan)
+        token = plan.snapshot()
+        plan.add(2, 3, (2.0, 2.0))
+        plan.add(4, 5, (0.5, 0.5))
+        plan.restore(token)
+        assert self.snapshot_state(plan) == before
+        assert plan.is_legal()
+
+    def test_nested_tokens_unwind_in_order(self):
+        plan = make_plan(self.locs())
+        t0 = plan.snapshot()
+        plan.add(0, 1, (1.0, 1.0))
+        t1 = plan.snapshot()
+        plan.add(2, 3, (2.0, 2.0))
+        plan.restore(t1)
+        assert set(plan.busy_qubits) == {0, 1}
+        plan.restore(t0)
+        assert not plan.busy_qubits
+        assert not plan.scheduled
+        assert all(not m for m in plan.row_maps.values())
+
+    def test_restore_preserves_shared_line_entry(self):
+        """A second gate reusing an already-set line must not lose the
+        entry when the second gate is undone."""
+        locs = {
+            0: AtomLocation(0, 1, 0),
+            1: AtomLocation(1, 0, 0),
+            2: AtomLocation(0, 1, 2),
+            3: AtomLocation(1, 0, 2),  # same AOD row as qubit 1
+        }
+        plan = make_plan(locs)
+        plan.add(0, 1, (1.0, 0.0))  # row 0 -> 1
+        token = plan.snapshot()
+        assert plan.can_add(2, 3, (1.0, 2.0))  # reuses row 0 -> 1
+        plan.add(2, 3, (1.0, 2.0))
+        plan.restore(token)
+        assert plan.row_maps[1] == {0: 1.0}  # survives the undo
+        assert plan.scheduled == {(1.0, 0.0): (0, 1)}
+
+    def test_snapshot_is_constant_size(self):
+        plan = make_plan(self.locs())
+        t0 = plan.snapshot()
+        plan.add(0, 1, (1.0, 1.0))
+        t1 = plan.snapshot()
+        assert isinstance(t0, int) and isinstance(t1, int)
+        assert t1 > t0
+
+    def test_is_legal_tracks_violates_c1_through_undo(self):
+        """The incremental C1 view must agree with the authoritative full
+        scan across add/restore sequences (Fig. 9 scenario)."""
+        locs = {
+            0: AtomLocation(0, 0, 0),
+            1: AtomLocation(0, 1, 1),
+            2: AtomLocation(0, 1, 0),
+            3: AtomLocation(1, 0, 0),
+            4: AtomLocation(1, 1, 1),
+            5: AtomLocation(1, 1, 0),
+        }
+        plan = make_plan(locs)
+        plan.add(3, 0, (0.0, 0.0))
+        assert plan.is_legal() and not plan.violates_c1()
+        token = plan.snapshot()
+        plan.add(4, 1, (1.0, 1.0))  # drags q5 onto q2's trap
+        assert plan.violates_c1()
+        assert not plan.is_legal()
+        plan.restore(token)
+        assert not plan.violates_c1()
+        assert plan.is_legal()
+
+
+class TestPlacePairEquivalence:
+    """place_pair must behave exactly like the reference probe loop
+    (can_add + add + is_legal + restore per candidate)."""
+
+    def reference_place(self, plan, a, b, sites):
+        overlap_blocked = False
+        relaxed = ConstraintToggles(
+            no_unintended_interaction=plan.toggles.no_unintended_interaction,
+            preserve_order=plan.toggles.preserve_order,
+            no_overlap=False,
+        )
+        for site in sites:
+            if not plan.can_add(a, b, site):
+                if plan.toggles.no_overlap:
+                    saved = plan.toggles
+                    plan.toggles = relaxed
+                    if plan.can_add(a, b, site):
+                        overlap_blocked = True
+                    plan.toggles = saved
+                continue
+            token = plan.snapshot()
+            plan.add(a, b, site)
+            if plan.is_legal():
+                return site, overlap_blocked
+            plan.restore(token)
+        return None, overlap_blocked
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_reference_on_random_programs(self, seed):
+        import numpy as np
+
+        from repro.core.constraints import _snap
+        from repro.core.router import candidate_sites
+
+        rng = np.random.default_rng(seed)
+        arch = arch_2aod(side=5)
+        locations = {}
+        q = 0
+        for arr in range(3):
+            for r in range(3):
+                for c in range(3):
+                    locations[q] = AtomLocation(arr, r, c)
+                    q += 1
+        slm_sites = {
+            (float(l.row), float(l.col))
+            for l in locations.values()
+            if l.is_slm
+        }
+        plan_fast = make_plan(locations, side=5)
+        plan_ref = make_plan(locations, side=5)
+        for _ in range(25):
+            a, b = rng.choice(q, size=2, replace=False)
+            a, b = int(a), int(b)
+            if locations[a].array == locations[b].array:
+                continue
+            sites = candidate_sites(a, b, locations, arch, slm_sites, 12)
+            pairs = [(s, (_snap(s[0]), _snap(s[1]))) for s in sites]
+            got = plan_fast.place_pair(a, b, pairs)
+            want = self.reference_place(plan_ref, a, b, sites)
+            assert got == want, (a, b)

@@ -41,6 +41,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
     print(f"fidelity         : {fidelity.total:.4f}")
     print(f"execution time   : {result.execution_time() * 1e3:.2f} ms")
     print(f"compile time     : {result.compile_seconds * 1e3:.1f} ms")
+    for name, seconds in result.pass_seconds.items():
+        print(f"  pass {name:<12s} : {seconds * 1e3:.1f} ms")
     if args.output:
         Path(args.output).write_text(dumps(result.program, indent=2))
         print(f"stage program written to {args.output}")
@@ -49,15 +51,20 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     from .analysis import format_table
-    from .experiments import ARCHITECTURES, compile_on, raa_for
+    from .baselines.registry import CompileOptions
+    from .experiments import ARCHITECTURES, CompileJob, compile_many, raa_for
 
     circuit = _load_circuit(args.qasm)
-    rows = []
-    for arch in ARCHITECTURES:
-        raa = raa_for(circuit) if arch == "Atomique" else None
-        m = compile_on(arch, circuit, raa=raa)
-        rows.append(m.row())
-    print(format_table(rows))
+    jobs = [
+        CompileJob(
+            arch,
+            circuit,
+            CompileOptions(raa=raa_for(circuit) if arch == "Atomique" else None),
+        )
+        for arch in ARCHITECTURES
+    ]
+    metrics = compile_many(jobs, workers=args.jobs)
+    print(format_table([m.row() for m in metrics]))
     return 0
 
 
@@ -94,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="compile on all five architectures"
     )
     p_compare.add_argument("qasm", help="OpenQASM 2.0 input file")
+    p_compare.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="compile the architectures on N worker processes",
+    )
     p_compare.set_defaults(func=cmd_compare)
 
     p_bench = sub.add_parser(

@@ -5,6 +5,13 @@ from .atomique_adapter import compile_on_atomique, metrics_from_result
 from .faa_compiler import compile_on_faa
 from .geyser import atomique_pulse_count, block_circuit, geyser_pulse_count
 from .qpilot import compile_on_qpilot, compile_qsim_on_qpilot, greedy_edge_coloring, mediated_qaoa_circuit
+from .registry import (
+    BackendSpec,
+    CompileOptions,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .solver import (
     SolverTimeout,
     exact_bipartition,
@@ -16,9 +23,12 @@ from .superconducting import compile_on_superconducting
 from .transfer import compile_with_transfers, segment_circuit
 
 __all__ = [
+    "BackendSpec",
+    "CompileOptions",
     "SolverTimeout",
     "ablation_configs",
     "atomique_pulse_count",
+    "available_backends",
     "block_circuit",
     "compile_on_atomique",
     "compile_on_faa",
@@ -29,8 +39,10 @@ __all__ = [
     "compile_qsim_on_qpilot",
     "greedy_edge_coloring",
     "mediated_qaoa_circuit",
+    "get_backend",
     "geyser_pulse_count",
     "metrics_from_result",
+    "register_backend",
     "run_ablation",
     "segment_circuit",
     "solver_architecture",

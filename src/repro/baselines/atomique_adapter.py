@@ -15,6 +15,10 @@ def metrics_from_result(
     """Score a finished :class:`CompileResult`."""
     params = result.architecture.params
     fidelity = estimate_raa_fidelity(result.program, params)
+    extras = {
+        f"pass_seconds.{name}": seconds
+        for name, seconds in result.pass_seconds.items()
+    }
     return CompiledMetrics(
         benchmark=benchmark,
         architecture=label,
@@ -32,6 +36,7 @@ def metrics_from_result(
             "total_move_distance_m": result.total_move_distance(),
             "overlap_rejections": float(result.program.overlap_rejections),
             "cooling_events": float(result.program.num_cooling_events),
+            **extras,
         },
     )
 

@@ -109,6 +109,11 @@ def bench_router(
                 "router_seconds": round(best, 6),
                 "seed_router_seconds": seed_s,
                 "speedup_vs_seed": round(seed_s / best, 3) if seed_s else None,
+                # one full-pipeline compile, per-pass (pipeline instrumentation)
+                "pass_seconds": {
+                    name: round(seconds, 6)
+                    for name, seconds in result.pass_seconds.items()
+                },
             }
         )
     speedups = [r["speedup_vs_seed"] for r in rows if r["speedup_vs_seed"]]

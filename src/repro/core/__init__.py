@@ -19,26 +19,48 @@ from .instructions import (
     Stage,
 )
 from .movement import MovementTracker
+from .pipeline import (
+    ArrayMapperPass,
+    AtomMapperPass,
+    CompilationContext,
+    LowerToNativePass,
+    Pass,
+    PassPipeline,
+    PipelineError,
+    SabreSwapPass,
+    StageRouterPass,
+    default_passes,
+)
 from .router import HighParallelismRouter, RouterConfig, RoutingError
 
 __all__ = [
+    "ArrayMapperPass",
+    "AtomMapperPass",
     "AtomiqueCompiler",
     "AtomiqueConfig",
+    "CompilationContext",
     "CompileResult",
     "ConstantJerkProfile",
     "ConstraintToggles",
     "CoolingEvent",
     "HighParallelismRouter",
+    "LowerToNativePass",
     "Move",
     "MovementTracker",
+    "Pass",
+    "PassPipeline",
+    "PipelineError",
     "RAAProgram",
     "RamanPulse",
     "RouterConfig",
     "RoutingError",
     "RydbergGate",
+    "SabreSwapPass",
     "Stage",
     "StagePlan",
+    "StageRouterPass",
     "cut_fraction",
+    "default_passes",
     "diagonal_stripe_order",
     "gate_frequency_matrix",
     "hop_profile",

@@ -13,24 +13,21 @@
 5. **high-parallelism router** — stages of parallel 2Q gates under the
    three movement constraints (Figs. 8-11), with heating/cooling tracking.
 
-The result bundles the executable :class:`RAAProgram` with every statistic
-the evaluation reads.
+Each step is a :class:`~repro.core.pipeline.Pass`; the facade just builds
+the default :class:`~repro.core.pipeline.PassPipeline` and runs it.  The
+result bundles the executable :class:`RAAProgram` with every statistic the
+evaluation reads, including per-pass wall-time.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.decompose import decompose_swaps, lower_to_two_qubit, merge_1q_runs
 from ..hardware.raa import AtomLocation, RAAArchitecture
-from ..transpile.layout import Layout
-from ..transpile.sabre import sabre_route
-from .array_mapper import map_qubits_to_arrays
-from .atom_mapper import map_qubits_to_atoms
 from .instructions import RAAProgram
-from .router import HighParallelismRouter, RouterConfig
+from .pipeline import PassPipeline
+from .router import RouterConfig
 
 
 @dataclass
@@ -63,7 +60,11 @@ class CompileResult:
 
     ``final_layout`` maps each logical qubit to the slot where SWAP
     insertion left it at the end of the circuit — needed to interpret
-    measurement outcomes and to verify semantic equivalence.
+    measurement outcomes and to verify semantic equivalence.  It is
+    ``None`` only for partial pipeline runs that skipped SWAP insertion.
+
+    ``pass_seconds`` maps each pipeline pass name to its wall-clock time,
+    in execution order (the Fig. 21 compile-time breakdown reads this).
     """
 
     program: RAAProgram
@@ -73,7 +74,8 @@ class CompileResult:
     num_swaps: int
     compile_seconds: float
     architecture: RAAArchitecture
-    final_layout: dict[int, int] = None  # type: ignore[assignment]
+    final_layout: dict[int, int] | None = None
+    pass_seconds: dict[str, float] = field(default_factory=dict)
 
     # -- headline metrics (paper's reporting vocabulary) -----------------------
 
@@ -111,6 +113,12 @@ class CompileResult:
         each logical qubit ended up, so logical bit *q* of the corrected
         string is physical bit ``final_layout[q]`` of the raw string.
         """
+        if self.final_layout is None:
+            raise ValueError(
+                "final_layout is missing from this CompileResult — the "
+                "pipeline that produced it did not run SWAP insertion "
+                "(partial run), so measured bitstrings cannot be remapped"
+            )
         n = self.transpiled.num_qubits
         out: dict[str, int] = {}
         for bits, count in counts.items():
@@ -134,55 +142,10 @@ class AtomiqueCompiler:
         self.architecture = architecture or RAAArchitecture.default()
         self.config = config or AtomiqueConfig()
 
+    def pipeline(self) -> PassPipeline:
+        """The default five-pass Fig. 3 pipeline for this compiler."""
+        return PassPipeline(self.architecture, self.config)
+
     def compile(self, circuit: QuantumCircuit) -> CompileResult:
         """Run the full Fig. 3 pipeline on *circuit*."""
-        t0 = time.perf_counter()
-        arch = self.architecture
-        cfg = self.config
-        if circuit.num_qubits > arch.total_capacity:
-            raise ValueError(
-                f"circuit needs {circuit.num_qubits} qubits; architecture "
-                f"has {arch.total_capacity} traps"
-            )
-
-        native = lower_to_two_qubit(circuit.without_directives())
-
-        # Step 1: coarse-grained qubit-array mapping (Algorithm 1).
-        array_of_qubit = map_qubits_to_arrays(
-            native, arch, gamma=cfg.gamma, strategy=cfg.array_mapper
-        )
-
-        # Step 2: SABRE SWAP insertion on the multipartite coupling graph.
-        coupling = arch.multipartite_coupling(array_of_qubit)
-        routed = sabre_route(
-            native, coupling, Layout.trivial(native.num_qubits), seed=cfg.seed
-        )
-        num_swaps = routed.num_swaps
-        # The multipartite "device" has exactly the circuit's qubits, so the
-        # routed circuit stays on the same register.  Inserted SWAPs become
-        # 3 CX each; logical 2Q gates stay atomic (paper's accounting).
-        transpiled = merge_1q_runs(decompose_swaps(routed.circuit))
-
-        # Step 3: fine-grained qubit-atom mapping.
-        locations = map_qubits_to_atoms(
-            transpiled,
-            array_of_qubit,
-            arch,
-            strategy=cfg.atom_mapper,
-            seed=cfg.seed,
-        )
-
-        # Step 4: high-parallelism routing into stages.
-        router = HighParallelismRouter(arch, locations, cfg.router)
-        program = router.route(transpiled)
-
-        return CompileResult(
-            program=program,
-            transpiled=transpiled,
-            array_of_qubit=array_of_qubit,
-            locations=locations,
-            num_swaps=num_swaps,
-            compile_seconds=time.perf_counter() - t0,
-            architecture=arch,
-            final_layout=routed.final_layout.as_dict(),
-        )
+        return self.pipeline().compile(circuit)

@@ -1,0 +1,240 @@
+"""Pass-pipeline compiler architecture: the Fig. 3 flow as composable passes.
+
+The monolithic ``AtomiqueCompiler.compile`` flow is expressed as five
+passes over a shared :class:`CompilationContext`:
+
+1. :class:`LowerToNativePass`   — lower to the RAA native basis {CZ, U3};
+2. :class:`ArrayMapperPass`     — greedy MAX k-cut qubit-array mapping
+   (Algorithm 1);
+3. :class:`SabreSwapPass`       — SABRE SWAP insertion on the multipartite
+   coupling graph (Fig. 5), SWAPs decomposed to 3 CZ + 1Q;
+4. :class:`AtomMapperPass`      — load-balance SLM + aligned AOD placement
+   (Figs. 6-7);
+5. :class:`StageRouterPass`     — high-parallelism routing into stages
+   (Figs. 8-11).
+
+:class:`PassPipeline` executes a declared pass list, records per-pass
+wall-time in ``context.pass_seconds``, and assembles the usual
+:class:`~repro.core.compiler.CompileResult`.  The default pipeline is
+bit-identical to the pre-refactor monolithic compiler; custom pipelines can
+reorder, drop, or insert passes (instrumentation, caching, alternative
+mappers) without touching the compiler facade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.decompose import decompose_swaps, lower_to_two_qubit, merge_1q_runs
+from ..hardware.raa import AtomLocation, RAAArchitecture
+from ..transpile.layout import Layout
+from ..transpile.sabre import sabre_route
+from .array_mapper import map_qubits_to_arrays
+from .atom_mapper import map_qubits_to_atoms
+from .instructions import RAAProgram
+from .router import HighParallelismRouter
+
+if TYPE_CHECKING:  # avoid a module-level cycle with .compiler
+    from .compiler import AtomiqueConfig, CompileResult
+
+
+class PipelineError(RuntimeError):
+    """A pass ran before the context field it depends on was produced."""
+
+
+@dataclass
+class CompilationContext:
+    """Mutable state threaded through the passes of one compile.
+
+    ``circuit``, ``architecture`` and ``config`` are inputs; everything
+    else is produced by passes.  ``pass_seconds`` maps each executed pass
+    name to its wall-clock time, in execution order.  ``artifacts`` is a
+    free-form scratch area for custom passes.
+    """
+
+    circuit: QuantumCircuit
+    architecture: RAAArchitecture
+    config: "AtomiqueConfig"
+
+    native: QuantumCircuit | None = None
+    array_of_qubit: list[int] | None = None
+    transpiled: QuantumCircuit | None = None
+    num_swaps: int | None = None
+    final_layout: dict[int, int] | None = None
+    locations: dict[int, AtomLocation] | None = None
+    program: RAAProgram | None = None
+
+    pass_seconds: dict[str, float] = field(default_factory=dict)
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    def require(self, name: str) -> Any:
+        """Fetch a context field, failing clearly if no pass produced it."""
+        value = getattr(self, name)
+        if value is None:
+            raise PipelineError(
+                f"context field {name!r} has not been produced — a pass that "
+                f"computes it must run earlier in the pipeline"
+            )
+        return value
+
+
+class Pass:
+    """One pipeline step: reads and writes :class:`CompilationContext`."""
+
+    #: Stable identifier used for timing entries and logs.
+    name: str = "pass"
+
+    def run(self, context: CompilationContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class LowerToNativePass(Pass):
+    """Lower the input circuit to the RAA native basis ``{CZ, U3}``."""
+
+    name = "lower"
+
+    def run(self, context: CompilationContext) -> None:
+        context.native = lower_to_two_qubit(context.circuit.without_directives())
+
+
+class ArrayMapperPass(Pass):
+    """Coarse-grained qubit-array mapping (Algorithm 1, greedy MAX k-cut)."""
+
+    name = "array_mapper"
+
+    def run(self, context: CompilationContext) -> None:
+        cfg = context.config
+        context.array_of_qubit = map_qubits_to_arrays(
+            context.require("native"),
+            context.architecture,
+            gamma=cfg.gamma,
+            strategy=cfg.array_mapper,
+        )
+
+
+class SabreSwapPass(Pass):
+    """SABRE SWAP insertion on the multipartite coupling graph (Fig. 5).
+
+    The multipartite "device" has exactly the circuit's qubits, so the
+    routed circuit stays on the same register.  Inserted SWAPs become
+    3 CX each; logical 2Q gates stay atomic (the paper's accounting).
+    """
+
+    name = "sabre_swap"
+
+    def run(self, context: CompilationContext) -> None:
+        native = context.require("native")
+        coupling = context.architecture.multipartite_coupling(
+            context.require("array_of_qubit")
+        )
+        routed = sabre_route(
+            native,
+            coupling,
+            Layout.trivial(native.num_qubits),
+            seed=context.config.seed,
+        )
+        context.num_swaps = routed.num_swaps
+        context.final_layout = routed.final_layout.as_dict()
+        context.transpiled = merge_1q_runs(decompose_swaps(routed.circuit))
+
+
+class AtomMapperPass(Pass):
+    """Fine-grained qubit-atom mapping (Figs. 6-7)."""
+
+    name = "atom_mapper"
+
+    def run(self, context: CompilationContext) -> None:
+        cfg = context.config
+        context.locations = map_qubits_to_atoms(
+            context.require("transpiled"),
+            context.require("array_of_qubit"),
+            context.architecture,
+            strategy=cfg.atom_mapper,
+            seed=cfg.seed,
+        )
+
+
+class StageRouterPass(Pass):
+    """High-parallelism routing into movement/gate stages (Figs. 8-11)."""
+
+    name = "router"
+
+    def run(self, context: CompilationContext) -> None:
+        router = HighParallelismRouter(
+            context.architecture,
+            context.require("locations"),
+            context.config.router,
+        )
+        context.program = router.route(context.require("transpiled"))
+
+
+def default_passes() -> list[Pass]:
+    """The five Fig. 3 passes in order — the stock Atomique pipeline."""
+    return [
+        LowerToNativePass(),
+        ArrayMapperPass(),
+        SabreSwapPass(),
+        AtomMapperPass(),
+        StageRouterPass(),
+    ]
+
+
+class PassPipeline:
+    """Execute a declared pass list and assemble a ``CompileResult``."""
+
+    def __init__(
+        self,
+        architecture: RAAArchitecture | None = None,
+        config: "AtomiqueConfig | None" = None,
+        passes: list[Pass] | None = None,
+    ) -> None:
+        from .compiler import AtomiqueConfig
+
+        self.architecture = architecture or RAAArchitecture.default()
+        self.config = config or AtomiqueConfig()
+        self.passes = passes if passes is not None else default_passes()
+
+    def run(self, circuit: QuantumCircuit) -> CompilationContext:
+        """Run every pass over *circuit*; return the populated context."""
+        arch = self.architecture
+        if circuit.num_qubits > arch.total_capacity:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits; architecture "
+                f"has {arch.total_capacity} traps"
+            )
+        context = CompilationContext(
+            circuit=circuit, architecture=arch, config=self.config
+        )
+        for p in self.passes:
+            t0 = time.perf_counter()
+            p.run(context)
+            elapsed = time.perf_counter() - t0
+            # Accumulate so a pass appearing twice keeps its full time.
+            context.pass_seconds[p.name] = (
+                context.pass_seconds.get(p.name, 0.0) + elapsed
+            )
+        return context
+
+    def compile(self, circuit: QuantumCircuit) -> "CompileResult":
+        """Run the pipeline and bundle the context into a result record."""
+        from .compiler import CompileResult
+
+        t0 = time.perf_counter()
+        context = self.run(circuit)
+        return CompileResult(
+            program=context.require("program"),
+            transpiled=context.require("transpiled"),
+            array_of_qubit=context.require("array_of_qubit"),
+            locations=context.require("locations"),
+            num_swaps=context.require("num_swaps"),
+            compile_seconds=time.perf_counter() - t0,
+            architecture=self.architecture,
+            final_layout=context.final_layout,
+            pass_seconds=dict(context.pass_seconds),
+        )

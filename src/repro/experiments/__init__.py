@@ -1,5 +1,6 @@
 """Per-figure/table experiment harnesses reproducing the paper's evaluation."""
 
+from .batch import CompileJob, ResultCache, compile_many
 from .common import ARCHITECTURES, compile_on, gmean_row, raa_for
 from .fig13 import improvement_over, run_main_comparison, summarize
 from .fig14 import run_solver_comparison, speedup_summary
@@ -12,21 +13,25 @@ from .fig18 import (
 )
 from .fig19 import run_qpilot_comparison
 from .fig20 import run_array_size, run_aspect_ratio, run_num_aods
-from .fig21_22 import run_breakdown, run_constraint_relaxation
+from .fig21_22 import pass_timing_rows, run_breakdown, run_constraint_relaxation
 from .fig23_24 import run_aod_sizes, run_overlap_pressure
 from .sweeps import run_generic_sweep, run_qaoa_sweep, run_qsim_sweep
 from .tables import benchmark_statistics, pulse_comparison
 
 __all__ = [
     "ARCHITECTURES",
+    "CompileJob",
     "DEFAULT_VALUES",
+    "ResultCache",
     "SENSITIVITY_PARAMETERS",
     "benchmark_statistics",
+    "compile_many",
     "compile_on",
     "error_breakdown",
     "gmean_row",
     "improvement_over",
     "params_for",
+    "pass_timing_rows",
     "pulse_comparison",
     "raa_for",
     "run_aod_sizes",

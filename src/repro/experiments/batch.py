@@ -1,0 +1,137 @@
+"""Parallel batch compilation: fan a job list out across worker processes.
+
+``compile_many(jobs, workers=N)`` runs each :class:`CompileJob` through the
+backend registry, optionally on a ``concurrent.futures`` process pool.
+Results always come back in job order, and every job carries its own seed
+inside its :class:`~repro.baselines.registry.CompileOptions`, so every
+deterministic metric (gate counts, depth, fidelity, extras) is identical
+regardless of worker count or scheduling.  Wall-clock fields
+(``compile_seconds``, the ``pass_seconds.*`` extras) are measurements, not
+outputs: they vary with CPU contention and come back verbatim from the
+run that populated a cache entry.
+
+An optional on-disk :class:`ResultCache` keyed by a circuit/config hash
+skips recompiles across runs — handy for the sweep harnesses, which re-hit
+the same (circuit, backend, config) cells while iterating on plots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import cast
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines.registry import CompileOptions, get_backend
+from ..circuits.circuit import QuantumCircuit
+
+#: Bump when CompiledMetrics or the key layout changes shape.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One unit of batch work: a backend name, a circuit, and its options."""
+
+    backend: str
+    circuit: QuantumCircuit
+    options: CompileOptions = field(default_factory=CompileOptions)
+
+    def cache_key(self) -> str:
+        """Stable hash over backend, circuit contents, and every option."""
+        h = hashlib.sha256()
+        h.update(f"v{CACHE_VERSION}|{self.backend}|{self.circuit.name}|".encode())
+        h.update(f"{self.circuit.num_qubits}|".encode())
+        for g in self.circuit.gates:
+            h.update(
+                f"{g.name}{tuple(g.qubits)}{tuple(g.params)};".encode()
+            )
+        opts = self.options
+        h.update(
+            f"|{opts.seed}|{opts.config!r}|{opts.raa!r}|{opts.params!r}".encode()
+        )
+        return h.hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry on-disk cache of :class:`CompiledMetrics`."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job: CompileJob) -> Path:
+        return self.directory / f"{job.cache_key()}.pkl"
+
+    def get(self, job: CompileJob) -> CompiledMetrics | None:
+        path = self._path(job)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,  # entry pickled before a module move/rename
+        ):
+            return None  # corrupt or stale entry: recompile
+
+    def put(self, job: CompileJob, metrics: CompiledMetrics) -> None:
+        # Atomic write: concurrent runs sharing the directory must never
+        # observe a torn entry.
+        path = self._path(job)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(metrics, fh)
+        os.replace(tmp, path)
+
+
+def _run_job(job: CompileJob) -> CompiledMetrics:
+    # Module-level so ProcessPoolExecutor can pickle it into workers.
+    return get_backend(job.backend).compile(job.circuit, job.options)
+
+
+def compile_many(
+    jobs: Iterable[CompileJob],
+    workers: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> list[CompiledMetrics]:
+    """Compile every job, in order; ``workers > 1`` uses a process pool."""
+    jobs = list(jobs)
+    store = (
+        cache
+        if isinstance(cache, ResultCache) or cache is None
+        else ResultCache(cache)
+    )
+    results: list[CompiledMetrics | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for i, job in enumerate(jobs):
+        hit = store.get(job) if store is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+
+    if workers <= 1 or len(pending) <= 1:
+        for i in pending:
+            results[i] = _run_job(jobs[i])
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            computed = pool.map(_run_job, [jobs[i] for i in pending])
+            for i, metrics in zip(pending, computed):
+                results[i] = metrics
+
+    if store is not None:
+        for i in pending:
+            store.put(jobs[i], results[i])
+    return cast("list[CompiledMetrics]", results)  # every slot is filled

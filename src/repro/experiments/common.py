@@ -2,16 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable
 
 from ..analysis.metrics import CompiledMetrics, geometric_mean
-from ..baselines import (
-    compile_on_atomique,
-    compile_on_faa,
-    compile_on_superconducting,
-)
+from ..baselines.registry import CompileOptions, get_backend
 from ..circuits.circuit import QuantumCircuit
 from ..core.compiler import AtomiqueConfig
+from ..hardware.parameters import HardwareParams
 from ..hardware.raa import RAAArchitecture
 
 #: The five architectures of Fig. 13, in the paper's plotting order.
@@ -30,28 +28,22 @@ def compile_on(
     raa: RAAArchitecture | None = None,
     config: AtomiqueConfig | None = None,
     seed: int = 7,
+    params: HardwareParams | None = None,
 ) -> CompiledMetrics:
-    """Dispatch *circuit* to the named architecture's compiler."""
-    if arch_name == "Atomique":
-        return compile_on_atomique(circuit, raa, config)
-    if arch_name == "Superconducting":
-        return compile_on_superconducting(circuit, seed=seed)
-    if arch_name == "FAA-Rectangular":
-        return compile_on_faa(circuit, "rectangular", seed=seed)
-    if arch_name == "FAA-Triangular":
-        return compile_on_faa(circuit, "triangular", seed=seed)
-    if arch_name == "Baker-Long-Range":
-        return compile_on_faa(circuit, "long_range", seed=seed)
-    raise ValueError(f"unknown architecture {arch_name!r}")
+    """Dispatch *circuit* to the named backend via the registry."""
+    options = CompileOptions(raa=raa, config=config, params=params, seed=seed)
+    return get_backend(arch_name).compile(circuit, options)
 
 
 def raa_for(circuit: QuantumCircuit, num_aods: int = 2) -> RAAArchitecture:
     """RAA sized for *circuit*: the paper's default 10x10 when it fits,
     otherwise the smallest square side that does."""
-    side = 10
-    while (1 + num_aods) * side * side < circuit.num_qubits:
+    per_cell = 1 + num_aods
+    need = -(-circuit.num_qubits // per_cell)  # ceil division
+    side = math.isqrt(need)
+    if side * side < need:
         side += 1
-    return RAAArchitecture.default(side=side, num_aods=num_aods)
+    return RAAArchitecture.default(side=max(10, side), num_aods=num_aods)
 
 
 def gmean_row(

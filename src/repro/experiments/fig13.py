@@ -12,24 +12,39 @@ metrics, with the largest margins on deep high-connectivity circuits
 from __future__ import annotations
 
 from ..analysis.metrics import CompiledMetrics, geometric_mean
+from ..baselines.registry import CompileOptions
 from ..generators.suite import BenchmarkSpec, main_suite
-from .common import ARCHITECTURES, compile_on, raa_for
+from .batch import CompileJob, ResultCache, compile_many
+from .common import ARCHITECTURES, raa_for
 
 
 def run_main_comparison(
     benchmarks: list[BenchmarkSpec] | None = None,
     architectures: list[str] | None = None,
     seed: int = 7,
+    workers: int = 1,
+    cache: ResultCache | str | None = None,
 ) -> dict[str, list[CompiledMetrics]]:
-    """Compile the suite everywhere; returns arch -> per-benchmark metrics."""
+    """Compile the suite everywhere; returns arch -> per-benchmark metrics.
+
+    ``workers > 1`` fans the (benchmark x architecture) job list out over a
+    process pool; all deterministic metrics are identical to the serial
+    path (wall-clock timing fields vary with contention).
+    """
     specs = benchmarks if benchmarks is not None else main_suite()
     archs = architectures if architectures is not None else list(ARCHITECTURES)
-    results: dict[str, list[CompiledMetrics]] = {a: [] for a in archs}
+    jobs: list[CompileJob] = []
     for spec in specs:
         circuit = spec.build()
         for arch in archs:
             raa = raa_for(circuit) if arch == "Atomique" else None
-            results[arch].append(compile_on(arch, circuit, raa=raa, seed=seed))
+            jobs.append(
+                CompileJob(arch, circuit, CompileOptions(raa=raa, seed=seed))
+            )
+    metrics = compile_many(jobs, workers=workers, cache=cache)
+    results: dict[str, list[CompiledMetrics]] = {a: [] for a in archs}
+    for job, m in zip(jobs, metrics):
+        results[job.backend].append(m)
     return results
 
 

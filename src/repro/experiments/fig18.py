@@ -22,13 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.metrics import CompiledMetrics
-from ..baselines import compile_on_atomique, compile_on_faa
+from ..baselines.registry import CompileOptions
 from ..circuits.circuit import QuantumCircuit
-from ..core.compiler import AtomiqueConfig
-from ..core.router import RouterConfig
 from ..generators import bernstein_vazirani, qaoa_regular, qsim_random
 from ..hardware.parameters import HardwareParams, neutral_atom_params
-from ..hardware.raa import RAAArchitecture
+from .batch import CompileJob, compile_many
 from .common import raa_for
 
 SENSITIVITY_PARAMETERS = (
@@ -97,39 +95,30 @@ def run_sensitivity(
     benchmarks: list[QuantumCircuit] | None = None,
     architectures: list[str] | None = None,
     seed: int = 7,
+    workers: int = 1,
 ) -> list[SensitivityPoint]:
     """Sweep one hardware parameter across benchmarks and architectures."""
     values = values if values is not None else DEFAULT_VALUES[parameter]
     circuits = benchmarks if benchmarks is not None else default_benchmarks()
     archs = architectures or ["FAA-Rectangular", "FAA-Triangular", "Atomique"]
-    points: list[SensitivityPoint] = []
+    jobs: list[CompileJob] = []
+    meta: list[tuple[float, str, str]] = []
     for value in values:
         params = params_for(parameter, value)
         for circuit in circuits:
             for arch in archs:
-                if arch == "Atomique":
-                    base = raa_for(circuit)
-                    raa = RAAArchitecture(
-                        slm_shape=base.slm_shape,
-                        aod_shapes=base.aod_shapes,
-                        params=params,
-                    )
-                    cfg = AtomiqueConfig(
-                        seed=seed,
-                        router=RouterConfig(
-                            cooling_threshold=params.n_vib_cooling_threshold
-                        ),
-                    )
-                    m = compile_on_atomique(circuit, raa, cfg)
-                else:
-                    topo = (
-                        "rectangular" if arch == "FAA-Rectangular" else "triangular"
-                    )
-                    m = compile_on_faa(circuit, topo, params=params, seed=seed)
-                points.append(
-                    SensitivityPoint(parameter, value, circuit.name, arch, m)
-                )
-    return points
+                # The Atomique backend rebuilds the RAA (and cooling
+                # threshold) from a params override; the fixed-atom
+                # baselines consume params directly.
+                raa = raa_for(circuit) if arch == "Atomique" else None
+                options = CompileOptions(raa=raa, params=params, seed=seed)
+                jobs.append(CompileJob(arch, circuit, options))
+                meta.append((value, circuit.name, arch))
+    metrics = compile_many(jobs, workers=workers)
+    return [
+        SensitivityPoint(parameter, value, benchmark, arch, m)
+        for (value, benchmark, arch), m in zip(meta, metrics)
+    ]
 
 
 def error_breakdown(

@@ -41,6 +41,25 @@ def run_breakdown(
     return run_ablation(circ, raa_for(circ))
 
 
+def pass_timing_rows(results: list[CompiledMetrics]) -> list[dict[str, object]]:
+    """Compile-time companion to Fig. 21: per-pass wall-time per config.
+
+    Reads the pipeline's own instrumentation (``extras['pass_seconds.*']``,
+    recorded by :class:`~repro.core.pipeline.PassPipeline`) instead of
+    re-deriving stage times from totals.
+    """
+    rows: list[dict[str, object]] = []
+    prefix = "pass_seconds."
+    for m in results:
+        row: dict[str, object] = {"arch": m.architecture}
+        for key, seconds in m.extras.items():
+            if key.startswith(prefix):
+                row[key[len(prefix):]] = round(seconds, 6)
+        row["total_s"] = round(m.compile_seconds, 6)
+        rows.append(row)
+    return rows
+
+
 RELAXATIONS: list[tuple[str, ConstraintToggles]] = [
     ("All Constraints", ConstraintToggles()),
     (

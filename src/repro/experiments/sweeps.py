@@ -16,10 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.metrics import CompiledMetrics
+from ..baselines.registry import CompileOptions
+from ..circuits.circuit import QuantumCircuit
 from ..circuits.random_circuits import random_circuit
 from ..generators.qaoa import qaoa_regular
 from ..generators.qsim import qsim_random
-from .common import compile_on, raa_for
+from .batch import CompileJob, compile_many
+from .common import raa_for
 
 SWEEP_ARCHS = ["FAA-Rectangular", "FAA-Triangular", "Atomique"]
 
@@ -39,12 +42,36 @@ class SweepCell:
         return max(ours, 1e-12) / max(theirs, 1e-12)
 
 
-def _evaluate(circuit, seed: int) -> dict[str, CompiledMetrics]:
-    out: dict[str, CompiledMetrics] = {}
-    for arch in SWEEP_ARCHS:
-        raa = raa_for(circuit) if arch == "Atomique" else None
-        out[arch] = compile_on(arch, circuit, raa=raa, seed=seed)
-    return out
+def _evaluate_grid(
+    grid: list[tuple[float, float, QuantumCircuit]], seed: int, workers: int
+) -> list[SweepCell]:
+    """Compile every (cell, architecture) pair through the batch driver."""
+    jobs = [
+        CompileJob(
+            arch,
+            circ,
+            CompileOptions(
+                raa=raa_for(circ) if arch == "Atomique" else None, seed=seed
+            ),
+        )
+        for _, _, circ in grid
+        for arch in SWEEP_ARCHS
+    ]
+    metrics = compile_many(jobs, workers=workers)
+    cells: list[SweepCell] = []
+    for i, (x, y, _) in enumerate(grid):
+        base = i * len(SWEEP_ARCHS)
+        cells.append(
+            SweepCell(
+                x=x,
+                y=y,
+                metrics={
+                    arch: metrics[base + j]
+                    for j, arch in enumerate(SWEEP_ARCHS)
+                },
+            )
+        )
+    return cells
 
 
 def run_generic_sweep(
@@ -52,47 +79,49 @@ def run_generic_sweep(
     gates_per_qubit: list[float] | None = None,
     degrees: list[float] | None = None,
     seed: int = 7,
+    workers: int = 1,
 ) -> list[SweepCell]:
     """Fig. 15 grid (paper: gates/qubit 2-26, degree 1-7)."""
     gpqs = gates_per_qubit if gates_per_qubit is not None else [2, 10, 18, 26]
     degs = degrees if degrees is not None else [1, 3, 5, 7]
-    cells: list[SweepCell] = []
-    for g in gpqs:
-        for d in degs:
-            circ = random_circuit(num_qubits, g, d, seed=seed)
-            cells.append(SweepCell(x=g, y=d, metrics=_evaluate(circ, seed)))
-    return cells
+    grid = [
+        (g, d, random_circuit(num_qubits, g, d, seed=seed))
+        for g in gpqs
+        for d in degs
+    ]
+    return _evaluate_grid(grid, seed, workers)
 
 
 def run_qaoa_sweep(
     qubit_numbers: list[int] | None = None,
     degrees: list[int] | None = None,
     seed: int = 7,
+    workers: int = 1,
 ) -> list[SweepCell]:
     """Fig. 16 grid (paper: 10-100 qubits, degree 1-7)."""
     ns = qubit_numbers if qubit_numbers is not None else [10, 40, 80]
     degs = degrees if degrees is not None else [3, 5, 7]
-    cells: list[SweepCell] = []
-    for n in ns:
-        for d in degs:
-            if d >= n or (n * d) % 2:
-                continue
-            circ = qaoa_regular(n, d, seed=seed)
-            cells.append(SweepCell(x=n, y=d, metrics=_evaluate(circ, seed)))
-    return cells
+    grid = [
+        (n, d, qaoa_regular(n, d, seed=seed))
+        for n in ns
+        for d in degs
+        if d < n and not (n * d) % 2
+    ]
+    return _evaluate_grid(grid, seed, workers)
 
 
 def run_qsim_sweep(
     qubit_numbers: list[int] | None = None,
     non_identity_probs: list[float] | None = None,
     seed: int = 7,
+    workers: int = 1,
 ) -> list[SweepCell]:
     """Fig. 17 grid (paper: 10-100 qubits, p(non-I) 0.1-0.7)."""
     ns = qubit_numbers if qubit_numbers is not None else [10, 40, 80]
     ps = non_identity_probs if non_identity_probs is not None else [0.1, 0.4, 0.7]
-    cells: list[SweepCell] = []
-    for n in ns:
-        for p in ps:
-            circ = qsim_random(n, non_identity_prob=p, seed=seed)
-            cells.append(SweepCell(x=n, y=p, metrics=_evaluate(circ, seed)))
-    return cells
+    grid = [
+        (n, p, qsim_random(n, non_identity_prob=p, seed=seed))
+        for n in ns
+        for p in ps
+    ]
+    return _evaluate_grid(grid, seed, workers)

@@ -1,0 +1,92 @@
+"""Tests for the unified backend registry."""
+
+import pytest
+
+from repro.analysis.metrics import CompiledMetrics
+from repro.baselines.registry import (
+    _REGISTRY,
+    CompileOptions,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.experiments import ARCHITECTURES, compile_on
+from repro.generators import qaoa_regular
+from repro.hardware.parameters import neutral_atom_params
+from repro.noise.fidelity import FidelityReport
+
+
+class TestLookup:
+    def test_all_fig13_names_registered(self):
+        for name in ARCHITECTURES:
+            assert get_backend(name).name == name
+
+    def test_extra_backends_registered(self):
+        names = available_backends()
+        assert "Q-Pilot" in names
+        assert "Geyser" in names
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(ValueError, match="Atomique"):
+            get_backend("Trapped-Ion")
+
+    def test_specs_carry_descriptions(self):
+        for name in available_backends():
+            assert get_backend(name).description
+
+
+class TestRegistration:
+    def test_decorator_plugs_into_dispatch(self):
+        @register_backend("Test-Backend", "registry unit-test stub")
+        def _test_backend(circuit, options):
+            return CompiledMetrics(
+                benchmark=circuit.name,
+                architecture="Test-Backend",
+                num_qubits=circuit.num_qubits,
+                num_2q_gates=0,
+                num_1q_gates=0,
+                depth=0,
+                fidelity=FidelityReport(),
+                extras={"seed": float(options.seed)},
+            )
+
+        try:
+            m = compile_on("Test-Backend", qaoa_regular(8, 3, seed=1), seed=11)
+            assert m.architecture == "Test-Backend"
+            assert m.extras["seed"] == 11.0
+        finally:
+            del _REGISTRY["Test-Backend"]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("Atomique")(lambda circuit, options: None)
+
+
+class TestDispatch:
+    def test_compile_on_matches_direct_backend_call(self):
+        circuit = qaoa_regular(10, 3, seed=2)
+        via_dispatch = compile_on("FAA-Rectangular", circuit, seed=3).row()
+        via_spec = get_backend("FAA-Rectangular").compile(
+            circuit, CompileOptions(seed=3)
+        ).row()
+        via_dispatch.pop("compile_s")
+        via_spec.pop("compile_s")
+        assert via_dispatch == via_spec
+
+    def test_atomique_backend_honors_params(self):
+        """A params override must reach the RAA, not be silently dropped."""
+        circuit = qaoa_regular(10, 3, seed=2)
+        base = neutral_atom_params()
+        short = compile_on(
+            "Atomique", circuit, params=base.with_overrides(t1=0.1)
+        )
+        long = compile_on(
+            "Atomique", circuit, params=base.with_overrides(t1=100.0)
+        )
+        assert long.total_fidelity > short.total_fidelity
+
+    def test_geyser_backend_reports_pulses(self):
+        m = compile_on("Geyser", qaoa_regular(8, 3, seed=1))
+        assert m.architecture == "Geyser"
+        assert m.extras["pulses"] > 0
+        assert m.extras["atomique_pulses_same_2q"] > 0

@@ -1,0 +1,155 @@
+"""Tests for the pass-pipeline compiler architecture.
+
+The equivalence tests re-run the pre-refactor monolithic flow (inlined
+below from the seed ``AtomiqueCompiler.compile``) and assert the pass
+pipeline reproduces it exactly — stage structure, SWAP count, and final
+layout — on the golden-router circuits.
+"""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.decompose import decompose_swaps, lower_to_two_qubit, merge_1q_runs
+from repro.core import (
+    ArrayMapperPass,
+    AtomiqueCompiler,
+    AtomiqueConfig,
+    AtomMapperPass,
+    LowerToNativePass,
+    Pass,
+    PassPipeline,
+    PipelineError,
+    SabreSwapPass,
+    default_passes,
+)
+from repro.core.array_mapper import map_qubits_to_arrays
+from repro.core.atom_mapper import map_qubits_to_atoms
+from repro.core.router import HighParallelismRouter
+from repro.generators import qaoa_random, qsim_random
+from repro.hardware import RAAArchitecture
+from repro.transpile.layout import Layout
+from repro.transpile.sabre import sabre_route
+
+PASS_NAMES = ["lower", "array_mapper", "sabre_swap", "atom_mapper", "router"]
+
+
+def legacy_compile(circuit, arch, cfg):
+    """The seed compiler's monolithic flow, verbatim (minus timing)."""
+    native = lower_to_two_qubit(circuit.without_directives())
+    array_of_qubit = map_qubits_to_arrays(
+        native, arch, gamma=cfg.gamma, strategy=cfg.array_mapper
+    )
+    coupling = arch.multipartite_coupling(array_of_qubit)
+    routed = sabre_route(
+        native, coupling, Layout.trivial(native.num_qubits), seed=cfg.seed
+    )
+    transpiled = merge_1q_runs(decompose_swaps(routed.circuit))
+    locations = map_qubits_to_atoms(
+        transpiled, array_of_qubit, arch, strategy=cfg.atom_mapper, seed=cfg.seed
+    )
+    program = HighParallelismRouter(arch, locations, cfg.router).route(transpiled)
+    return {
+        "array_of_qubit": array_of_qubit,
+        "num_swaps": routed.num_swaps,
+        "final_layout": routed.final_layout.as_dict(),
+        "transpiled": transpiled,
+        "program": program,
+    }
+
+
+def program_shape(program):
+    return {
+        "num_stages": len(program.stages),
+        "gates_per_stage": [len(s.gates) for s in program.stages],
+        "moves_per_stage": [len(s.moves) for s in program.stages],
+        "sites": [
+            (g.qubit_a, g.qubit_b, g.site)
+            for s in program.stages
+            for g in s.gates
+        ],
+    }
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: qaoa_random(10, seed=10), lambda: qsim_random(10, seed=10)],
+        ids=["qaoa10", "qsim10"],
+    )
+    def test_pipeline_matches_legacy_flow(self, factory):
+        circuit = factory()
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        cfg = AtomiqueConfig(seed=7)
+        expected = legacy_compile(circuit, arch, cfg)
+        result = PassPipeline(arch, cfg).compile(circuit)
+        assert result.array_of_qubit == expected["array_of_qubit"]
+        assert result.num_swaps == expected["num_swaps"]
+        assert result.final_layout == expected["final_layout"]
+        assert result.transpiled == expected["transpiled"]
+        assert program_shape(result.program) == program_shape(
+            expected["program"]
+        )
+
+    def test_facade_is_thin_wrapper(self):
+        circuit = qaoa_random(10, seed=10)
+        arch = RAAArchitecture.default(side=4)
+        via_facade = AtomiqueCompiler(arch).compile(circuit)
+        via_pipeline = PassPipeline(arch).compile(circuit)
+        assert program_shape(via_facade.program) == program_shape(
+            via_pipeline.program
+        )
+        assert via_facade.final_layout == via_pipeline.final_layout
+
+
+class TestPipelineMechanics:
+    def test_default_pass_order(self):
+        assert [p.name for p in default_passes()] == PASS_NAMES
+
+    def test_pass_seconds_recorded_in_order(self):
+        result = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(
+            qaoa_random(10, seed=10)
+        )
+        assert list(result.pass_seconds) == PASS_NAMES
+        assert all(s >= 0.0 for s in result.pass_seconds.values())
+        assert sum(result.pass_seconds.values()) <= result.compile_seconds
+
+    def test_capacity_check(self):
+        arch = RAAArchitecture.default(side=2, num_aods=1)  # 8 traps
+        with pytest.raises(ValueError, match="traps"):
+            PassPipeline(arch).compile(QuantumCircuit(9).cx(0, 8))
+
+    def test_partial_pipeline_context(self):
+        """Running a prefix of the passes yields a partial context."""
+        pipeline = PassPipeline(
+            RAAArchitecture.default(side=4),
+            passes=[LowerToNativePass(), ArrayMapperPass(), SabreSwapPass()],
+        )
+        context = pipeline.run(qaoa_random(10, seed=10))
+        assert context.transpiled is not None
+        assert context.final_layout is not None
+        assert context.program is None
+        with pytest.raises(PipelineError, match="program"):
+            context.require("program")
+
+    def test_out_of_order_pass_fails_clearly(self):
+        pipeline = PassPipeline(
+            RAAArchitecture.default(side=4), passes=[AtomMapperPass()]
+        )
+        with pytest.raises(PipelineError, match="transpiled"):
+            pipeline.run(qaoa_random(10, seed=10))
+
+    def test_custom_pass_insertion(self):
+        class CountNativeGatesPass(Pass):
+            name = "count_native"
+
+            def run(self, context):
+                context.artifacts["native_2q"] = context.require(
+                    "native"
+                ).num_2q_gates
+
+        passes = default_passes()
+        passes.insert(1, CountNativeGatesPass())
+        pipeline = PassPipeline(RAAArchitecture.default(side=4), passes=passes)
+        context = pipeline.run(qaoa_random(10, seed=10))
+        assert context.artifacts["native_2q"] == context.native.num_2q_gates
+        assert "count_native" in context.pass_seconds

@@ -1,5 +1,7 @@
 """Tests for measurement remapping through the final layout."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.circuits import QuantumCircuit
@@ -22,6 +24,14 @@ class TestRemapCounts:
         res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(circ)
         with pytest.raises(ValueError):
             res.remap_counts({"01": 1})
+
+    def test_missing_final_layout_clear_error(self):
+        """Partial pipeline runs have no layout — the error must say so."""
+        circ = QuantumCircuit(4).h(0).cx(0, 2)
+        res = AtomiqueCompiler(RAAArchitecture.default(side=4)).compile(circ)
+        partial = replace(res, final_layout=None)
+        with pytest.raises(ValueError, match="final_layout is missing"):
+            partial.remap_counts({"0000": 1})
 
     def test_counts_preserved(self):
         circ = qaoa_regular(8, 3, seed=1)

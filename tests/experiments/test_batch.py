@@ -1,0 +1,104 @@
+"""Tests for the parallel batch compilation driver."""
+
+import pytest
+
+from repro.baselines.registry import CompileOptions
+from repro.experiments import run_main_comparison
+from repro.experiments.batch import CompileJob, ResultCache, compile_many
+from repro.generators import qaoa_regular, qsim_random
+from repro.generators.suite import BenchmarkSpec
+
+
+def fig13_style_jobs(seed=7):
+    """A small (benchmark x architecture) job list like fig13 builds."""
+    circuits = [qaoa_regular(8, 3, seed=1), qsim_random(8, seed=2)]
+    return [
+        CompileJob(arch, circ, CompileOptions(seed=seed))
+        for circ in circuits
+        for arch in ["FAA-Rectangular", "Superconducting", "Atomique"]
+    ]
+
+
+def stable_row(m):
+    """The deterministic part of a metrics record (drop wall-clock)."""
+    row = m.row()
+    row.pop("compile_s")
+    return row
+
+
+class TestDeterminism:
+    def test_serial_matches_parallel(self):
+        jobs = fig13_style_jobs()
+        serial = compile_many(jobs, workers=1)
+        parallel = compile_many(jobs, workers=4)
+        assert [stable_row(m) for m in serial] == [
+            stable_row(m) for m in parallel
+        ]
+
+    def test_results_in_job_order(self):
+        jobs = fig13_style_jobs()
+        results = compile_many(jobs, workers=4)
+        assert [m.architecture for m in results] == [j.backend for j in jobs]
+        assert [m.benchmark for m in results] == [j.circuit.name for j in jobs]
+
+    def test_run_main_comparison_workers_identical(self):
+        specs = [
+            BenchmarkSpec(
+                "QAOA-regu3-8", "QAOA", lambda: qaoa_regular(8, 3, seed=1)
+            )
+        ]
+        serial = run_main_comparison(specs, workers=1)
+        parallel = run_main_comparison(specs, workers=2)
+        for arch in serial:
+            assert [stable_row(m) for m in serial[arch]] == [
+                stable_row(m) for m in parallel[arch]
+            ]
+
+
+class TestCacheKeys:
+    def test_key_is_stable(self):
+        a, b = fig13_style_jobs()[0], fig13_style_jobs()[0]
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_varies_with_seed_and_backend(self):
+        circ = qaoa_regular(8, 3, seed=1)
+        base = CompileJob("Atomique", circ, CompileOptions(seed=7))
+        other_seed = CompileJob("Atomique", circ, CompileOptions(seed=8))
+        other_backend = CompileJob("FAA-Rectangular", circ, CompileOptions(seed=7))
+        assert base.cache_key() != other_seed.cache_key()
+        assert base.cache_key() != other_backend.cache_key()
+
+    def test_key_varies_with_circuit(self):
+        opts = CompileOptions(seed=7)
+        a = CompileJob("Atomique", qaoa_regular(8, 3, seed=1), opts)
+        b = CompileJob("Atomique", qaoa_regular(8, 3, seed=2), opts)
+        assert a.cache_key() != b.cache_key()
+
+
+class TestDiskCache:
+    def test_second_run_hits_cache(self, tmp_path, monkeypatch):
+        jobs = fig13_style_jobs()
+        cache = ResultCache(tmp_path / "cache")
+        first = compile_many(jobs, cache=cache)
+
+        def boom(job):
+            raise AssertionError("cache miss: job was recompiled")
+
+        monkeypatch.setattr("repro.experiments.batch._run_job", boom)
+        second = compile_many(jobs, cache=cache)
+        assert [stable_row(m) for m in first] == [stable_row(m) for m in second]
+
+    def test_cache_accepts_path_string(self, tmp_path):
+        jobs = fig13_style_jobs()[:1]
+        first = compile_many(jobs, cache=str(tmp_path / "c"))
+        second = compile_many(jobs, cache=str(tmp_path / "c"))
+        assert stable_row(first[0]) == stable_row(second[0])
+
+    def test_corrupt_entry_recompiles(self, tmp_path):
+        jobs = fig13_style_jobs()[:1]
+        cache = ResultCache(tmp_path)
+        compile_many(jobs, cache=cache)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        results = compile_many(jobs, cache=cache)
+        assert results[0].num_2q_gates > 0

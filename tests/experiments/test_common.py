@@ -1,0 +1,38 @@
+"""Tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.experiments import raa_for
+
+
+def legacy_side(num_qubits, num_aods):
+    """The seed implementation: grow one row at a time from side 10."""
+    side = 10
+    while (1 + num_aods) * side * side < num_qubits:
+        side += 1
+    return side
+
+
+class TestRaaFor:
+    def test_default_is_paper_10x10(self):
+        arch = raa_for(QuantumCircuit(40))
+        assert arch.slm_shape.rows == 10
+        assert arch.slm_shape.cols == 10
+        assert len(arch.aod_shapes) == 2
+
+    @pytest.mark.parametrize("num_aods", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "num_qubits",
+        [1, 10, 100, 299, 300, 301, 675, 676, 1000, 9999, 10000, 123457],
+    )
+    def test_side_matches_legacy_growth_loop(self, num_qubits, num_aods):
+        """Regression for the closed-form sizing, including large circuits
+        (the seed loop was O(side) per call; the ceil-sqrt form is O(1))."""
+        arch = raa_for(QuantumCircuit(num_qubits), num_aods=num_aods)
+        assert arch.slm_shape.rows == legacy_side(num_qubits, num_aods)
+
+    def test_capacity_always_sufficient(self):
+        for n in (50, 500, 5000):
+            arch = raa_for(QuantumCircuit(n))
+            assert arch.total_capacity >= n

@@ -29,16 +29,28 @@ def test_router_compile_speed():
     assert len(report["results"]) == len(bench_suite())
     for row in report["results"]:
         assert row["stages"] > 0
+        assert row["sabre_seconds"] > 0
     if os.environ.get("REPRO_BENCH_STRICT") == "1":
         # On the reference machine the refactor must never be slower than
         # the recorded seed baseline on any workload.
         for row in report["results"]:
             if row["speedup_vs_seed"] is not None:
                 assert row["speedup_vs_seed"] > 1.0, row
+            if row["sabre_speedup_vs_pr2"] is not None:
+                assert row["sabre_speedup_vs_pr2"] > 1.0, row
 
 
 def test_quick_smoke_subset():
-    """A 2-entry subset that finishes in seconds (for local iteration)."""
+    """A 2-entry subset that finishes in seconds.
+
+    This is the CI perf-smoke job's entry point: it checks the bench
+    harness itself stays runnable (shape of the report, sabre_seconds
+    tracking) without asserting timings, so a slow CI host cannot flake.
+    """
     specs = [s for s in bench_suite() if s.name in ("QAOA-rand-50", "BV-50")]
     report = bench_router(specs=specs, output=None)
     assert [r["name"] for r in report["results"]] == ["QAOA-rand-50", "BV-50"]
+    for row in report["results"]:
+        assert row["stages"] > 0
+        assert row["sabre_seconds"] > 0
+        assert row["router_seconds"] > 0

@@ -63,10 +63,29 @@ def ablation_configs() -> list[tuple[str, AtomiqueConfig]]:
 def run_ablation(
     circuit: QuantumCircuit,
     architecture: RAAArchitecture | None = None,
+    workers: int = 1,
 ) -> list[CompiledMetrics]:
-    """Compile *circuit* under each cumulative configuration."""
+    """Compile *circuit* under each cumulative configuration.
+
+    Jobs go through the batch driver: ``workers > 1`` fans the four
+    configurations out over a process pool, while the serial default
+    shares a pipeline prefix cache so configurations agreeing on a
+    (circuit, array-mapping) prefix reuse the SABRE artifact.
+    """
+    from ..core.pipeline import PipelineCache
+    from ..experiments.batch import CompileJob, compile_many
+    from .registry import CompileOptions
+
     arch = architecture or RAAArchitecture.default()
-    out: list[CompiledMetrics] = []
-    for label, cfg in ablation_configs():
-        out.append(compile_on_atomique(circuit, arch, cfg, label=label))
-    return out
+    cache = PipelineCache() if workers <= 1 else None
+    jobs = [
+        CompileJob(
+            "Atomique",
+            circuit,
+            CompileOptions(
+                raa=arch, config=cfg, label=label, pipeline_cache=cache
+            ),
+        )
+        for label, cfg in ablation_configs()
+    ]
+    return compile_many(jobs, workers=workers)

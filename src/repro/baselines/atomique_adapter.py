@@ -5,6 +5,7 @@ from __future__ import annotations
 from ..analysis.metrics import CompiledMetrics
 from ..circuits.circuit import QuantumCircuit
 from ..core.compiler import AtomiqueCompiler, AtomiqueConfig, CompileResult
+from ..core.pipeline import PipelineCache
 from ..hardware.raa import RAAArchitecture
 from ..noise.fidelity import estimate_raa_fidelity
 
@@ -46,8 +47,13 @@ def compile_on_atomique(
     architecture: RAAArchitecture | None = None,
     config: AtomiqueConfig | None = None,
     label: str = "Atomique",
+    cache: PipelineCache | None = None,
 ) -> CompiledMetrics:
-    """Compile with Atomique and score (the default RAA is 10x10, 2 AODs)."""
+    """Compile with Atomique and score (the default RAA is 10x10, 2 AODs).
+
+    ``cache`` shares pipeline prefix artifacts (lowering, array mapping,
+    SABRE, atom placement) across the compiles of a sweep.
+    """
     arch = architecture or RAAArchitecture.default()
-    result = AtomiqueCompiler(arch, config).compile(circuit)
+    result = AtomiqueCompiler(arch, config, cache=cache).compile(circuit)
     return metrics_from_result(result, circuit.name, label)

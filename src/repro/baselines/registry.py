@@ -20,11 +20,12 @@ Backends ignore options that do not apply to them.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis.metrics import CompiledMetrics
 from ..circuits.circuit import QuantumCircuit
 from ..core.compiler import AtomiqueConfig
+from ..core.pipeline import PipelineCache
 from ..core.router import RouterConfig
 from ..hardware.parameters import HardwareParams
 from ..hardware.raa import RAAArchitecture
@@ -32,18 +33,36 @@ from ..noise.fidelity import FidelityReport
 from .atomique_adapter import compile_on_atomique
 from .faa_compiler import compile_on_faa
 from .geyser import atomique_pulse_count, geyser_pulse_count
-from .qpilot import compile_on_qpilot
+from .qpilot import compile_on_qpilot, compile_qsim_on_qpilot
 from .superconducting import compile_on_superconducting
 
 
 @dataclass(frozen=True)
 class CompileOptions:
-    """Per-job compile knobs, uniform across backends."""
+    """Per-job compile knobs, uniform across backends.
+
+    ``label`` overrides the architecture label on the emitted metrics (the
+    ablation sweeps name each configuration).  ``extra`` is a frozen
+    ``((key, value), ...)`` tuple of backend-specific knobs — e.g. the
+    solver proxies' qubit budget or Q-Pilot's QSim Pauli strings — that
+    participates in batch-cache keys.  ``pipeline_cache`` shares Atomique
+    pipeline prefix artifacts across the jobs of one in-process sweep; it
+    is identity-state, so it is excluded from comparison/repr and stripped
+    before jobs are shipped to worker processes.
+    """
 
     raa: RAAArchitecture | None = None
     config: AtomiqueConfig | None = None
     params: HardwareParams | None = None
     seed: int = 7
+    label: str | None = None
+    extra: tuple[tuple[str, object], ...] = ()
+    pipeline_cache: "PipelineCache | None" = field(
+        default=None, compare=False, repr=False
+    )
+
+    def extra_dict(self) -> dict[str, object]:
+        return dict(self.extra)
 
 
 BackendFn = Callable[[QuantumCircuit, CompileOptions], CompiledMetrics]
@@ -126,7 +145,11 @@ def _atomique(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetri
                 ),
             )
     return compile_on_atomique(
-        circuit, raa, config or AtomiqueConfig(seed=options.seed)
+        circuit,
+        raa,
+        config or AtomiqueConfig(seed=options.seed),
+        label=options.label or "Atomique",
+        cache=options.pipeline_cache,
     )
 
 
@@ -174,6 +197,54 @@ def _baker_long_range(
 def _qpilot(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetrics:
     """Flying-ancilla compilation for commuting workloads (Fig. 19)."""
     return compile_on_qpilot(circuit, seed=options.seed)
+
+
+@register_backend("Tan-Solver")
+def _tan_solver(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetrics:
+    """Exhaustive MAX CUT solver proxy (Fig. 14 / Table II last column).
+
+    Raises :class:`~repro.baselines.solver.SolverTimeout` past its qubit
+    budget (``extra`` knob ``solver_qubit_limit``, default 20) exactly like
+    the direct entry point; batch callers should pre-filter jobs with
+    :func:`~repro.baselines.solver.solver_times_out`.
+    """
+    from .solver import solver_architecture, tan_solver_compile
+
+    limit = int(options.extra_dict().get("solver_qubit_limit", 20))
+    return tan_solver_compile(
+        circuit,
+        options.raa or solver_architecture(),
+        timeout_qubits=limit,
+        seed=options.seed,
+    )
+
+
+@register_backend("Tan-IterP")
+def _tan_iterp(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetrics:
+    """Iterative-peeling solver proxy (Fig. 14)."""
+    from .solver import solver_architecture, tan_iterp_compile
+
+    return tan_iterp_compile(
+        circuit, options.raa or solver_architecture(), seed=options.seed
+    )
+
+
+@register_backend("Q-Pilot-QSim")
+def _qpilot_qsim(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetrics:
+    """Q-Pilot's fanout-tree QSim path, driven by Pauli strings.
+
+    The strings travel in ``extra`` under ``qsim_strings`` (a tuple, so the
+    options stay hashable and batch-cache keyable); the circuit supplies
+    the register size and benchmark name.
+    """
+    strings = options.extra_dict().get("qsim_strings")
+    if strings is None:
+        raise ValueError(
+            "Q-Pilot-QSim needs extra=(('qsim_strings', <tuple of paulis>),)"
+        )
+    return compile_qsim_on_qpilot(
+        circuit.num_qubits, list(strings), name=circuit.name, seed=options.seed
+    )
 
 
 @register_backend("Geyser")

@@ -130,6 +130,17 @@ def solver_architecture(side: int = 16) -> RAAArchitecture:
     return RAAArchitecture.default(side=side, num_aods=1)
 
 
+def solver_times_out(circuit: QuantumCircuit, timeout_qubits: int = 20) -> bool:
+    """True when Tan-Solver would raise :class:`SolverTimeout` on *circuit*.
+
+    The timeout is a deterministic qubit budget, so batch harnesses can
+    skip doomed jobs up front instead of catching the exception mid-pool.
+    :func:`exact_bipartition` additionally hard-caps enumeration at 30
+    qubits regardless of the caller's budget, so that ceiling applies too.
+    """
+    return circuit.num_qubits > min(timeout_qubits, 30)
+
+
 def tan_solver_compile(
     circuit: QuantumCircuit,
     architecture: RAAArchitecture | None = None,

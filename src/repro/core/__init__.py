@@ -22,10 +22,12 @@ from .movement import MovementTracker
 from .pipeline import (
     ArrayMapperPass,
     AtomMapperPass,
+    CachedPass,
     CompilationContext,
     LowerToNativePass,
     Pass,
     PassPipeline,
+    PipelineCache,
     PipelineError,
     SabreSwapPass,
     StageRouterPass,
@@ -38,6 +40,7 @@ __all__ = [
     "AtomMapperPass",
     "AtomiqueCompiler",
     "AtomiqueConfig",
+    "CachedPass",
     "CompilationContext",
     "CompileResult",
     "ConstantJerkProfile",
@@ -49,6 +52,7 @@ __all__ = [
     "MovementTracker",
     "Pass",
     "PassPipeline",
+    "PipelineCache",
     "PipelineError",
     "RAAProgram",
     "RamanPulse",

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.raa import AtomLocation, RAAArchitecture
 from .instructions import RAAProgram
-from .pipeline import PassPipeline
+from .pipeline import PassPipeline, PipelineCache
 from .router import RouterConfig
 
 
@@ -132,19 +132,27 @@ class CompileResult:
 
 
 class AtomiqueCompiler:
-    """Compile quantum circuits for a reconfigurable atom array."""
+    """Compile quantum circuits for a reconfigurable atom array.
+
+    ``cache`` optionally shares a :class:`~repro.core.pipeline.PipelineCache`
+    across compiles, so runs agreeing on a (circuit, array-mapping) prefix —
+    e.g. a router-toggle sweep — reuse the lowered circuit, array mapping,
+    SABRE artifact, and atom placement instead of recomputing them.
+    """
 
     def __init__(
         self,
         architecture: RAAArchitecture | None = None,
         config: AtomiqueConfig | None = None,
+        cache: PipelineCache | None = None,
     ) -> None:
         self.architecture = architecture or RAAArchitecture.default()
         self.config = config or AtomiqueConfig()
+        self.cache = cache
 
     def pipeline(self) -> PassPipeline:
         """The default five-pass Fig. 3 pipeline for this compiler."""
-        return PassPipeline(self.architecture, self.config)
+        return PassPipeline(self.architecture, self.config, cache=self.cache)
 
     def compile(self, circuit: QuantumCircuit) -> CompileResult:
         """Run the full Fig. 3 pipeline on *circuit*."""

@@ -76,6 +76,10 @@ class MovementTracker:
         self._dnv_denom = (
             self.params.xzpf * (self.params.omega0**2) * (self.params.t_per_move**2)
         )
+        #: per-AOD parking offsets, hoisted out of the stage loop
+        self._park: list[float] = [
+            parking_offset(a) for a in range(self.architecture.num_arrays)
+        ]
 
     # -- stage application ------------------------------------------------------
 
@@ -93,16 +97,17 @@ class MovementTracker:
         """
         pitch = self.params.atom_distance
         moves: list[Move] = []
-        moves_append = moves.append
         dx: dict[int, float] = {}
         dy: dict[int, float] = {}
         atoms_by_row = self._atoms_by_row
         atoms_by_col = self._atoms_by_col
+        park = self._park
 
+        moves_append = moves.append
         for aod, rmap in row_maps.items():
             if not rmap:
                 continue
-            off = parking_offset(aod)
+            off = park[aod]
             pos = self.row_pos[aod]
             for r, target in rmap.items():
                 start = pos[r]
@@ -114,7 +119,7 @@ class MovementTracker:
         for aod, cmap in col_maps.items():
             if not cmap:
                 continue
-            off = parking_offset(aod)
+            off = park[aod]
             pos = self.col_pos[aod]
             for c, target in cmap.items():
                 start = pos[c]
@@ -130,6 +135,9 @@ class MovementTracker:
         loss_append = self.loss_samples.append
         array_of = self._array_of
         max_n_vib = self._max_n_vib
+        # NOTE: the traversal order (and with it the loss-sample order) is
+        # pinned to the historical `set(dx) | set(dy)` construction — the
+        # noisy simulator consumes the log positionally.
         for q in set(dx) | set(dy):
             d_sites = (dx.get(q, 0.0) ** 2 + dy.get(q, 0.0) ** 2) ** 0.5
             if d_sites <= 0.0:

@@ -23,6 +23,7 @@ mappers) without touching the compiler facade.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -43,6 +44,81 @@ if TYPE_CHECKING:  # avoid a module-level cycle with .compiler
 
 class PipelineError(RuntimeError):
     """A pass ran before the context field it depends on was produced."""
+
+
+def _circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """SHA-256 over a circuit's register size and exact gate stream."""
+    h = hashlib.sha256()
+    h.update(f"{circuit.num_qubits}|{circuit.name}|".encode())
+    for g in circuit.gates:
+        h.update(f"{g.name}{tuple(g.qubits)}{tuple(g.params)};".encode())
+    return h.hexdigest()
+
+
+def _architecture_fingerprint(architecture: RAAArchitecture) -> str:
+    return (
+        f"{architecture.slm_shape!r}|{architecture.aod_shapes!r}|"
+        f"{architecture.params!r}"
+    )
+
+
+class PipelineCache:
+    """Prefix-reuse store for pass artifacts shared across pipeline runs.
+
+    Two compiles that agree on a *prefix* of the Fig. 3 flow — same circuit,
+    same architecture, and the same values for only the config knobs the
+    prefix consumes — reuse its cached artifacts instead of recomputing
+    them.  Each pass keys on exactly its input closure:
+
+    ======================  =====================================================
+    pass                    key fields beyond (circuit, architecture)
+    ======================  =====================================================
+    ``lower``               — (circuit only)
+    ``array_mapper``        ``gamma``, ``array_mapper``
+    ``sabre_swap``          ``gamma``, ``array_mapper``, ``seed``
+    ``atom_mapper``         ``gamma``, ``array_mapper``, ``seed``, ``atom_mapper``
+    ======================  =====================================================
+
+    Router toggles are deliberately absent from every key: a Fig. 22-style
+    constraint-relaxation sweep shares one SABRE artifact across all its
+    configs and recompiles only the stage router.  Passes are
+    deterministic, so a hit is bit-identical to a recompute.
+
+    The cache is in-memory and unbounded; share one instance across the
+    compiles of a sweep (``AtomiqueCompiler(..., cache=...)`` or
+    ``CompileOptions(pipeline_cache=...)``), not across a whole service.
+    ``hits``/``misses`` count lookups per pass name for tests and
+    instrumentation.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, Any] = {}
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    def lookup(self, pass_name: str, key: tuple) -> Any:
+        """Cached value or None, counting the hit/miss under *pass_name*."""
+        value = self._store.get(key)
+        if value is None:
+            self.misses[pass_name] = self.misses.get(pass_name, 0) + 1
+        else:
+            self.hits[pass_name] = self.hits.get(pass_name, 0) + 1
+        return value
+
+    def store(self, key: tuple, value: Any) -> None:
+        self._store[key] = value
+
+    @staticmethod
+    def context_prefix(context: "CompilationContext") -> tuple[str, str]:
+        """(circuit, architecture) fingerprints, computed once per run."""
+        prefix = context.artifacts.get("cache_prefix")
+        if prefix is None:
+            prefix = (
+                _circuit_fingerprint(context.circuit),
+                _architecture_fingerprint(context.architecture),
+            )
+            context.artifacts["cache_prefix"] = prefix
+        return prefix
 
 
 @dataclass
@@ -69,6 +145,8 @@ class CompilationContext:
 
     pass_seconds: dict[str, float] = field(default_factory=dict)
     artifacts: dict[str, Any] = field(default_factory=dict)
+    #: optional shared prefix-reuse cache (see :class:`PipelineCache`)
+    cache: "PipelineCache | None" = None
 
     def require(self, name: str) -> Any:
         """Fetch a context field, failing clearly if no pass produced it."""
@@ -94,21 +172,76 @@ class Pass:
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
-class LowerToNativePass(Pass):
+class CachedPass(Pass):
+    """A pass whose artifact can be reused through a :class:`PipelineCache`.
+
+    Subclasses declare ``key_fields`` — the ``AtomiqueConfig`` attribute
+    names their input closure depends on (the circuit and architecture
+    fingerprints are always included) — and implement :meth:`compute` plus
+    the :meth:`capture`/:meth:`restore` pair that decides what is stored
+    and how a hit is copied back into a fresh context.  Keying and the
+    lookup/store flow live here once, so the per-pass code is only the
+    copy discipline.
+    """
+
+    #: AtomiqueConfig attribute names participating in this pass's key.
+    key_fields: tuple[str, ...] = ()
+
+    def run(self, context: CompilationContext) -> None:
+        cache = context.cache
+        if cache is None:
+            self.compute(context)
+            return
+        cfg = context.config
+        key = (
+            self.name,
+            *cache.context_prefix(context),
+            *(getattr(cfg, f) for f in self.key_fields),
+        )
+        hit = cache.lookup(self.name, key)
+        if hit is not None:
+            self.restore(context, hit)
+            return
+        self.compute(context)
+        cache.store(key, self.capture(context))
+
+    def compute(self, context: CompilationContext) -> None:
+        raise NotImplementedError
+
+    def capture(self, context: CompilationContext) -> Any:
+        """The value to store after a miss (copy anything mutable)."""
+        raise NotImplementedError
+
+    def restore(self, context: CompilationContext, value: Any) -> None:
+        """Install a cached value into *context* (copy anything mutable)."""
+        raise NotImplementedError
+
+
+class LowerToNativePass(CachedPass):
     """Lower the input circuit to the RAA native basis ``{CZ, U3}``."""
 
     name = "lower"
+    key_fields = ()
 
-    def run(self, context: CompilationContext) -> None:
+    def compute(self, context: CompilationContext) -> None:
         context.native = lower_to_two_qubit(context.circuit.without_directives())
 
+    # Circuits are treated as immutable by every pass, so the native
+    # circuit is shared rather than copied.
+    def capture(self, context: CompilationContext) -> Any:
+        return context.native
 
-class ArrayMapperPass(Pass):
+    def restore(self, context: CompilationContext, value: Any) -> None:
+        context.native = value
+
+
+class ArrayMapperPass(CachedPass):
     """Coarse-grained qubit-array mapping (Algorithm 1, greedy MAX k-cut)."""
 
     name = "array_mapper"
+    key_fields = ("gamma", "array_mapper")
 
-    def run(self, context: CompilationContext) -> None:
+    def compute(self, context: CompilationContext) -> None:
         cfg = context.config
         context.array_of_qubit = map_qubits_to_arrays(
             context.require("native"),
@@ -117,8 +250,14 @@ class ArrayMapperPass(Pass):
             strategy=cfg.array_mapper,
         )
 
+    def capture(self, context: CompilationContext) -> Any:
+        return list(context.array_of_qubit)
 
-class SabreSwapPass(Pass):
+    def restore(self, context: CompilationContext, value: Any) -> None:
+        context.array_of_qubit = list(value)
+
+
+class SabreSwapPass(CachedPass):
     """SABRE SWAP insertion on the multipartite coupling graph (Fig. 5).
 
     The multipartite "device" has exactly the circuit's qubits, so the
@@ -127,8 +266,9 @@ class SabreSwapPass(Pass):
     """
 
     name = "sabre_swap"
+    key_fields = ("gamma", "array_mapper", "seed")
 
-    def run(self, context: CompilationContext) -> None:
+    def compute(self, context: CompilationContext) -> None:
         native = context.require("native")
         coupling = context.architecture.multipartite_coupling(
             context.require("array_of_qubit")
@@ -143,13 +283,27 @@ class SabreSwapPass(Pass):
         context.final_layout = routed.final_layout.as_dict()
         context.transpiled = merge_1q_runs(decompose_swaps(routed.circuit))
 
+    def capture(self, context: CompilationContext) -> Any:
+        return (
+            context.num_swaps,
+            dict(context.final_layout),
+            context.transpiled,  # circuits are shared, not copied
+        )
 
-class AtomMapperPass(Pass):
+    def restore(self, context: CompilationContext, value: Any) -> None:
+        num_swaps, final_layout, transpiled = value
+        context.num_swaps = num_swaps
+        context.final_layout = dict(final_layout)
+        context.transpiled = transpiled
+
+
+class AtomMapperPass(CachedPass):
     """Fine-grained qubit-atom mapping (Figs. 6-7)."""
 
     name = "atom_mapper"
+    key_fields = ("gamma", "array_mapper", "seed", "atom_mapper")
 
-    def run(self, context: CompilationContext) -> None:
+    def compute(self, context: CompilationContext) -> None:
         cfg = context.config
         context.locations = map_qubits_to_atoms(
             context.require("transpiled"),
@@ -158,6 +312,12 @@ class AtomMapperPass(Pass):
             strategy=cfg.atom_mapper,
             seed=cfg.seed,
         )
+
+    def capture(self, context: CompilationContext) -> Any:
+        return dict(context.locations)
+
+    def restore(self, context: CompilationContext, value: Any) -> None:
+        context.locations = dict(value)
 
 
 class StageRouterPass(Pass):
@@ -193,12 +353,14 @@ class PassPipeline:
         architecture: RAAArchitecture | None = None,
         config: "AtomiqueConfig | None" = None,
         passes: list[Pass] | None = None,
+        cache: PipelineCache | None = None,
     ) -> None:
         from .compiler import AtomiqueConfig
 
         self.architecture = architecture or RAAArchitecture.default()
         self.config = config or AtomiqueConfig()
         self.passes = passes if passes is not None else default_passes()
+        self.cache = cache
 
     def run(self, circuit: QuantumCircuit) -> CompilationContext:
         """Run every pass over *circuit*; return the populated context."""
@@ -209,7 +371,7 @@ class PassPipeline:
                 f"has {arch.total_capacity} traps"
             )
         context = CompilationContext(
-            circuit=circuit, architecture=arch, config=self.config
+            circuit=circuit, architecture=arch, config=self.config, cache=self.cache
         )
         for p in self.passes:
             t0 = time.perf_counter()

@@ -154,10 +154,12 @@ class HighParallelismRouter:
             for loc in locations.values()
             if loc.is_slm
         }
-        # Rebuilt at every route() call (= one locations epoch): candidate
-        # interaction sites per qubit pair, reused across stages and trials.
+        # Location-epoch artifacts: ``locations`` is fixed for the lifetime
+        # of the router, so the candidate interaction sites per qubit pair,
+        # the static location index, and the scratch plan persist across
+        # route() calls as well as across stages and trials.
         self._site_cache: dict[tuple, CandidateSet] = {}
-        self._plan_index: LocationIndex | None = None
+        self._plan_index = LocationIndex(locations)
         self._scratch_plan: StagePlan | None = None
 
     def _candidate_sites(self, qubit_a: int, qubit_b: int) -> CandidateSet:
@@ -254,9 +256,6 @@ class HighParallelismRouter:
     def route(self, circuit: QuantumCircuit) -> RAAProgram:
         """Route *circuit* (CZ/1Q basis, all 2Q gates inter-array)."""
         t0 = time.perf_counter()
-        self._site_cache = {}
-        self._plan_index = LocationIndex(self.locations)
-        self._scratch_plan: StagePlan | None = None
         dag = DAGCircuit(circuit)
         tracker = MovementTracker(
             architecture=self.architecture,

@@ -22,7 +22,7 @@ import os
 import pickle
 from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import cast
 
@@ -31,7 +31,7 @@ from ..baselines.registry import CompileOptions, get_backend
 from ..circuits.circuit import QuantumCircuit
 
 #: Bump when CompiledMetrics or the key layout changes shape.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -53,7 +53,8 @@ class CompileJob:
             )
         opts = self.options
         h.update(
-            f"|{opts.seed}|{opts.config!r}|{opts.raa!r}|{opts.params!r}".encode()
+            f"|{opts.seed}|{opts.config!r}|{opts.raa!r}|{opts.params!r}"
+            f"|{opts.label!r}|{opts.extra!r}".encode()
         )
         return h.hexdigest()
 
@@ -124,10 +125,19 @@ def compile_many(
         for i in pending:
             results[i] = _run_job(jobs[i])
     else:
+        # An in-process PipelineCache cannot cross a process boundary (and
+        # shipping its contents would defeat the point); strip it so the
+        # jobs stay picklable.  Serial runs above keep it and share hits.
+        shipped = [
+            replace(jobs[i], options=replace(jobs[i].options, pipeline_cache=None))
+            if jobs[i].options.pipeline_cache is not None
+            else jobs[i]
+            for i in pending
+        ]
         with ProcessPoolExecutor(
             max_workers=min(workers, len(pending))
         ) as pool:
-            computed = pool.map(_run_job, [jobs[i] for i in pending])
+            computed = pool.map(_run_job, shipped)
             for i, metrics in zip(pending, computed):
                 results[i] = metrics
 

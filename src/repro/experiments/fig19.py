@@ -3,23 +3,28 @@
 Expected shape: Q-Pilot achieves lower depth (flying ancillas parallelize
 commuting interactions) but spends ~2-3x the two-qubit gates, and Atomique
 ends up with higher overall fidelity — the better balance the paper claims.
+
+Both compilers run through the registry/batch driver: the QSim workloads
+use the ``Q-Pilot-QSim`` backend with the Pauli strings carried in
+``CompileOptions.extra``, so the whole workload set is one job list with
+``workers=N`` fan-out and the optional on-disk result cache.
 """
 
 from __future__ import annotations
 
 from ..analysis.metrics import CompiledMetrics
-from ..baselines import (
-    compile_on_atomique,
-    compile_on_qpilot,
-    compile_qsim_on_qpilot,
-)
+from ..baselines.registry import CompileOptions
 from ..generators.qaoa import qaoa_random, qaoa_regular
 from ..generators.qsim import qsim_random, qsim_random_strings
+from .batch import CompileJob, compile_many
 from .common import raa_for
 
 
 def run_qpilot_comparison(
-    include_large: bool = False, seed: int = 7
+    include_large: bool = False,
+    seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> dict[str, list[CompiledMetrics]]:
     """The Fig. 19 workload set (QSim-rand-100 only with ``include_large``)."""
     qaoa_jobs = [
@@ -31,16 +36,37 @@ def run_qpilot_comparison(
         qaoa_jobs.append(qaoa_regular(100, 6, seed=100))
     qsim_sizes = [10, 20] + ([40, 100] if include_large else [40])
 
-    results: dict[str, list[CompiledMetrics]] = {"Atomique": [], "Q-Pilot": []}
+    jobs: list[CompileJob] = []
+    slots: list[str] = []
     for circ in qaoa_jobs:
-        results["Atomique"].append(compile_on_atomique(circ, raa_for(circ)))
-        results["Q-Pilot"].append(compile_on_qpilot(circ, seed=seed))
+        jobs.append(
+            CompileJob("Atomique", circ, CompileOptions(raa=raa_for(circ)))
+        )
+        slots.append("Atomique")
+        jobs.append(CompileJob("Q-Pilot", circ, CompileOptions(seed=seed)))
+        slots.append("Q-Pilot")
     for n in qsim_sizes:
         circ = qsim_random(n, seed=n)
-        results["Atomique"].append(compile_on_atomique(circ, raa_for(circ)))
-        results["Q-Pilot"].append(
-            compile_qsim_on_qpilot(
-                n, qsim_random_strings(n, seed=n), name=circ.name, seed=seed
+        jobs.append(
+            CompileJob("Atomique", circ, CompileOptions(raa=raa_for(circ)))
+        )
+        slots.append("Atomique")
+        jobs.append(
+            CompileJob(
+                "Q-Pilot-QSim",
+                circ,
+                CompileOptions(
+                    seed=seed,
+                    extra=(
+                        ("qsim_strings", tuple(qsim_random_strings(n, seed=n))),
+                    ),
+                ),
             )
         )
+        slots.append("Q-Pilot")
+
+    metrics = compile_many(jobs, workers=workers, cache=cache)
+    results: dict[str, list[CompiledMetrics]] = {"Atomique": [], "Q-Pilot": []}
+    for slot, m in zip(slots, metrics):
+        results[slot].append(m)
     return results

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.metrics import CompiledMetrics
-from ..baselines import compile_on_atomique, run_ablation
+from ..baselines import run_ablation
+from ..baselines.registry import CompileOptions
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.random_circuits import random_circuit
 from ..core.compiler import AtomiqueConfig
@@ -34,11 +35,12 @@ def run_breakdown(
     gates_per_qubit: float = 26.0,
     degree: float = 5.0,
     seed: int = 7,
+    workers: int = 1,
 ) -> list[CompiledMetrics]:
     """Fig. 21: cumulative technique ablation on a dense random circuit."""
     circ = random_circuit(num_qubits, gates_per_qubit, degree, seed=seed)
     circ.name = f"arb-{num_qubits}q-{gates_per_qubit:g}gpq"
-    return run_ablation(circ, raa_for(circ))
+    return run_ablation(circ, raa_for(circ), workers=workers)
 
 
 def pass_timing_rows(results: list[CompiledMetrics]) -> list[dict[str, object]]:
@@ -94,16 +96,49 @@ def default_relaxation_benchmarks() -> list[QuantumCircuit]:
 def run_constraint_relaxation(
     benchmarks: list[QuantumCircuit] | None = None,
     seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> list[RelaxationPoint]:
-    """Fig. 22: toggle each constraint off, one at a time."""
+    """Fig. 22: toggle each constraint off, one at a time.
+
+    Jobs route through :func:`~repro.experiments.batch.compile_many`
+    (``workers=N`` fans out, ``cache=<dir>`` enables the on-disk result
+    cache).  In the serial default every benchmark's four relaxations share
+    one :class:`~repro.core.pipeline.PipelineCache`: the router toggles sit
+    *after* SWAP insertion in the pipeline, so SABRE runs once per circuit
+    instead of once per relaxation.
+    """
+    from ..core.pipeline import PipelineCache
+    from .batch import CompileJob, compile_many
+
     circuits = (
         benchmarks if benchmarks is not None else default_relaxation_benchmarks()
     )
-    points: list[RelaxationPoint] = []
+    jobs: list[CompileJob] = []
+    labels: list[tuple[str, str]] = []
+    # One cache for the whole sweep: keys include the circuit fingerprint,
+    # so sharing across benchmarks is safe and each still hits its prefix.
+    prefix_cache = PipelineCache() if workers <= 1 else None
     for circ in circuits:
         arch = raa_for(circ)
         for label, toggles in RELAXATIONS:
             cfg = AtomiqueConfig(seed=seed, router=RouterConfig(toggles=toggles))
-            m = compile_on_atomique(circ, arch, cfg, label=label)
-            points.append(RelaxationPoint(label, circ.name, m))
-    return points
+            jobs.append(
+                CompileJob(
+                    "Atomique",
+                    circ,
+                    CompileOptions(
+                        raa=arch,
+                        config=cfg,
+                        seed=seed,
+                        label=label,
+                        pipeline_cache=prefix_cache,
+                    ),
+                )
+            )
+            labels.append((label, circ.name))
+    metrics = compile_many(jobs, workers=workers, cache=cache)
+    return [
+        RelaxationPoint(label, bench, m)
+        for (label, bench), m in zip(labels, metrics)
+    ]

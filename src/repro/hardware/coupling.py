@@ -39,6 +39,7 @@ class CouplingMap:
         for a, b in edges:
             self.add_edge(int(a), int(b))
         self._dist: np.ndarray | None = None
+        self._nbr_lists: tuple[np.ndarray, ...] | None = None
 
     def add_edge(self, a: int, b: int) -> None:
         """Insert the undirected edge ``(a, b)``."""
@@ -50,6 +51,7 @@ class CouplingMap:
         self.adj[b].add(a)
         self._edges.add((min(a, b), max(a, b)))
         self._dist = None
+        self._nbr_lists = None
 
     @property
     def edges(self) -> list[tuple[int, int]]:
@@ -71,24 +73,77 @@ class CouplingMap:
     def degree(self, q: int) -> int:
         return len(self.adj[q])
 
+    def neighbor_lists(self) -> tuple[np.ndarray, ...]:
+        """Per-qubit sorted neighbor index arrays, cached on the instance.
+
+        SABRE's candidate enumeration consumes these instead of the python
+        ``adj`` sets so swap-edge generation is a numpy concatenation.
+        """
+        if self._nbr_lists is None:
+            self._nbr_lists = tuple(
+                np.fromiter(sorted(s), dtype=np.int64, count=len(s))
+                for s in self.adj
+            )
+        return self._nbr_lists
+
     # -- distances ------------------------------------------------------------
 
+    #: above this size the dense frontier product's n^2-per-level memory
+    #: traffic loses to the per-source python BFS
+    _DENSE_BFS_LIMIT = 512
+
     def distance_matrix(self) -> np.ndarray:
-        """All-pairs hop distances; unreachable pairs get a large sentinel."""
+        """All-pairs hop distances; unreachable pairs get a large sentinel.
+
+        Computed once and cached on the instance (every factory in this
+        module builds the full edge set in the constructor, so the cache
+        never needs invalidating in practice; ``add_edge`` still clears it
+        for the incremental-construction path).  Small graphs use a
+        vectorized all-sources BFS: one boolean frontier matrix expanded a
+        level at a time through a float32 adjacency product.
+        """
         if self._dist is None:
             n = self.num_qubits
-            dist = np.full((n, n), n + 1, dtype=np.int32)
-            for src in range(n):
-                dist[src, src] = 0
-                dq: deque[int] = deque([src])
-                while dq:
-                    u = dq.popleft()
-                    for v in self.adj[u]:
-                        if dist[src, v] > dist[src, u] + 1:
-                            dist[src, v] = dist[src, u] + 1
-                            dq.append(v)
-            self._dist = dist
+            if n <= self._DENSE_BFS_LIMIT and self._edges:
+                self._dist = self._distance_matrix_dense()
+            else:
+                self._dist = self._distance_matrix_bfs()
         return self._dist
+
+    def _distance_matrix_dense(self) -> np.ndarray:
+        n = self.num_qubits
+        edges = np.array(sorted(self._edges), dtype=np.int64)
+        adj = np.zeros((n, n), dtype=np.float32)
+        adj[edges[:, 0], edges[:, 1]] = 1.0
+        adj[edges[:, 1], edges[:, 0]] = 1.0
+        dist = np.full((n, n), n + 1, dtype=np.int32)
+        np.fill_diagonal(dist, 0)
+        frontier = np.eye(n, dtype=np.float32)
+        reached = np.eye(n, dtype=bool)
+        level = 0
+        while True:
+            level += 1
+            newly = (frontier @ adj > 0.0) & ~reached
+            if not newly.any():
+                break
+            dist[newly] = level
+            reached |= newly
+            frontier = newly.astype(np.float32)
+        return dist
+
+    def _distance_matrix_bfs(self) -> np.ndarray:
+        n = self.num_qubits
+        dist = np.full((n, n), n + 1, dtype=np.int32)
+        for src in range(n):
+            dist[src, src] = 0
+            dq: deque[int] = deque([src])
+            while dq:
+                u = dq.popleft()
+                for v in self.adj[u]:
+                    if dist[src, v] > dist[src, u] + 1:
+                        dist[src, v] = dist[src, u] + 1
+                        dq.append(v)
+        return dist
 
     def distance(self, a: int, b: int) -> int:
         """Hop distance between *a* and *b*."""

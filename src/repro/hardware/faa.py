@@ -86,11 +86,18 @@ class FAAArchitecture:
         return self.rows * self.cols
 
     def coupling_map(self) -> CouplingMap:
-        """The device coupling graph."""
+        """The device coupling graph (built once per instance, so its
+        distance matrix and neighbor lists are computed once too)."""
+        cached = getattr(self, "_coupling", None)
+        if cached is not None:
+            return cached
         if self.topology == "rectangular":
-            return grid_coupling(self.rows, self.cols, triangular=False)
-        if self.topology == "triangular":
-            return grid_coupling(self.rows, self.cols, triangular=True)
-        return long_range_grid_coupling(
-            self.rows, self.cols, self.max_interaction_range
-        )
+            cached = grid_coupling(self.rows, self.cols, triangular=False)
+        elif self.topology == "triangular":
+            cached = grid_coupling(self.rows, self.cols, triangular=True)
+        else:
+            cached = long_range_grid_coupling(
+                self.rows, self.cols, self.max_interaction_range
+            )
+        self._coupling = cached
+        return cached

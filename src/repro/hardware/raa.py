@@ -168,15 +168,31 @@ class RAAArchitecture:
         Qubit *i* sits in array ``array_of_qubit[i]``; edges join every pair
         of qubits in *different* arrays (Sec. III: "two-qubit gates can only
         be performed between two different arrays").
+
+        The map (with its cached distance matrix and neighbor lists) is
+        memoized per assignment so repeated compiles of the same circuit —
+        e.g. a router-toggle sweep sharing one array mapping — reuse one
+        instance instead of re-running the all-pairs BFS.
         """
-        n = len(array_of_qubit)
-        edges = [
-            (i, j)
-            for i in range(n)
-            for j in range(i + 1, n)
-            if array_of_qubit[i] != array_of_qubit[j]
-        ]
-        return CouplingMap(n, edges)
+        key = tuple(array_of_qubit)
+        cache = getattr(self, "_multipartite_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_multipartite_cache", cache)
+        cm = cache.get(key)
+        if cm is None:
+            n = len(array_of_qubit)
+            edges = [
+                (i, j)
+                for i in range(n)
+                for j in range(i + 1, n)
+                if array_of_qubit[i] != array_of_qubit[j]
+            ]
+            cm = CouplingMap(n, edges)
+            if len(cache) >= 8:  # bound the per-architecture footprint
+                cache.pop(next(iter(cache)))
+            cache[key] = cm
+        return cm
 
     def validate_assignment(self, array_of_qubit: list[int]) -> None:
         """Raise if an array is over capacity or an index is out of range."""

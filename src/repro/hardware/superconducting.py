@@ -79,5 +79,10 @@ class SuperconductingArchitecture:
             row_length += 4
 
     def coupling_map(self) -> CouplingMap:
-        """The heavy-hex coupling graph."""
-        return heavy_hex_coupling(self.rows, self.row_length)
+        """The heavy-hex coupling graph (built once per instance, so its
+        distance matrix and neighbor lists are computed once too)."""
+        cached = getattr(self, "_coupling", None)
+        if cached is None:
+            cached = heavy_hex_coupling(self.rows, self.row_length)
+            self._coupling = cached
+        return cached

@@ -15,6 +15,15 @@ The implementation follows the published algorithm:
   thrashing on recently swapped qubits;
 * the initial layout is refined by forward/backward passes over the circuit
   (the "reverse traversal" trick from the paper).
+
+Scoring is *incremental* (:class:`_IncrementalScorer`): front and extended
+pair costs are running integer sums, each candidate edge carries the exact
+integer cost *delta* its swap would cause, and a committed swap only
+refreshes the deltas of candidates touching the swapped qubits (or the
+partners of pairs they host).  All bookkeeping is integer-exact, so the
+floating-point scores — and therefore the chosen swap sequence — are
+bit-identical to the naive rescoring loop (pinned by the golden corpus in
+``tests/transpile/golden_sabre.json`` and a per-decision differential test).
 """
 
 from __future__ import annotations
@@ -78,16 +87,295 @@ def _extended_set(dag: DAGCircuit, front: set[int], limit: int) -> list[int]:
     return out
 
 
+class _IncrementalScorer:
+    """Delta-scored swap candidates over numpy index arrays.
+
+    One instance lives for the duration of a :func:`sabre_route` call and
+    owns the logical<->physical position arrays.  The candidate set is the
+    coupling edges touching a physical qubit of the front layer; each
+    candidate stores the *integer* change its swap would make to the summed
+    front / extended-set distances.  Because front-layer gates are pairwise
+    qubit-disjoint, every active physical qubit has exactly one front
+    partner, which makes the front delta a handful of vectorized distance
+    gathers; extended-set pairs may share qubits, so their delta is
+    accumulated per ext pair over the candidates that touch one.
+
+    An *epoch* spans the decisions between two front-layer changes:
+    :meth:`begin_epoch` rebuilds the pair structures and scores every
+    candidate, :meth:`commit` applies a chosen swap and refreshes only the
+    candidates whose cost that swap could have moved.
+    """
+
+    def __init__(self, coupling: CouplingMap, l2p: np.ndarray) -> None:
+        self._dist = coupling.distance_matrix()
+        self._nbrs = coupling.neighbor_lists()
+        n = coupling.num_qubits
+        self._n = n
+        self.l2p = l2p
+        self._p2l = np.full(n, -1, dtype=np.int64)
+        present = l2p >= 0
+        self._p2l[l2p[present]] = np.flatnonzero(present)
+        #: physical -> its single front partner's physical position (or -1)
+        self._partner = np.full(n, -1, dtype=np.int64)
+        #: physical hosts a front-layer qubit
+        self._active = np.zeros(n, dtype=bool)
+        #: physical hosts an extended-set pair endpoint
+        self._hostext = np.zeros(n, dtype=bool)
+        #: scratch flags for the affected-candidate mask
+        self._aff = np.zeros(n, dtype=bool)
+        #: per-physical-qubit candidate edge codes (min*n + max), lazy
+        self._edge_codes: list[np.ndarray | None] = [None] * n
+        self._E = 0
+        self._F = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _codes_for(self, p: int) -> np.ndarray:
+        codes = self._edge_codes[p]
+        if codes is None:
+            nb = self._nbrs[p]
+            codes = np.where(nb < p, nb * self._n + p, p * self._n + nb)
+            codes.sort()
+            self._edge_codes[p] = codes
+        return codes
+
+    def _front_delta(self, s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+        """Exact integer front-cost change of swapping each ``(s1, s2)``."""
+        dist = self._dist
+        part1 = self._partner[s1]
+        part2 = self._partner[s2]
+        d = np.zeros(len(s1), dtype=np.int64)
+        m = part1 >= 0
+        if m.any():
+            d[m] = dist[s2[m], part1[m]].astype(np.int64) - dist[s1[m], part1[m]]
+        m = part2 >= 0
+        if m.any():
+            d[m] += dist[s1[m], part2[m]].astype(np.int64) - dist[s2[m], part2[m]]
+        # A candidate swapping the two endpoints of one front pair leaves its
+        # distance unchanged; the two one-sided terms double-subtracted it.
+        m = part1 == s2
+        if m.any():
+            d[m] += 2 * dist[s1[m], s2[m]].astype(np.int64)
+        return d
+
+    def _ext_delta(self, s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+        """Exact integer extended-set cost change per candidate swap."""
+        d = np.zeros(len(s1), dtype=np.int64)
+        if not self._E:
+            return d
+        sub = np.flatnonzero(self._hostext[s1] | self._hostext[s2])
+        if not len(sub):
+            return d
+        dist = self._dist
+        ss1, ss2 = s1[sub], s2[sub]
+        acc = np.zeros(len(sub), dtype=np.int64)
+        for k in range(self._E):
+            u = int(self._pea[k])
+            v = int(self._peb[k])
+            t1u = ss1 == u
+            t2u = ss2 == u
+            t1v = ss1 == v
+            t2v = ss2 == v
+            touched = t1u | t2u | t1v | t2v
+            if not touched.any():
+                continue
+            idx = np.flatnonzero(touched)
+            a = np.where(t1u[idx], ss2[idx], np.where(t2u[idx], ss1[idx], u))
+            b = np.where(t1v[idx], ss2[idx], np.where(t2v[idx], ss1[idx], v))
+            acc[idx] += dist[a, b].astype(np.int64) - int(dist[u, v])
+        d[sub] = acc
+        return d
+
+    # -- epoch lifecycle -------------------------------------------------------
+
+    def begin_epoch(
+        self,
+        front_pairs: list[tuple[int, ...]],
+        ext_pairs: list[tuple[int, ...]],
+    ) -> None:
+        """Rebuild pair structures and score every candidate from scratch."""
+        n = self._n
+        l2p = self.l2p
+        fa = np.fromiter((p[0] for p in front_pairs), np.int64, len(front_pairs))
+        fb = np.fromiter((p[1] for p in front_pairs), np.int64, len(front_pairs))
+        self._pfa = l2p[fa]
+        self._pfb = l2p[fb]
+        self._F = len(front_pairs)
+        self._E = len(ext_pairs)
+        if ext_pairs:
+            ea = np.fromiter((p[0] for p in ext_pairs), np.int64, len(ext_pairs))
+            eb = np.fromiter((p[1] for p in ext_pairs), np.int64, len(ext_pairs))
+            self._pea = l2p[ea]
+            self._peb = l2p[eb]
+        else:
+            self._pea = self._peb = np.empty(0, dtype=np.int64)
+
+        self._partner.fill(-1)
+        self._partner[self._pfa] = self._pfb
+        self._partner[self._pfb] = self._pfa
+        self._active.fill(False)
+        self._active[self._pfa] = True
+        self._active[self._pfb] = True
+        self._hostext.fill(False)
+        if self._E:
+            self._hostext[self._pea] = True
+            self._hostext[self._peb] = True
+
+        dist = self._dist
+        self._base_front = int(dist[self._pfa, self._pfb].astype(np.int64).sum())
+        self._base_ext = (
+            int(dist[self._pea, self._peb].astype(np.int64).sum()) if self._E else 0
+        )
+
+        act = np.unique(np.concatenate([self._pfa, self._pfb]))
+        codes = np.unique(np.concatenate([self._codes_for(int(p)) for p in act]))
+        self._codes = codes
+        self._cp1 = codes // n
+        self._cp2 = codes % n
+        self._dfront = self._front_delta(self._cp1, self._cp2)
+        self._dext = self._ext_delta(self._cp1, self._cp2)
+
+    def scores(self, decay: np.ndarray) -> np.ndarray:
+        """Float scores of every candidate, identical to the naive formula."""
+        front_cost = (self._base_front + self._dfront) / self._F
+        if self._E:
+            total = front_cost + EXTENDED_SET_WEIGHT * (
+                (self._base_ext + self._dext) / self._E
+            )
+        else:
+            total = front_cost
+        return np.maximum(decay[self._cp1], decay[self._cp2]) * total
+
+    def select(self, decay: np.ndarray, rng: np.random.Generator) -> int:
+        """Pick the candidate index SABRE-style (min score, seeded ties)."""
+        sc = self.scores(decay)
+        best = sc.min()
+        ties = np.flatnonzero(sc <= best + 1e-12)
+        if len(ties) > 1:
+            order = np.lexsort((self._cp2[ties], self._cp1[ties], sc[ties]))
+            ties = ties[order]
+        # The naive loop draws once per decision even for a single tie;
+        # keep the rng stream identical.
+        return int(ties[int(rng.integers(0, len(ties)))])
+
+    def edge(self, idx: int) -> tuple[int, int]:
+        return int(self._cp1[idx]), int(self._cp2[idx])
+
+    def commit(self, idx: int) -> None:
+        """Apply candidate *idx*'s swap and delta-refresh touched candidates."""
+        p1 = int(self._cp1[idx])
+        p2 = int(self._cp2[idx])
+        self._base_front += int(self._dfront[idx])
+        self._base_ext += int(self._dext[idx])
+
+        # Affected vertices: the swapped qubits plus the partners of every
+        # pair they host — only candidates touching one can change delta.
+        w1 = int(self._partner[p1])
+        w2 = int(self._partner[p2])
+        affected = [p1, p2]
+        if w1 >= 0:
+            affected.append(w1)
+        if w2 >= 0:
+            affected.append(w2)
+        if self._E:
+            pea, peb = self._pea, self._peb
+            m = (pea == p1) | (pea == p2)
+            if m.any():
+                affected.extend(int(x) for x in peb[m])
+            m = (peb == p1) | (peb == p2)
+            if m.any():
+                affected.extend(int(x) for x in pea[m])
+
+        # Swap the physical contents.
+        l1 = int(self._p2l[p1])
+        l2 = int(self._p2l[p2])
+        if l1 >= 0:
+            self.l2p[l1] = p2
+        if l2 >= 0:
+            self.l2p[l2] = p1
+        self._p2l[p1] = l2
+        self._p2l[p2] = l1
+
+        # Re-point the physical pair-position arrays.
+        for arr in (self._pfa, self._pfb, self._pea, self._peb):
+            if not len(arr):
+                continue
+            m1 = arr == p1
+            m2 = arr == p2
+            arr[m1] = p2
+            arr[m2] = p1
+
+        # Front partners move with their qubits (no-op for a swap between
+        # the two endpoints of one pair).
+        if w1 != p2:
+            self._partner[p1] = w2
+            self._partner[p2] = w1
+            if w1 >= 0:
+                self._partner[w1] = p2
+            if w2 >= 0:
+                self._partner[w2] = p1
+        self._hostext[p1], self._hostext[p2] = (
+            bool(self._hostext[p2]),
+            bool(self._hostext[p1]),
+        )
+
+        # Candidate set: active membership only changes when exactly one of
+        # the swapped positions hosted a front qubit.
+        a1 = bool(self._active[p1])
+        a2 = bool(self._active[p2])
+        if a1 != a2:
+            self._active[p1] = a2
+            self._active[p2] = a1
+            newly = p1 if a2 else p2
+            keep = self._active[self._cp1] | self._active[self._cp2]
+            old_codes = self._codes[keep]
+            merged = np.union1d(old_codes, self._codes_for(newly))
+            dfront = np.empty(len(merged), dtype=np.int64)
+            dext = np.empty(len(merged), dtype=np.int64)
+            pos = np.searchsorted(merged, old_codes)
+            dfront[pos] = self._dfront[keep]
+            dext[pos] = self._dext[keep]
+            # Fresh entries all touch `newly` ∈ affected, so the refresh
+            # below computes them; stale slots never survive it.
+            self._codes = merged
+            self._cp1 = merged // self._n
+            self._cp2 = merged % self._n
+            self._dfront = dfront
+            self._dext = dext
+
+        aff = self._aff
+        for a in affected:
+            aff[a] = True
+        mask = aff[self._cp1] | aff[self._cp2]
+        for a in affected:
+            aff[a] = False
+        touched = np.flatnonzero(mask)
+        if len(touched):
+            s1 = self._cp1[touched]
+            s2 = self._cp2[touched]
+            self._dfront[touched] = self._front_delta(s1, s2)
+            self._dext[touched] = self._ext_delta(s1, s2)
+
+
 def sabre_route(
     circuit: QuantumCircuit,
     coupling: CouplingMap,
     initial_layout: Layout | None = None,
     seed: int = 7,
+    dag: DAGCircuit | None = None,
+    _audit=None,
 ) -> SabreResult:
     """Route *circuit* onto *coupling* inserting SWAPs, SABRE-style.
 
     The returned circuit acts on physical qubit indices.  1Q gates and
     directives pass straight through at the current mapping.
+
+    ``dag`` optionally supplies a prebuilt dependency DAG of *circuit*
+    (it is reset and consumed) so repeated routes of the same circuit —
+    the layout search's 2xN reverse traversals — skip reconstruction.
+    ``_audit`` is a test hook called once per swap decision with the
+    scorer's candidate arrays and the exact state a naive rescoring loop
+    needs to reproduce them.
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise ValueError(
@@ -97,13 +385,27 @@ def sabre_route(
     rng = np.random.default_rng(seed)
     layout = (initial_layout or Layout.trivial(circuit.num_qubits)).copy()
     init_layout = layout.copy()
-    dist = coupling.distance_matrix()
-    dag = DAGCircuit(circuit)
+    if dag is None:
+        dag = DAGCircuit(circuit)
+    else:
+        dag.reset()
+    coupling.distance_matrix()  # materialize the cached artifact up front
     out = QuantumCircuit(coupling.num_qubits, circuit.name)
     decay = np.ones(coupling.num_qubits)
     num_swaps = 0
     swap_indices: list[int] = []
     steps_since_progress = 0
+
+    l2p_map = layout.as_dict()
+    num_slots = max(l2p_map) + 1 if l2p_map else 0
+    l2p = np.full(num_slots, -1, dtype=np.int64)
+    for q, p in l2p_map.items():
+        l2p[q] = p
+    scorer = _IncrementalScorer(coupling, l2p)
+
+    gates = dag.gates
+    two_qubit = dag.two_qubit
+    adj = coupling.adj
 
     def flush_executable() -> bool:
         """Execute every currently-runnable front gate; True if any ran."""
@@ -112,15 +414,17 @@ def sabre_route(
         while changed:
             changed = False
             for idx in dag.front_indices():
-                g = dag.gates[idx]
-                if g.is_two_qubit:
-                    pa, pb = layout.physical(g.qubits[0]), layout.physical(g.qubits[1])
-                    if not coupling.is_adjacent(pa, pb):
+                g = gates[idx]
+                if two_qubit[idx]:
+                    qa, qb = g.qubits
+                    pa = int(l2p[qa])
+                    pb = int(l2p[qb])
+                    if pb not in adj[pa]:
                         continue
                     out.append(Gate(g.name, (pa, pb), g.params))
                 else:
                     out.append(
-                        Gate(g.name, tuple(layout.physical(q) for q in g.qubits), g.params)
+                        Gate(g.name, tuple(int(l2p[q]) for q in g.qubits), g.params)
                     )
                 dag.execute(idx)
                 changed = True
@@ -128,58 +432,30 @@ def sabre_route(
         return progressed
 
     flush_executable()
+    front_dirty = True
     while not dag.done:
-        front_2q = [i for i in dag.front_layer if dag.gates[i].is_two_qubit]
+        front_2q = [i for i in dag.front_layer if two_qubit[i]]
         if not front_2q:
             # Only 1Q gates remain blocked (cannot happen: 1Q always runs).
             flush_executable()
+            front_dirty = True
             continue
-        ext = _extended_set(dag, dag.front_layer, EXTENDED_SET_SIZE)
+        if front_dirty:
+            ext = _extended_set(dag, dag.front_layer, EXTENDED_SET_SIZE)
+            front_pairs = [gates[i].qubits for i in front_2q]
+            ext_pairs = [gates[i].qubits for i in ext]
+            scorer.begin_epoch(front_pairs, ext_pairs)
+            front_dirty = False
 
-        # Candidate swaps: edges touching a front-layer qubit.
-        active_phys: set[int] = set()
-        for i in front_2q:
-            for q in dag.gates[i].qubits:
-                active_phys.add(layout.physical(q))
-        candidates: set[tuple[int, int]] = set()
-        for p in active_phys:
-            for nb in coupling.neighbors(p):
-                candidates.add((min(p, nb), max(p, nb)))
-
-        # Score every candidate edge exactly once.  Instead of copying the
-        # layout per edge we apply the swap in place, measure, and swap
-        # back (swap_physical is an involution) — same numbers, no O(n)
-        # dict rebuild per candidate.
-        front_pairs = [dag.gates[i].qubits for i in front_2q]
-        ext_pairs = [dag.gates[i].qubits for i in ext]
-        physical = layout.physical
-        scores: dict[tuple[int, int], float] = {}
-        for edge in candidates:
-            p1, p2 = edge
-            layout.swap_physical(p1, p2)
-            front_cost = 0.0
-            for a, b in front_pairs:
-                front_cost += dist[physical(a), physical(b)]
-            front_cost /= len(front_pairs)
-            ext_cost = 0.0
-            if ext_pairs:
-                for a, b in ext_pairs:
-                    ext_cost += dist[physical(a), physical(b)]
-                ext_cost /= len(ext_pairs)
-            layout.swap_physical(p1, p2)
-            scores[edge] = max(decay[p1], decay[p2]) * (
-                front_cost + EXTENDED_SET_WEIGHT * ext_cost
-            )
-
-        scored = sorted(candidates, key=lambda e: (scores[e], e))
-        best_score = scores[scored[0]]
-        ties = [e for e in scored if scores[e] <= best_score + 1e-12]
-        p1, p2 = ties[int(rng.integers(0, len(ties)))]
+        if _audit is not None:
+            _audit(scorer, front_pairs, ext_pairs, l2p, decay)
+        chosen = scorer.select(decay, rng)
+        p1, p2 = scorer.edge(chosen)
 
         out.append(Gate("swap", (p1, p2)))
         swap_indices.append(len(out) - 1)
         num_swaps += 1
-        layout.swap_physical(p1, p2)
+        scorer.commit(chosen)
         decay[p1] += DECAY_INCREMENT
         decay[p2] += DECAY_INCREMENT
         steps_since_progress += 1
@@ -189,11 +465,13 @@ def sabre_route(
         if flush_executable():
             decay[:] = 1.0
             steps_since_progress = 0
+            front_dirty = True
 
+    final_layout = Layout({q: int(l2p[q]) for q in sorted(l2p_map)})
     return SabreResult(
         circuit=out,
         initial_layout=init_layout,
-        final_layout=layout,
+        final_layout=final_layout,
         num_swaps=num_swaps,
         swap_gate_indices=swap_indices,
     )
@@ -205,19 +483,28 @@ def sabre_layout(
     num_iterations: int = 3,
     seed: int = 7,
     initial_layout: Layout | None = None,
+    forward_dag: DAGCircuit | None = None,
+    backward_dag: DAGCircuit | None = None,
 ) -> Layout:
     """Find an initial layout by SABRE forward/backward traversal.
 
     Each iteration routes the circuit forward then backward, feeding the
-    final layout of each pass in as the initial layout of the next.
+    final layout of each pass in as the initial layout of the next.  The
+    forward/backward dependency DAGs are built once and reset per route
+    instead of reconstructed 2x per iteration; callers that already hold
+    them (:func:`route_with_sabre`) can pass them in.
     """
     layout = initial_layout or _spread_layout(circuit.num_qubits, coupling, seed)
     forward = circuit.without_directives()
     backward = circuit.reversed()
+    fwd = forward_dag if forward_dag is not None else DAGCircuit(forward)
+    bwd = backward_dag if backward_dag is not None else DAGCircuit(backward)
     for it in range(num_iterations):
-        res_f = sabre_route(forward, coupling, layout, seed=seed + 2 * it)
+        res_f = sabre_route(forward, coupling, layout, seed=seed + 2 * it, dag=fwd)
         layout = res_f.final_layout
-        res_b = sabre_route(backward, coupling, layout, seed=seed + 2 * it + 1)
+        res_b = sabre_route(
+            backward, coupling, layout, seed=seed + 2 * it + 1, dag=bwd
+        )
         layout = res_b.final_layout
     return layout
 
@@ -238,8 +525,14 @@ def route_with_sabre(
 ) -> SabreResult:
     """Full SABRE pipeline: layout search then final routing pass."""
     clean = circuit.without_directives()
+    fwd_dag = DAGCircuit(clean)
     if initial_layout is None:
         initial_layout = sabre_layout(
-            clean, coupling, num_iterations=layout_iterations, seed=seed
+            clean,
+            coupling,
+            num_iterations=layout_iterations,
+            seed=seed,
+            forward_dag=fwd_dag,
+            backward_dag=DAGCircuit(clean.reversed()),
         )
-    return sabre_route(clean, coupling, initial_layout, seed=seed)
+    return sabre_route(clean, coupling, initial_layout, seed=seed, dag=fwd_dag)

@@ -25,6 +25,9 @@ class TestLookup:
         names = available_backends()
         assert "Q-Pilot" in names
         assert "Geyser" in names
+        assert "Tan-Solver" in names
+        assert "Tan-IterP" in names
+        assert "Q-Pilot-QSim" in names
 
     def test_unknown_backend_lists_known_names(self):
         with pytest.raises(ValueError, match="Atomique"):
@@ -90,3 +93,51 @@ class TestDispatch:
         assert m.architecture == "Geyser"
         assert m.extras["pulses"] > 0
         assert m.extras["atomique_pulses_same_2q"] > 0
+
+    def test_atomique_backend_honors_label(self):
+        m = get_backend("Atomique").compile(
+            qaoa_regular(8, 3, seed=1), CompileOptions(label="Relax C3")
+        )
+        assert m.architecture == "Relax C3"
+
+    def test_tan_solver_backend_matches_direct_call(self):
+        from repro.baselines.solver import solver_architecture, tan_solver_compile
+
+        circ = qaoa_regular(8, 3, seed=1)
+        via_registry = get_backend("Tan-Solver").compile(
+            circ, CompileOptions(extra=(("solver_qubit_limit", 14),))
+        )
+        direct = tan_solver_compile(
+            circ, solver_architecture(), timeout_qubits=14, seed=7
+        )
+        assert via_registry.num_2q_gates == direct.num_2q_gates
+        assert via_registry.depth == direct.depth
+        assert via_registry.total_fidelity == direct.total_fidelity
+
+    def test_tan_solver_backend_times_out_past_budget(self):
+        from repro.baselines.solver import SolverTimeout
+
+        with pytest.raises(SolverTimeout):
+            get_backend("Tan-Solver").compile(
+                qaoa_regular(16, 3, seed=1),
+                CompileOptions(extra=(("solver_qubit_limit", 12),)),
+            )
+
+    def test_qpilot_qsim_backend_requires_strings(self):
+        from repro.generators.qsim import qsim_random
+
+        with pytest.raises(ValueError, match="qsim_strings"):
+            get_backend("Q-Pilot-QSim").compile(qsim_random(8, seed=8))
+
+    def test_qpilot_qsim_backend_matches_direct_call(self):
+        from repro.baselines.qpilot import compile_qsim_on_qpilot
+        from repro.generators.qsim import qsim_random, qsim_random_strings
+
+        circ = qsim_random(8, seed=8)
+        strings = qsim_random_strings(8, seed=8)
+        via_registry = get_backend("Q-Pilot-QSim").compile(
+            circ, CompileOptions(extra=(("qsim_strings", tuple(strings)),))
+        )
+        direct = compile_qsim_on_qpilot(8, strings, name=circ.name, seed=7)
+        assert via_registry.num_2q_gates == direct.num_2q_gates
+        assert via_registry.benchmark == direct.benchmark

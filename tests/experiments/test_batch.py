@@ -55,6 +55,46 @@ class TestDeterminism:
             ]
 
 
+class TestNewOptionFields:
+    def test_key_varies_with_label_and_extra(self):
+        circ = qaoa_regular(8, 3, seed=1)
+        base = CompileJob("Atomique", circ, CompileOptions())
+        labeled = CompileJob("Atomique", circ, CompileOptions(label="Relax C3"))
+        extra = CompileJob(
+            "Atomique", circ, CompileOptions(extra=(("knob", 3),))
+        )
+        assert base.cache_key() != labeled.cache_key()
+        assert base.cache_key() != extra.cache_key()
+        assert labeled.cache_key() != extra.cache_key()
+
+    def test_pipeline_cache_excluded_from_key_and_eq(self):
+        from repro.core import PipelineCache
+
+        circ = qaoa_regular(8, 3, seed=1)
+        bare = CompileJob("Atomique", circ, CompileOptions())
+        cached = CompileJob(
+            "Atomique", circ, CompileOptions(pipeline_cache=PipelineCache())
+        )
+        assert bare.cache_key() == cached.cache_key()
+        assert bare.options == cached.options
+
+    def test_workers_strip_pipeline_cache(self):
+        """Jobs carrying an in-process cache still run on a process pool."""
+        from repro.core import PipelineCache
+
+        shared = PipelineCache()
+        circuits = [qaoa_regular(8, 3, seed=1), qsim_random(8, seed=2)]
+        jobs = [
+            CompileJob("Atomique", c, CompileOptions(pipeline_cache=shared))
+            for c in circuits
+        ]
+        serial = compile_many(jobs, workers=1)
+        parallel = compile_many(jobs, workers=2)
+        assert [stable_row(m) for m in serial] == [
+            stable_row(m) for m in parallel
+        ]
+
+
 class TestCacheKeys:
     def test_key_is_stable(self):
         a, b = fig13_style_jobs()[0], fig13_style_jobs()[0]

@@ -63,6 +63,64 @@ class TestCouplingMap:
         assert not cm.subgraph_is_valid_layout([0, 8])
 
 
+class TestCachedArtifacts:
+    def test_dense_bfs_matches_reference(self):
+        """Vectorized all-sources BFS == per-source python BFS, incl. the
+        disconnected sentinel."""
+        import numpy as np
+
+        maps = [
+            grid_coupling(4, 5),
+            grid_coupling(3, 3, triangular=True),
+            CouplingMap(6, [(0, 1), (1, 2), (3, 4)]),  # disconnected
+            long_range_grid_coupling(3, 4, max_range=2.0),
+        ]
+        for cm in maps:
+            dense = cm._distance_matrix_dense()
+            reference = cm._distance_matrix_bfs()
+            assert np.array_equal(dense, reference)
+
+    def test_distance_matrix_cached_instance(self):
+        cm = grid_coupling(4, 4)
+        assert cm.distance_matrix() is cm.distance_matrix()
+
+    def test_add_edge_invalidates_caches(self):
+        cm = CouplingMap(3, [(0, 1)])
+        assert cm.distance(0, 2) > 3
+        nbrs_before = cm.neighbor_lists()
+        assert list(nbrs_before[2]) == []
+        cm.add_edge(1, 2)
+        assert cm.distance(0, 2) == 2
+        assert list(cm.neighbor_lists()[2]) == [1]
+
+    def test_neighbor_lists_match_adj(self):
+        cm = grid_coupling(3, 4, triangular=True)
+        nbrs = cm.neighbor_lists()
+        assert cm.neighbor_lists() is nbrs  # cached
+        for q in range(cm.num_qubits):
+            assert sorted(cm.adj[q]) == list(nbrs[q])
+
+    def test_architecture_coupling_maps_cached(self):
+        from repro.hardware.faa import FAAArchitecture
+        from repro.hardware.superconducting import SuperconductingArchitecture
+
+        sc = SuperconductingArchitecture()
+        assert sc.coupling_map() is sc.coupling_map()
+        faa = FAAArchitecture.for_circuit(20)
+        assert faa.coupling_map() is faa.coupling_map()
+
+    def test_multipartite_coupling_memoized(self):
+        from repro.hardware import RAAArchitecture
+
+        arch = RAAArchitecture.default(side=4, num_aods=2)
+        assignment = [i % 3 for i in range(9)]
+        first = arch.multipartite_coupling(assignment)
+        again = arch.multipartite_coupling(list(assignment))
+        assert first is again
+        other = arch.multipartite_coupling([i % 2 for i in range(9)])
+        assert other is not first
+
+
 class TestGridCoupling:
     def test_rectangular_edge_count(self):
         cm = grid_coupling(3, 4)

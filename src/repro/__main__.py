@@ -8,6 +8,10 @@ compare   compile a QASM file on all five architectures (mini Fig. 13)
 bench     print Table II statistics for the built-in benchmark suites;
           with ``--perf``, time end-to-end routing on the 50+ qubit
           generator suite and write ``BENCH_router.json``
+serve     run the compile-service daemon (async job queue over
+          ``compile_many`` with sharded workers and on-disk caches)
+submit    send a QASM file to a running daemon, optionally waiting for
+          and printing the resulting metrics
 """
 
 from __future__ import annotations
@@ -83,6 +87,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve_forever
+
+    return serve_forever(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        spool_dir=args.spool,
+        shards=args.shards,
+        prefix_cache_dir=args.prefix_cache,
+        result_cache_dir=args.result_cache,
+        inline=args.inline,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .baselines.registry import CompileOptions
+    from .experiments import CompileJob, raa_for
+    from .service import ServiceClient
+
+    circuit = _load_circuit(args.qasm)
+    client = ServiceClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    )
+    job_ids: list[str] = []
+    for backend in args.backend or ["Atomique"]:
+        raa = raa_for(circuit) if backend == "Atomique" else None
+        job = CompileJob(
+            backend, circuit, CompileOptions(raa=raa, seed=args.seed)
+        )
+        job_id = client.submit(job)
+        job_ids.append(job_id)
+        print(f"submitted {job_id} ({backend})")
+    if args.wait:
+        rows = [m.row() for m in client.results(job_ids)]
+        print(format_table(rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,6 +169,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="where --perf writes its JSON report",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the compile-service daemon"
+    )
+    p_serve.add_argument(
+        "--socket", help="listen on this Unix socket path (default: TCP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--spool", help="persist the job queue and results in this directory"
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=2, help="number of worker processes"
+    )
+    p_serve.add_argument(
+        "--prefix-cache",
+        help="disk-backed pipeline prefix cache directory (shared by shards "
+        "and across daemon restarts)",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        help="on-disk whole-result cache directory (repeat submissions skip "
+        "recompilation)",
+    )
+    p_serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="run jobs in the server process instead of worker shards",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a QASM file to a running daemon"
+    )
+    p_submit.add_argument("qasm", help="OpenQASM 2.0 input file")
+    p_submit.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        help="backend name (repeatable; default: Atomique)",
+    )
+    p_submit.add_argument(
+        "--socket", help="daemon Unix socket path (default: TCP host/port)"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1", help="daemon TCP host")
+    p_submit.add_argument("--port", type=int, help="daemon TCP port")
+    p_submit.add_argument("--seed", type=int, default=7, help="compile seed")
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until every job finishes and print the metrics table",
+    )
+    p_submit.set_defaults(func=cmd_submit)
     return parser
 
 

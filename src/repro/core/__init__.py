@@ -20,10 +20,12 @@ from .instructions import (
 )
 from .movement import MovementTracker
 from .pipeline import (
+    PIPELINE_CACHE_VERSION,
     ArrayMapperPass,
     AtomMapperPass,
     CachedPass,
     CompilationContext,
+    DiskPipelineCache,
     LowerToNativePass,
     Pass,
     PassPipeline,
@@ -36,6 +38,7 @@ from .pipeline import (
 from .router import HighParallelismRouter, RouterConfig, RoutingError
 
 __all__ = [
+    "PIPELINE_CACHE_VERSION",
     "ArrayMapperPass",
     "AtomMapperPass",
     "AtomiqueCompiler",
@@ -43,6 +46,7 @@ __all__ = [
     "CachedPass",
     "CompilationContext",
     "CompileResult",
+    "DiskPipelineCache",
     "ConstantJerkProfile",
     "ConstraintToggles",
     "CoolingEvent",

@@ -24,8 +24,11 @@ mappers) without touching the compiler facade.
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..circuits.circuit import QuantumCircuit
@@ -44,6 +47,12 @@ if TYPE_CHECKING:  # avoid a module-level cycle with .compiler
 
 class PipelineError(RuntimeError):
     """A pass ran before the context field it depends on was produced."""
+
+
+#: Bump when pass artifacts or the cache-key layout change shape.  Stale
+#: on-disk entries written under an older version land at a different path,
+#: so they are recompiled, never deserialized.
+PIPELINE_CACHE_VERSION = 1
 
 
 def _circuit_fingerprint(circuit: QuantumCircuit) -> str:
@@ -119,6 +128,97 @@ class PipelineCache:
             )
             context.artifacts["cache_prefix"] = prefix
         return prefix
+
+
+def _key_digest(key: tuple) -> str:
+    """Stable on-disk name for a pass-cache key.
+
+    Key tuples hold the pass name, the circuit/architecture fingerprints,
+    and config knob values (str/int/float/bool), whose ``repr`` round-trips
+    exactly across processes and Python versions we support.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{PIPELINE_CACHE_VERSION}|{key!r}".encode())
+    return h.hexdigest()
+
+
+class DiskPipelineCache(PipelineCache):
+    """Disk-backed prefix cache: pass artifacts persist across runs.
+
+    Same contract as :class:`PipelineCache`, plus a pickle-per-entry
+    directory keyed like :class:`~repro.experiments.batch.ResultCache`
+    (sha256 of the versioned key tuple).  A fresh process pointed at the
+    same directory reuses the SABRE/mapping artifacts of earlier runs —
+    the compile service's shards share one directory so *cross-run* sweeps
+    compile SABRE once per circuit.
+
+    Writes are atomic (tmp + ``os.replace``), so concurrent workers sharing
+    the directory never observe a torn entry.  Corrupt or stale entries are
+    treated as misses and recompiled: entries carry their
+    :data:`PIPELINE_CACHE_VERSION` both in the path digest and inside the
+    payload, and a mismatch of either means the pickle is never trusted.
+
+    ``disk_hits``/``disk_misses`` count per-pass lookups that went to disk
+    (i.e. missed the in-memory layer) for tests and service stats.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.disk_hits: dict[str, int] = {}
+        self.disk_misses: dict[str, int] = {}
+
+    def _path(self, key: tuple) -> Path:
+        return self.directory / f"{_key_digest(key)}.pkl"
+
+    def lookup(self, pass_name: str, key: tuple) -> Any:
+        value = self._store.get(key)
+        if value is not None:
+            self.hits[pass_name] = self.hits.get(pass_name, 0) + 1
+            return value
+        value = self._load(key)
+        if value is None:
+            self.disk_misses[pass_name] = self.disk_misses.get(pass_name, 0) + 1
+            self.misses[pass_name] = self.misses.get(pass_name, 0) + 1
+            return None
+        self._store[key] = value
+        self.disk_hits[pass_name] = self.disk_hits.get(pass_name, 0) + 1
+        self.hits[pass_name] = self.hits.get(pass_name, 0) + 1
+        return value
+
+    def store(self, key: tuple, value: Any) -> None:
+        super().store(key, value)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump((PIPELINE_CACHE_VERSION, value), fh)
+        os.replace(tmp, path)
+
+    def _load(self, key: tuple) -> Any:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,  # entry pickled before a module move/rename
+            IndexError,
+            TypeError,
+        ):
+            return None  # corrupt entry: recompile
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 2
+            or payload[0] != PIPELINE_CACHE_VERSION
+        ):
+            return None  # stale version: recompile, never deserialize
+        return payload[1]
 
 
 @dataclass

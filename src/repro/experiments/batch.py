@@ -13,6 +13,14 @@ run that populated a cache entry.
 An optional on-disk :class:`ResultCache` keyed by a circuit/config hash
 skips recompiles across runs — handy for the sweep harnesses, which re-hit
 the same (circuit, backend, config) cells while iterating on plots.
+
+``prefix_cache`` additionally shares *pipeline prefix* artifacts (lowering,
+array mapping, SABRE, atom placement) across the jobs of a run: a
+:class:`~repro.core.pipeline.PipelineCache` in the serial path, or a
+directory (→ :class:`~repro.core.pipeline.DiskPipelineCache`) that worker
+processes — and entirely separate runs — share on disk.  The compile
+service (:mod:`repro.service`) builds its sharded workers on the same
+initializer/run-job machinery exported here.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import cast
 from ..analysis.metrics import CompiledMetrics
 from ..baselines.registry import CompileOptions, get_backend
 from ..circuits.circuit import QuantumCircuit
+from ..core.pipeline import DiskPipelineCache, PipelineCache
 
 #: Bump when CompiledMetrics or the key layout changes shape.
 CACHE_VERSION = 2
@@ -95,8 +104,38 @@ class ResultCache:
         os.replace(tmp, path)
 
 
+#: Per-worker-process pipeline prefix cache, installed by the pool
+#: initializer.  Module-global so it survives across the jobs a worker runs.
+_WORKER_PREFIX_CACHE: PipelineCache | None = None
+
+
+def init_worker_prefix_cache(directory: str | None = None) -> None:
+    """Process-pool initializer: build this worker's prefix cache once.
+
+    With a *directory*, the worker gets a :class:`DiskPipelineCache` over
+    it — every worker (and every later run pointed at the same directory)
+    shares the persisted artifacts.  Without one, jobs run uncached unless
+    they carry their own ``pipeline_cache``.
+    """
+    global _WORKER_PREFIX_CACHE
+    _WORKER_PREFIX_CACHE = (
+        DiskPipelineCache(directory) if directory is not None else None
+    )
+
+
+def with_worker_prefix_cache(job: CompileJob) -> CompileJob:
+    """Inject the worker's prefix cache into a job that has none."""
+    if _WORKER_PREFIX_CACHE is not None and job.options.pipeline_cache is None:
+        return replace(
+            job,
+            options=replace(job.options, pipeline_cache=_WORKER_PREFIX_CACHE),
+        )
+    return job
+
+
 def _run_job(job: CompileJob) -> CompiledMetrics:
     # Module-level so ProcessPoolExecutor can pickle it into workers.
+    job = with_worker_prefix_cache(job)
     return get_backend(job.backend).compile(job.circuit, job.options)
 
 
@@ -104,14 +143,30 @@ def compile_many(
     jobs: Iterable[CompileJob],
     workers: int = 1,
     cache: ResultCache | str | Path | None = None,
+    prefix_cache: PipelineCache | str | Path | None = None,
 ) -> list[CompiledMetrics]:
-    """Compile every job, in order; ``workers > 1`` uses a process pool."""
+    """Compile every job, in order; ``workers > 1`` uses a process pool.
+
+    ``prefix_cache`` shares pipeline prefix artifacts across jobs (and, for
+    a directory or :class:`DiskPipelineCache`, across runs).  Jobs that
+    already carry their own ``options.pipeline_cache`` keep it.  Like
+    per-job caches, a plain in-memory :class:`PipelineCache` cannot cross
+    a process boundary: with ``workers > 1`` it is ignored — pass a
+    directory (or :class:`DiskPipelineCache`) to share prefixes with
+    worker processes.
+    """
     jobs = list(jobs)
     store = (
         cache
         if isinstance(cache, ResultCache) or cache is None
         else ResultCache(cache)
     )
+    prefix_dir: str | None = None
+    if isinstance(prefix_cache, (str, Path)):
+        prefix_cache = DiskPipelineCache(prefix_cache)
+    if isinstance(prefix_cache, DiskPipelineCache):
+        prefix_dir = str(prefix_cache.directory)
+
     results: list[CompiledMetrics | None] = [None] * len(jobs)
     pending: list[int] = []
     for i, job in enumerate(jobs):
@@ -123,11 +178,23 @@ def compile_many(
 
     if workers <= 1 or len(pending) <= 1:
         for i in pending:
-            results[i] = _run_job(jobs[i])
+            job = jobs[i]
+            if (
+                isinstance(prefix_cache, PipelineCache)
+                and job.options.pipeline_cache is None
+            ):
+                job = replace(
+                    job,
+                    options=replace(job.options, pipeline_cache=prefix_cache),
+                )
+            results[i] = _run_job(job)
     else:
         # An in-process PipelineCache cannot cross a process boundary (and
         # shipping its contents would defeat the point); strip it so the
         # jobs stay picklable.  Serial runs above keep it and share hits.
+        # A disk-backed prefix cache *can* cross: each worker rebuilds its
+        # own DiskPipelineCache over the shared directory (atomic writes
+        # make concurrent sharing safe).
         shipped = [
             replace(jobs[i], options=replace(jobs[i].options, pipeline_cache=None))
             if jobs[i].options.pipeline_cache is not None
@@ -135,7 +202,9 @@ def compile_many(
             for i in pending
         ]
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending))
+            max_workers=min(workers, len(pending)),
+            initializer=init_worker_prefix_cache,
+            initargs=(prefix_dir,),
         ) as pool:
             computed = pool.map(_run_job, shipped)
             for i, metrics in zip(pending, computed):

@@ -55,3 +55,47 @@ def gmean_row(
         arch: geometric_mean([metric(m) for m in ms])
         for arch, ms in results.items()
     }
+
+
+def run_architecture_grid(
+    configurations: list[tuple[str, RAAArchitecture]],
+    circuits: list[QuantumCircuit],
+    seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
+) -> list[tuple[str, str, CompiledMetrics]]:
+    """Compile every (labelled architecture, benchmark) cell on Atomique.
+
+    The shared bridge behind the fig20/fig23/fig24 topology harnesses:
+    circuits exceeding an architecture's capacity are skipped, jobs route
+    through :func:`~repro.experiments.batch.compile_many` (``workers=N``
+    fans out, ``cache=<dir>`` enables the on-disk result cache), and the
+    serial default shares one pipeline prefix cache (each circuit's
+    lowering is architecture-independent, so it is reused across all of
+    its configuration points).  Returns ``(label, benchmark, metrics)``
+    rows in grid order.
+    """
+    from ..core.pipeline import PipelineCache
+    from .batch import CompileJob, compile_many
+
+    prefix_cache = PipelineCache() if workers <= 1 else None
+    jobs: list[CompileJob] = []
+    labels: list[tuple[str, str]] = []
+    for label, arch in configurations:
+        for circ in circuits:
+            if circ.num_qubits > arch.total_capacity:
+                continue
+            jobs.append(
+                CompileJob(
+                    "Atomique",
+                    circ,
+                    CompileOptions(
+                        raa=arch, seed=seed, pipeline_cache=prefix_cache
+                    ),
+                )
+            )
+            labels.append((label, circ.name))
+    metrics = compile_many(jobs, workers=workers, cache=cache)
+    return [
+        (label, bench, m) for (label, bench), m in zip(labels, metrics)
+    ]

@@ -11,6 +11,13 @@ average moving distance, 2Q gate count.
 Expected shapes: square arrays minimize move distance (max fidelity) with a
 slight execution-time penalty; larger arrays lengthen moves and hurt
 fidelity; more AODs reduce 2Q count and execution time.
+
+Every runner routes its (topology x benchmark) grid through
+:func:`~repro.experiments.batch.compile_many`: ``workers=N`` fans the grid
+out over a process pool, ``cache=<dir>`` enables the on-disk result cache,
+and the serial default shares one pipeline prefix cache (each circuit's
+lowering is topology-independent, so it is reused across all of its
+topology points).
 """
 
 from __future__ import annotations
@@ -18,12 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.metrics import CompiledMetrics
-from ..baselines import compile_on_atomique
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.random_circuits import random_circuit
 from ..generators.qaoa import qaoa_regular
 from ..generators.qsim import qsim_random
 from ..hardware.raa import ArrayShape, RAAArchitecture
+from .common import run_architecture_grid
 
 
 def default_benchmarks() -> list[QuantumCircuit]:
@@ -46,6 +53,22 @@ class TopologyPoint:
     metrics: CompiledMetrics
 
 
+def _run_topology_grid(
+    topologies: list[tuple[str, RAAArchitecture]],
+    circuits: list[QuantumCircuit],
+    seed: int,
+    workers: int,
+    cache: "str | None",
+) -> list[TopologyPoint]:
+    """Compile every (topology, benchmark) cell through the batch driver."""
+    return [
+        TopologyPoint(label, bench, m)
+        for label, bench, m in run_architecture_grid(
+            topologies, circuits, seed=seed, workers=workers, cache=cache
+        )
+    ]
+
+
 def aspect_ratio_shapes(total: int = 48) -> list[tuple[int, int]]:
     """Factor pairs of *total*, wide to tall (paper uses 49 = 7x7 family)."""
     shapes = []
@@ -60,22 +83,23 @@ def run_aspect_ratio(
     benchmarks: list[QuantumCircuit] | None = None,
     num_aods: int = 2,
     seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> list[TopologyPoint]:
     """Fig. 20(a): same capacity, varying row:col ratio."""
     shapes = shapes if shapes is not None else [(4, 12), (6, 8), (7, 7), (8, 6), (12, 4)]
     circuits = benchmarks if benchmarks is not None else default_benchmarks()
-    points: list[TopologyPoint] = []
-    for rows, cols in shapes:
-        arch = RAAArchitecture(
-            slm_shape=ArrayShape(rows, cols),
-            aod_shapes=[ArrayShape(rows, cols) for _ in range(num_aods)],
+    topologies = [
+        (
+            f"{rows}x{cols}",
+            RAAArchitecture(
+                slm_shape=ArrayShape(rows, cols),
+                aod_shapes=[ArrayShape(rows, cols) for _ in range(num_aods)],
+            ),
         )
-        for circ in circuits:
-            if circ.num_qubits > arch.total_capacity:
-                continue
-            m = compile_on_atomique(circ, arch)
-            points.append(TopologyPoint(f"{rows}x{cols}", circ.name, m))
-    return points
+        for rows, cols in shapes
+    ]
+    return _run_topology_grid(topologies, circuits, seed, workers, cache)
 
 
 def run_array_size(
@@ -83,19 +107,20 @@ def run_array_size(
     benchmarks: list[QuantumCircuit] | None = None,
     num_aods: int = 2,
     seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> list[TopologyPoint]:
     """Fig. 20(b): square arrays of growing side."""
     sides = sides if sides is not None else [7, 10, 14, 20]
     circuits = benchmarks if benchmarks is not None else default_benchmarks()
-    points: list[TopologyPoint] = []
-    for side in sides:
-        arch = RAAArchitecture.default(side=side, num_aods=num_aods)
-        for circ in circuits:
-            if circ.num_qubits > arch.total_capacity:
-                continue
-            m = compile_on_atomique(circ, arch)
-            points.append(TopologyPoint(f"{side}x{side}", circ.name, m))
-    return points
+    topologies = [
+        (
+            f"{side}x{side}",
+            RAAArchitecture.default(side=side, num_aods=num_aods),
+        )
+        for side in sides
+    ]
+    return _run_topology_grid(topologies, circuits, seed, workers, cache)
 
 
 def run_num_aods(
@@ -103,16 +128,14 @@ def run_num_aods(
     benchmarks: list[QuantumCircuit] | None = None,
     side: int = 10,
     seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> list[TopologyPoint]:
     """Fig. 20(c): 1-7 AOD arrays."""
     counts = aod_counts if aod_counts is not None else [1, 2, 3, 5, 7]
     circuits = benchmarks if benchmarks is not None else default_benchmarks()
-    points: list[TopologyPoint] = []
-    for k in counts:
-        arch = RAAArchitecture.default(side=side, num_aods=k)
-        for circ in circuits:
-            if circ.num_qubits > arch.total_capacity:
-                continue
-            m = compile_on_atomique(circ, arch)
-            points.append(TopologyPoint(f"{k} AODs", circ.name, m))
-    return points
+    topologies = [
+        (f"{k} AODs", RAAArchitecture.default(side=side, num_aods=k))
+        for k in counts
+    ]
+    return _run_topology_grid(topologies, circuits, seed, workers, cache)

@@ -8,6 +8,11 @@ Fig. 24: 100 logical qubits on arrays from 6x6 (108 traps — nearly full) up
 to 10x10 (300 traps).  Expected: smaller arrays force many constraint-3
 (overlap) rejections, inflating depth and execution time; larger AODs
 reduce overlaps; the effect is application-dependent.
+
+Both runners route through :func:`~repro.experiments.batch.compile_many`
+(``workers=N`` fans out over a process pool, ``cache=<dir>`` enables the
+on-disk result cache; the serial default shares a pipeline prefix cache
+across each circuit's configuration points).
 """
 
 from __future__ import annotations
@@ -15,12 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.metrics import CompiledMetrics
-from ..baselines import compile_on_atomique
 from ..circuits.circuit import QuantumCircuit
 from ..generators.algorithms import phase_code
 from ..generators.qaoa import qaoa_random
 from ..generators.qsim import qsim_random
 from ..hardware.raa import ArrayShape, RAAArchitecture
+from .common import run_architecture_grid
 
 
 def default_benchmarks_100q() -> list[QuantumCircuit]:
@@ -47,9 +52,27 @@ class ConfigPoint:
         return self.metrics.extras.get("overlap_rejections", 0.0)
 
 
+def _run_config_grid(
+    configs: list[tuple[str, RAAArchitecture]],
+    circuits: list[QuantumCircuit],
+    seed: int,
+    workers: int,
+    cache: "str | None",
+) -> list[ConfigPoint]:
+    """Compile every (configuration, benchmark) cell via the batch driver."""
+    return [
+        ConfigPoint(label, bench, m)
+        for label, bench, m in run_architecture_grid(
+            configs, circuits, seed=seed, workers=workers, cache=cache
+        )
+    ]
+
+
 def run_aod_sizes(
     benchmarks: list[QuantumCircuit] | None = None,
     seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> list[ConfigPoint]:
     """Fig. 23: uniform vs heterogeneous array sizes."""
     circuits = benchmarks if benchmarks is not None else default_benchmarks_100q()
@@ -69,30 +92,24 @@ def run_aod_sizes(
             ),
         ),
     ]
-    points: list[ConfigPoint] = []
-    for label, arch in configs:
-        for circ in circuits:
-            if circ.num_qubits > arch.total_capacity:
-                continue
-            m = compile_on_atomique(circ, arch)
-            points.append(ConfigPoint(label, circ.name, m))
-    return points
+    return _run_config_grid(configs, circuits, seed, workers, cache)
 
 
 def run_overlap_pressure(
     sides: list[int] | None = None,
     benchmarks: list[QuantumCircuit] | None = None,
     seed: int = 7,
+    workers: int = 1,
+    cache: "str | None" = None,
 ) -> list[ConfigPoint]:
     """Fig. 24: logical qubits approaching physical capacity."""
     sides = sides if sides is not None else [6, 8, 10]
     circuits = benchmarks if benchmarks is not None else default_benchmarks_100q()
-    points: list[ConfigPoint] = []
-    for side in sides:
-        arch = RAAArchitecture.default(side=side, num_aods=2)
-        for circ in circuits:
-            if circ.num_qubits > arch.total_capacity:
-                continue
-            m = compile_on_atomique(circ, arch)
-            points.append(ConfigPoint(f"AOD {side}x{side}", circ.name, m))
-    return points
+    configs = [
+        (
+            f"AOD {side}x{side}",
+            RAAArchitecture.default(side=side, num_aods=2),
+        )
+        for side in sides
+    ]
+    return _run_config_grid(configs, circuits, seed, workers, cache)

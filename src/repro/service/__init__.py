@@ -1,0 +1,36 @@
+"""Compile-service daemon: an async job queue over ``compile_many``.
+
+``python -m repro serve`` boots the daemon; :class:`ServiceClient` talks to
+it.  See ``docs/ARCHITECTURE.md`` ("Compile service") for the queue
+lifecycle and the shard/cache topology.
+"""
+
+from .client import RemoteError, ServiceClient, ServiceUnavailable
+from .queue import JobQueue, JobRecord, JobState, QueueError
+from .server import CompileService, ServiceError, ServiceServer, serve_forever
+from .wire import (
+    WireError,
+    decode_job,
+    decode_metrics,
+    encode_job,
+    encode_metrics,
+)
+
+__all__ = [
+    "CompileService",
+    "JobQueue",
+    "JobRecord",
+    "JobState",
+    "QueueError",
+    "RemoteError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "WireError",
+    "decode_job",
+    "decode_metrics",
+    "encode_job",
+    "encode_metrics",
+    "serve_forever",
+]

@@ -1,0 +1,169 @@
+"""Synchronous client for the compile-service daemon.
+
+Speaks the JSON-lines protocol of :class:`~repro.service.server.ServiceServer`
+over a Unix or TCP socket, one connection per request (the daemon is
+connection-stateless).  Results come back as real
+:class:`~repro.analysis.metrics.CompiledMetrics` objects, decoded from the
+wire form, so callers can treat a service compile exactly like a local one.
+
+    client = ServiceClient(socket_path="/tmp/repro.sock")
+    job_id = client.submit(CompileJob("Atomique", circuit))
+    metrics = client.result(job_id, wait=True)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any
+
+from ..analysis.metrics import CompiledMetrics
+from ..experiments.batch import CompileJob
+from .wire import decode_metrics, encode_job
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon could not be reached at the configured address."""
+
+
+class RemoteError(RuntimeError):
+    """The daemon rejected a request (its error message is the payload)."""
+
+
+class ServiceClient:
+    """One client endpoint: either ``socket_path`` (Unix) or ``host``/``port``."""
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("need a socket_path or a port")
+        self.socket_path = str(socket_path) if socket_path is not None else None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self, timeout: float) -> socket.socket:
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(self.socket_path)
+                return sock
+            assert self.port is not None
+            return socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach compile service at "
+                f"{self.socket_path or f'{self.host}:{self.port}'}: {exc}"
+            ) from exc
+
+    def request(
+        self, payload: dict[str, Any], timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Send one op, return the decoded response; raise on ``ok: false``.
+
+        *timeout* overrides the client's socket timeout for this request —
+        blocking ops (``result`` with ``wait``, ``drain``) pass a deadline
+        comfortably past the server-side one so the server's answer,
+        including its timeout error, always arrives before the socket
+        gives up."""
+        sock = self._connect(timeout if timeout is not None else self.timeout)
+        try:
+            with sock.makefile("rwb") as stream:
+                stream.write(json.dumps(payload).encode() + b"\n")
+                stream.flush()
+                line = stream.readline()
+        except OSError as exc:  # read timeout / reset mid-request
+            raise ServiceUnavailable(
+                f"no response from compile service: {exc}"
+            ) from exc
+        finally:
+            sock.close()
+        if not line:
+            raise ServiceUnavailable("connection closed before a response")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RemoteError(response.get("error", "unknown service error"))
+        return response
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"})["ok"])
+
+    def wait_ready(self, timeout: float = 10.0, poll: float = 0.05) -> None:
+        """Block until the daemon answers pings (boot synchronization)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.ping()
+                return
+            except (ServiceUnavailable, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
+    def backends(self) -> list[str]:
+        return list(self.request({"op": "backends"})["backends"])
+
+    def submit(self, job: CompileJob | dict[str, Any]) -> str:
+        payload = encode_job(job) if isinstance(job, CompileJob) else job
+        return str(self.request({"op": "submit", "job": payload})["id"])
+
+    def submit_many(self, jobs: list[CompileJob | dict[str, Any]]) -> list[str]:
+        return [self.submit(job) for job in jobs]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return dict(self.request({"op": "status", "id": job_id})["job"])
+
+    def result(
+        self, job_id: str, wait: bool = True, timeout: float | None = None
+    ) -> CompiledMetrics:
+        server_timeout = timeout if timeout is not None else self.timeout
+        response = self.request(
+            {
+                "op": "result",
+                "id": job_id,
+                "wait": wait,
+                "timeout": server_timeout,
+            },
+            # The server enforces the deadline; give the socket slack so
+            # its timeout error (not a bare socket timeout) reaches us.
+            timeout=server_timeout + 30.0,
+        )
+        return decode_metrics(response["metrics"])
+
+    def results(self, job_ids: list[str]) -> list[CompiledMetrics]:
+        """Results in the given (submission) order, waiting for each."""
+        return [self.result(job_id, wait=True) for job_id in job_ids]
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self.request({"op": "cancel", "id": job_id})["cancelled"])
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return list(self.request({"op": "jobs"})["jobs"])
+
+    def stats(self) -> dict[str, Any]:
+        return dict(self.request({"op": "stats"})["stats"])
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Finish everything queued and shut the daemon down; returns the
+        number of jobs completed during the drain.  Blocks until the
+        daemon has finished its backlog (*timeout* bounds the wait)."""
+        return int(
+            self.request(
+                {"op": "drain"},
+                timeout=timeout if timeout is not None else self.timeout,
+            )["finished"]
+        )

@@ -1,0 +1,227 @@
+"""Persistent job queue backing the compile service.
+
+The queue is the service's source of truth: every submitted job becomes a
+:class:`JobRecord` (wire payload + lifecycle state), optionally spooled to
+disk so a restarted daemon resumes exactly where the last one stopped —
+``PENDING`` jobs are still pending, jobs that were ``RUNNING`` when the
+process died are re-queued (their worker is gone), and finished results
+are served from the spool without recompiling.
+
+Layout of a spool directory::
+
+    spool/
+      jobs/<job_id>.json      one record per job, rewritten atomically on
+                              every state transition
+      results/<job_id>.json   wire-encoded CompiledMetrics of DONE jobs
+
+Ordering is submission order (FIFO): records carry a monotonically
+increasing ``seq`` assigned at submission, which survives restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+
+class JobState(str, Enum):
+    """Lifecycle of one submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class QueueError(RuntimeError):
+    """An operation referenced a job the queue does not hold."""
+
+
+@dataclass
+class JobRecord:
+    """One queued compile job: wire payload plus lifecycle bookkeeping."""
+
+    job_id: str
+    seq: int
+    shard: int
+    payload: dict[str, Any]
+    state: JobState = JobState.PENDING
+    error: str | None = None
+
+    def summary(self) -> dict[str, Any]:
+        """The status-API view of this record (no circuit body)."""
+        return {
+            "id": self.job_id,
+            "seq": self.seq,
+            "shard": self.shard,
+            "state": self.state.value,
+            "backend": self.payload.get("backend"),
+            "benchmark": (self.payload.get("circuit") or {}).get("name"),
+            "error": self.error,
+        }
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class JobQueue:
+    """FIFO job store with optional disk persistence.
+
+    Without a ``spool_dir`` everything lives in memory (tests, ephemeral
+    services).  With one, every mutation is mirrored to disk before it is
+    observable, so a crash between any two statements loses at most the
+    in-flight transition — never a submitted job.
+    """
+
+    def __init__(self, spool_dir: str | Path | None = None) -> None:
+        self._records: dict[str, JobRecord] = {}
+        self._memory_results: dict[str, dict[str, Any]] = {}
+        self._seq = 0
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        if self.spool_dir is not None:
+            (self.spool_dir / "jobs").mkdir(parents=True, exist_ok=True)
+            (self.spool_dir / "results").mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    # -- submission and lookup ---------------------------------------------
+
+    def submit(self, payload: dict[str, Any], shard: int) -> JobRecord:
+        """Register a wire-encoded job; returns its record (PENDING)."""
+        self._seq += 1
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        record = JobRecord(
+            job_id=f"job-{self._seq:06d}-{digest[:10]}",
+            seq=self._seq,
+            shard=shard,
+            payload=payload,
+        )
+        self._records[record.job_id] = record
+        self._persist(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise QueueError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> list[JobRecord]:
+        """All records in submission order."""
+        return sorted(self._records.values(), key=lambda r: r.seq)
+
+    def pending(self) -> list[JobRecord]:
+        """PENDING records in submission order (restart re-dispatch)."""
+        return [r for r in self.jobs() if r.state is JobState.PENDING]
+
+    # -- state transitions --------------------------------------------------
+
+    def mark_running(self, job_id: str) -> None:
+        self._transition(job_id, JobState.RUNNING)
+
+    def requeue(self, job_id: str) -> None:
+        """Put a RUNNING job back to PENDING (shutdown took its worker)."""
+        self._transition(job_id, JobState.PENDING)
+
+    def mark_done(self, job_id: str, result_payload: dict[str, Any]) -> None:
+        self._store_result(job_id, result_payload)
+        self._transition(job_id, JobState.DONE)
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        record = self.get(job_id)
+        record.error = error
+        self._transition(job_id, JobState.FAILED)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a PENDING job.  Running or finished jobs are not touched
+        (a compile in flight on a worker process cannot be interrupted
+        safely); returns whether the cancellation took effect."""
+        record = self.get(job_id)
+        if record.state is not JobState.PENDING:
+            return False
+        self._transition(job_id, JobState.CANCELLED)
+        return True
+
+    def _transition(self, job_id: str, state: JobState) -> None:
+        record = self.get(job_id)
+        record.state = state
+        self._persist(record)
+
+    # -- results -------------------------------------------------------------
+
+    def load_result(self, job_id: str) -> dict[str, Any] | None:
+        """The wire-encoded metrics of a DONE job, or None."""
+        record = self.get(job_id)
+        if record.state is not JobState.DONE:
+            return None
+        if self.spool_dir is None:
+            return self._memory_results.get(job_id)
+        path = self.spool_dir / "results" / f"{job_id}.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _store_result(self, job_id: str, payload: dict[str, Any]) -> None:
+        if self.spool_dir is None:
+            self._memory_results[job_id] = payload
+            return
+        path = self.spool_dir / "results" / f"{job_id}.json"
+        _atomic_write_text(path, json.dumps(payload))
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist(self, record: JobRecord) -> None:
+        if self.spool_dir is None:
+            return
+        path = self.spool_dir / "jobs" / f"{record.job_id}.json"
+        _atomic_write_text(
+            path,
+            json.dumps(
+                {
+                    "job_id": record.job_id,
+                    "seq": record.seq,
+                    "shard": record.shard,
+                    "state": record.state.value,
+                    "error": record.error,
+                    "payload": record.payload,
+                }
+            ),
+        )
+
+    def _load(self) -> None:
+        assert self.spool_dir is not None
+        for path in sorted((self.spool_dir / "jobs").glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+                state = JobState(data["state"])
+                record = JobRecord(
+                    job_id=data["job_id"],
+                    seq=int(data["seq"]),
+                    shard=int(data["shard"]),
+                    payload=data["payload"],
+                    state=state,
+                    error=data.get("error"),
+                )
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+                continue  # torn/foreign file: skip rather than refuse to boot
+            # A job RUNNING at crash time lost its worker — re-run it.
+            if record.state is JobState.RUNNING:
+                record.state = JobState.PENDING
+                self._persist(record)
+            self._records[record.job_id] = record
+            self._seq = max(self._seq, record.seq)

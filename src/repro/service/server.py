@@ -1,0 +1,534 @@
+"""The compile-service daemon: an async front-end over ``compile_many``'s
+job model.
+
+:class:`CompileService` owns a persistent :class:`~repro.service.queue.JobQueue`
+and a set of *shards*.  Each shard is one worker process (a single-process
+``ProcessPoolExecutor``) fed by its own asyncio dispatcher, and keeps a
+long-lived pipeline prefix cache installed by
+:func:`repro.experiments.batch.init_worker_prefix_cache` — jobs that agree
+on a (circuit, architecture) prefix are routed to the same shard, so the
+in-memory layer hits across jobs of one run, and the disk layer
+(:class:`~repro.core.pipeline.DiskPipelineCache`, shared directory) hits
+across daemon restarts.  An optional :class:`ResultCache` short-circuits
+whole jobs the service has compiled before.
+
+``inline=True`` executes jobs in the server process instead of worker
+pools — deterministic single-process mode for tests and tiny deployments;
+results are identical either way because compiles are seeded and
+deterministic.
+
+:class:`ServiceServer` exposes the service over a JSON-lines socket
+protocol (one request object per line, one response per line), Unix or
+TCP.  ``python -m repro serve`` boots the pair; see
+:mod:`repro.service.client` for the matching client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+from ..baselines.registry import available_backends, get_backend
+from ..core.pipeline import (
+    DiskPipelineCache,
+    PipelineCache,
+    _architecture_fingerprint,
+    _circuit_fingerprint,
+)
+from ..experiments import batch
+from ..experiments.batch import CompileJob, ResultCache
+from ..hardware.raa import RAAArchitecture
+from .queue import JobQueue, JobState, QueueError
+from .wire import WireError, decode_job, decode_metrics, encode_metrics
+
+
+class ServiceError(RuntimeError):
+    """A request the service must reject (unknown backend, bad payload,
+    submission after draining started)."""
+
+
+def _prefix_shard(job: CompileJob, shards: int) -> int:
+    """Stable shard for *job*: jobs sharing a pipeline prefix co-locate.
+
+    Keyed exactly like the head of every :class:`PipelineCache` key —
+    (circuit fingerprint, architecture fingerprint) — so a sweep over one
+    circuit lands on one shard and reuses its warm prefix cache.
+    """
+    arch = job.options.raa or RAAArchitecture.default()
+    digest = hashlib.sha256(
+        f"{_circuit_fingerprint(job.circuit)}|"
+        f"{_architecture_fingerprint(arch)}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big") % shards
+
+
+def _execute_wire_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Decode, compile, and re-encode one job (runs inside a shard worker).
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it; the worker's
+    prefix cache (installed by the pool initializer) is injected by
+    :func:`repro.experiments.batch.with_worker_prefix_cache` inside
+    ``batch._run_job``.
+    """
+    job = decode_job(payload)
+    return encode_metrics(batch._run_job(job))
+
+
+class CompileService:
+    """Job submission/status/result orchestration over sharded workers."""
+
+    def __init__(
+        self,
+        spool_dir: str | Path | None = None,
+        shards: int = 2,
+        prefix_cache_dir: str | Path | None = None,
+        result_cache_dir: str | Path | None = None,
+        inline: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.inline = inline
+        self.queue = JobQueue(spool_dir)
+        self._prefix_cache_dir = (
+            str(prefix_cache_dir) if prefix_cache_dir is not None else None
+        )
+        self._result_cache = (
+            ResultCache(result_cache_dir) if result_cache_dir is not None else None
+        )
+        self._shard_queues: list[asyncio.Queue[str]] = []
+        self._pools: list[ProcessPoolExecutor] = []
+        #: inline mode: one long-lived prefix cache per shard, mirroring
+        #: what the pool initializer builds inside each worker process
+        self.shard_caches: list[PipelineCache] = []
+        self._dispatchers: list[asyncio.Task[None]] = []
+        self._events: dict[str, asyncio.Event] = {}
+        self._accepting = True
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spin up shard queues/workers and re-dispatch spooled jobs."""
+        if self._started:
+            return
+        self._started = True
+        self._shard_queues = [asyncio.Queue() for _ in range(self.shards)]
+        if self.inline:
+            self.shard_caches = [
+                DiskPipelineCache(self._prefix_cache_dir)
+                if self._prefix_cache_dir is not None
+                else PipelineCache()
+                for _ in range(self.shards)
+            ]
+        else:
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=batch.init_worker_prefix_cache,
+                    initargs=(self._prefix_cache_dir,),
+                )
+                for _ in range(self.shards)
+            ]
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch(shard))
+            for shard in range(self.shards)
+        ]
+        # Jobs spooled by a previous daemon: PENDING (including interrupted
+        # RUNNING ones, already demoted by the queue's loader) re-enqueue.
+        for record in self.queue.pending():
+            self._events[record.job_id] = asyncio.Event()
+            self._shard_queues[record.shard % self.shards].put_nowait(
+                record.job_id
+            )
+
+    async def drain(self) -> int:
+        """Stop accepting, finish everything queued, shut workers down.
+
+        Returns the number of jobs that reached a terminal state during
+        the drain.  Idempotent; the service cannot be restarted after."""
+        self._accepting = False
+        in_flight = sum(
+            1 for r in self.queue.jobs() if not r.state.terminal
+        )
+        for q in self._shard_queues:
+            await q.join()
+        await self.aclose()
+        return in_flight
+
+    async def aclose(self) -> None:
+        """Tear down dispatchers and worker pools (no waiting for jobs)."""
+        self._accepting = False
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers = []
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = []
+
+    # -- job APIs ------------------------------------------------------------
+
+    async def submit(self, payload: dict[str, Any]) -> str:
+        """Validate and enqueue a wire-encoded job; returns its id.
+
+        Validation happens here, not on the worker: an unknown backend or
+        a malformed circuit fails the *submission*, with the registry's
+        known-backends message, instead of producing a FAILED job later.
+        """
+        if not self._started:
+            await self.start()
+        if not self._accepting:
+            raise ServiceError("service is draining; submissions are closed")
+        try:
+            job = decode_job(payload)
+            get_backend(job.backend)  # raises with the known-backends list
+        except (WireError, ValueError) as exc:
+            raise ServiceError(str(exc)) from exc
+        shard = _prefix_shard(job, self.shards)
+        record = self.queue.submit(payload, shard=shard)
+        self._events[record.job_id] = asyncio.Event()
+        hit = self._result_cache.get(job) if self._result_cache else None
+        if hit is not None:
+            self.queue.mark_done(record.job_id, encode_metrics(hit))
+            self._events[record.job_id].set()
+        else:
+            self._shard_queues[shard].put_nowait(record.job_id)
+        return record.job_id
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        try:
+            return self.queue.get(job_id).summary()
+        except QueueError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    async def result(
+        self, job_id: str, wait: bool = False, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """The wire-encoded metrics of a finished job.
+
+        ``wait=True`` blocks until the job reaches a terminal state (or
+        *timeout* seconds pass).  FAILED and CANCELLED jobs raise with the
+        recorded error."""
+        try:
+            record = self.queue.get(job_id)
+        except QueueError as exc:
+            raise ServiceError(str(exc)) from exc
+        if wait and not record.state.terminal:
+            event = self._events.get(job_id)
+            if event is not None:
+                try:
+                    await asyncio.wait_for(event.wait(), timeout)
+                except asyncio.TimeoutError:
+                    raise ServiceError(
+                        f"timed out waiting for {job_id} "
+                        f"(state={record.state.value})"
+                    ) from None
+        if record.state is JobState.DONE:
+            payload = self.queue.load_result(job_id)
+            if payload is None:
+                raise ServiceError(f"result of {job_id} is missing from spool")
+            return payload
+        if record.state is JobState.FAILED:
+            raise ServiceError(f"job {job_id} failed: {record.error}")
+        if record.state is JobState.CANCELLED:
+            raise ServiceError(f"job {job_id} was cancelled")
+        raise ServiceError(
+            f"job {job_id} is not finished (state={record.state.value})"
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        try:
+            cancelled = self.queue.cancel(job_id)
+        except QueueError as exc:
+            raise ServiceError(str(exc)) from exc
+        if cancelled:
+            event = self._events.get(job_id)
+            if event is not None:
+                event.set()
+        return cancelled
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return [r.summary() for r in self.queue.jobs()]
+
+    def stats(self) -> dict[str, Any]:
+        counts: dict[str, int] = {s.value: 0 for s in JobState}
+        per_shard = [0] * self.shards
+        for record in self.queue.jobs():
+            counts[record.state.value] += 1
+            per_shard[record.shard % self.shards] += 1
+        return {
+            "shards": self.shards,
+            "inline": self.inline,
+            "accepting": self._accepting,
+            "jobs": counts,
+            "jobs_per_shard": per_shard,
+            "prefix_cache_dir": self._prefix_cache_dir,
+            "backends": available_backends(),
+        }
+
+    # -- execution -----------------------------------------------------------
+
+    async def _dispatch(self, shard: int) -> None:
+        queue = self._shard_queues[shard]
+        while True:
+            job_id = await queue.get()
+            try:
+                await self._run_one(job_id, shard)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Bookkeeping failed (e.g. the spool directory went
+                # read-only or full).  The dispatcher must outlive any
+                # single job, or every later job on this shard strands in
+                # PENDING; record the failure if the spool lets us.
+                try:
+                    self.queue.mark_failed(
+                        job_id, traceback.format_exc(limit=8)
+                    )
+                except Exception:
+                    pass
+                event = self._events.get(job_id)
+                if event is not None:
+                    event.set()
+            finally:
+                queue.task_done()
+
+    async def _run_one(self, job_id: str, shard: int) -> None:
+        loop = asyncio.get_running_loop()
+        record = self.queue.get(job_id)
+        if record.state is not JobState.PENDING:
+            return  # cancelled while queued
+        self.queue.mark_running(job_id)
+        try:
+            if self.inline:
+                encoded = self._execute_inline(record.payload, shard)
+            else:
+                encoded = await loop.run_in_executor(
+                    self._pools[shard], _execute_wire_job, record.payload
+                )
+        except asyncio.CancelledError:
+            # Shutdown mid-job: put it back for the next daemon.
+            self.queue.requeue(job_id)
+            raise
+        except Exception:
+            self.queue.mark_failed(job_id, traceback.format_exc(limit=8))
+        else:
+            self.queue.mark_done(job_id, encoded)
+            if self._result_cache is not None:
+                try:
+                    self._result_cache.put(
+                        decode_job(record.payload), decode_metrics(encoded)
+                    )
+                except OSError:
+                    pass  # cache write failure must not fail a DONE job
+        event = self._events.get(job_id)
+        if event is not None:
+            event.set()
+
+    def _execute_inline(self, payload: dict[str, Any], shard: int) -> dict[str, Any]:
+        job = decode_job(payload)
+        cache = self.shard_caches[shard]
+        if job.options.pipeline_cache is None:
+            job = replace(
+                job, options=replace(job.options, pipeline_cache=cache)
+            )
+        return encode_metrics(get_backend(job.backend).compile(job.circuit, job.options))
+
+
+# -- socket front-end --------------------------------------------------------
+
+
+class ServiceServer:
+    """JSON-lines socket server exposing a :class:`CompileService`.
+
+    One request object per line; every response is a single line with an
+    ``ok`` flag.  Supported ops: ``ping``, ``backends``, ``submit``,
+    ``status``, ``result`` (optional ``wait``/``timeout``), ``cancel``,
+    ``jobs``, ``stats``, ``drain``.
+    """
+
+    def __init__(
+        self,
+        service: CompileService,
+        socket_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.socket_path = str(socket_path) if socket_path is not None else None
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._drained = asyncio.Event()
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        await self.service.start()
+        if self.socket_path is not None:
+            stale = Path(self.socket_path)
+            if stale.is_socket():  # leftover of a killed daemon
+                stale.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_drained(self) -> None:
+        """Serve requests until a ``drain`` op completes, then stop."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._drained.wait()
+
+    async def aclose(self) -> None:
+        self._drained.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("op") == "drain" and response.get("ok"):
+                    self._drained.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict[str, Any]:
+        try:
+            request = json.loads(line)
+            op = request["op"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        service = self.service
+        try:
+            if op == "ping":
+                return {"ok": True, "op": op}
+            if op == "backends":
+                return {"ok": True, "op": op, "backends": available_backends()}
+            if op == "submit":
+                job_id = await service.submit(request.get("job"))
+                return {"ok": True, "op": op, "id": job_id}
+            if op == "status":
+                return {"ok": True, "op": op, "job": service.status(request["id"])}
+            if op == "result":
+                payload = await service.result(
+                    request["id"],
+                    wait=bool(request.get("wait", False)),
+                    timeout=request.get("timeout"),
+                )
+                return {"ok": True, "op": op, "metrics": payload}
+            if op == "cancel":
+                return {
+                    "ok": True,
+                    "op": op,
+                    "cancelled": service.cancel(request["id"]),
+                }
+            if op == "jobs":
+                return {"ok": True, "op": op, "jobs": service.jobs()}
+            if op == "stats":
+                return {"ok": True, "op": op, "stats": service.stats()}
+            if op == "drain":
+                finished = await service.drain()
+                return {"ok": True, "op": op, "finished": finished}
+        except ServiceError as exc:
+            return {"ok": False, "op": op, "error": str(exc)}
+        except KeyError as exc:
+            return {"ok": False, "op": op, "error": f"missing field {exc}"}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def _serve(
+    socket_path: str | None,
+    host: str,
+    port: int,
+    spool_dir: str | None,
+    shards: int,
+    prefix_cache_dir: str | None,
+    result_cache_dir: str | None,
+    inline: bool,
+) -> None:
+    service = CompileService(
+        spool_dir=spool_dir,
+        shards=shards,
+        prefix_cache_dir=prefix_cache_dir,
+        result_cache_dir=result_cache_dir,
+        inline=inline,
+    )
+    server = ServiceServer(service, socket_path=socket_path, host=host, port=port)
+    await server.start()
+    # Machine-parseable readiness line: the smoke harness and `repro submit
+    # --wait-for` poll for it before connecting.
+    print(f"repro-serve: listening on {server.address}", flush=True)
+    try:
+        await server.serve_until_drained()
+    finally:
+        await server.aclose()
+        print("repro-serve: drained, shutting down", flush=True)
+
+
+def serve_forever(
+    socket_path: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    spool_dir: str | None = None,
+    shards: int = 2,
+    prefix_cache_dir: str | None = None,
+    result_cache_dir: str | None = None,
+    inline: bool = False,
+) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    try:
+        asyncio.run(
+            _serve(
+                socket_path,
+                host,
+                port,
+                spool_dir,
+                shards,
+                prefix_cache_dir,
+                result_cache_dir,
+                inline,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,258 @@
+"""JSON wire codecs for the compile service.
+
+A submitted job crosses a process (and possibly machine) boundary, so the
+service speaks JSON rather than pickle: a :class:`CompileJob` becomes a
+nested dict of primitives, and a finished :class:`CompiledMetrics` comes
+back the same way.  Backends are resolved *by name* through the registry on
+the server side, so a client never ships code.
+
+Circuits travel as explicit gate lists, not QASM: ``json`` emits floats
+with ``repr``-exact shortest round-trip text, so a decoded job is
+bit-identical to the submitted one — the differential tests compare a
+service compile against a direct in-process compile down to the last bit.
+
+Every ``encode_*``/``decode_*`` pair is lossless for the types the compile
+path consumes.  ``pipeline_cache`` never travels: it is process-local
+identity state, and the service's workers install their own shard cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any
+
+from ..analysis.metrics import CompiledMetrics
+from ..baselines.registry import CompileOptions
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..core.compiler import AtomiqueConfig
+from ..core.constraints import ConstraintToggles
+from ..core.router import RouterConfig
+from ..experiments.batch import CompileJob
+from ..hardware.parameters import HardwareParams
+from ..hardware.raa import ArrayShape, RAAArchitecture
+from ..noise.fidelity import FidelityReport
+
+
+class WireError(ValueError):
+    """A payload could not be decoded into a compile job."""
+
+
+# -- circuits ---------------------------------------------------------------
+
+
+def encode_circuit(circuit: QuantumCircuit) -> dict[str, Any]:
+    return {
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "gates": [
+            [g.name, list(g.qubits), list(g.params)] for g in circuit.gates
+        ],
+    }
+
+
+def decode_circuit(payload: dict[str, Any]) -> QuantumCircuit:
+    try:
+        circuit = QuantumCircuit(
+            int(payload["num_qubits"]), name=str(payload.get("name", "circuit"))
+        )
+        for name, qubits, params in payload["gates"]:
+            circuit.append(Gate(name, tuple(qubits), tuple(params)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad circuit payload: {exc}") from exc
+    return circuit
+
+
+# -- hardware ---------------------------------------------------------------
+
+
+def encode_params(params: HardwareParams) -> dict[str, float]:
+    return asdict(params)
+
+
+def decode_params(payload: dict[str, float]) -> HardwareParams:
+    try:
+        return HardwareParams(**payload)
+    except TypeError as exc:
+        raise WireError(f"bad hardware params: {exc}") from exc
+
+
+def encode_architecture(arch: RAAArchitecture) -> dict[str, Any]:
+    return {
+        "slm": [arch.slm_shape.rows, arch.slm_shape.cols],
+        "aods": [[s.rows, s.cols] for s in arch.aod_shapes],
+        "params": encode_params(arch.params),
+    }
+
+
+def decode_architecture(payload: dict[str, Any]) -> RAAArchitecture:
+    try:
+        return RAAArchitecture(
+            slm_shape=ArrayShape(*payload["slm"]),
+            aod_shapes=[ArrayShape(*s) for s in payload["aods"]],
+            params=decode_params(payload["params"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise WireError(f"bad architecture payload: {exc}") from exc
+
+
+# -- compiler config --------------------------------------------------------
+
+
+def encode_config(config: AtomiqueConfig) -> dict[str, Any]:
+    router = config.router
+    return {
+        "gamma": config.gamma,
+        "array_mapper": config.array_mapper,
+        "atom_mapper": config.atom_mapper,
+        "seed": config.seed,
+        "router": {
+            "toggles": asdict(router.toggles),
+            "serial": router.serial,
+            "max_candidate_sites": router.max_candidate_sites,
+            "cooling_threshold": router.cooling_threshold,
+            "ordering_trials": router.ordering_trials,
+            "seed": router.seed,
+        },
+    }
+
+
+def decode_config(payload: dict[str, Any]) -> AtomiqueConfig:
+    try:
+        r = payload["router"]
+        router = RouterConfig(
+            toggles=ConstraintToggles(**r["toggles"]),
+            serial=bool(r["serial"]),
+            max_candidate_sites=int(r["max_candidate_sites"]),
+            cooling_threshold=r["cooling_threshold"],
+            ordering_trials=int(r["ordering_trials"]),
+            seed=int(r["seed"]),
+        )
+        return AtomiqueConfig(
+            gamma=float(payload["gamma"]),
+            array_mapper=str(payload["array_mapper"]),
+            atom_mapper=str(payload["atom_mapper"]),
+            router=router,
+            seed=int(payload["seed"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad config payload: {exc}") from exc
+
+
+# -- options and jobs -------------------------------------------------------
+
+
+def _freeze(value: Any) -> Any:
+    """JSON arrays back to tuples so options stay hashable/cache-keyable."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def encode_options(options: CompileOptions) -> dict[str, Any]:
+    return {
+        "raa": (
+            encode_architecture(options.raa) if options.raa is not None else None
+        ),
+        "config": (
+            encode_config(options.config) if options.config is not None else None
+        ),
+        "params": (
+            encode_params(options.params) if options.params is not None else None
+        ),
+        "seed": options.seed,
+        "label": options.label,
+        "extra": [[k, v] for k, v in options.extra],
+    }
+
+
+def decode_options(payload: dict[str, Any]) -> CompileOptions:
+    try:
+        return CompileOptions(
+            raa=(
+                decode_architecture(payload["raa"])
+                if payload.get("raa") is not None
+                else None
+            ),
+            config=(
+                decode_config(payload["config"])
+                if payload.get("config") is not None
+                else None
+            ),
+            params=(
+                decode_params(payload["params"])
+                if payload.get("params") is not None
+                else None
+            ),
+            seed=int(payload.get("seed", 7)),
+            label=payload.get("label"),
+            extra=tuple(
+                (str(k), _freeze(v)) for k, v in payload.get("extra", [])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad options payload: {exc}") from exc
+
+
+def encode_job(job: CompileJob) -> dict[str, Any]:
+    return {
+        "backend": job.backend,
+        "circuit": encode_circuit(job.circuit),
+        "options": encode_options(job.options),
+    }
+
+
+def decode_job(payload: dict[str, Any]) -> CompileJob:
+    if not isinstance(payload, dict):
+        raise WireError(f"job payload must be a dict, got {type(payload).__name__}")
+    try:
+        backend = str(payload["backend"])
+        circuit = payload["circuit"]
+        options = payload.get("options")
+    except KeyError as exc:
+        raise WireError(f"job payload missing field {exc}") from exc
+    return CompileJob(
+        backend=backend,
+        circuit=decode_circuit(circuit),
+        options=(
+            decode_options(options) if options is not None else CompileOptions()
+        ),
+    )
+
+
+# -- results ----------------------------------------------------------------
+
+
+def encode_metrics(metrics: CompiledMetrics) -> dict[str, Any]:
+    return {
+        "benchmark": metrics.benchmark,
+        "architecture": metrics.architecture,
+        "num_qubits": metrics.num_qubits,
+        "num_2q_gates": metrics.num_2q_gates,
+        "num_1q_gates": metrics.num_1q_gates,
+        "depth": metrics.depth,
+        "fidelity": asdict(metrics.fidelity),
+        "additional_cnots": metrics.additional_cnots,
+        "compile_seconds": metrics.compile_seconds,
+        "execution_seconds": metrics.execution_seconds,
+        "extras": dict(metrics.extras),
+    }
+
+
+def decode_metrics(payload: dict[str, Any]) -> CompiledMetrics:
+    try:
+        return CompiledMetrics(
+            benchmark=payload["benchmark"],
+            architecture=payload["architecture"],
+            num_qubits=int(payload["num_qubits"]),
+            num_2q_gates=int(payload["num_2q_gates"]),
+            num_1q_gates=int(payload["num_1q_gates"]),
+            depth=int(payload["depth"]),
+            fidelity=FidelityReport(**payload["fidelity"]),
+            additional_cnots=int(payload["additional_cnots"]),
+            compile_seconds=float(payload["compile_seconds"]),
+            execution_seconds=float(payload["execution_seconds"]),
+            extras=dict(payload["extras"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad metrics payload: {exc}") from exc

@@ -5,10 +5,17 @@ toggles compiles SABRE *once* per circuit, and every cached compile is
 bit-identical to an uncached one.
 """
 
+import pickle
+
 import pytest
 
 import repro.core.pipeline as pipeline_mod
-from repro.core import AtomiqueCompiler, AtomiqueConfig, PipelineCache
+from repro.core import (
+    AtomiqueCompiler,
+    AtomiqueConfig,
+    DiskPipelineCache,
+    PipelineCache,
+)
 from repro.core.constraints import ConstraintToggles
 from repro.core.router import RouterConfig
 from repro.experiments import raa_for
@@ -124,6 +131,75 @@ class TestPrefixReuse:
             ).compile(circuit)
         assert sabre_counter["count"] == 2
         assert cache.hits.get("lower") == 1  # circuit-only prefix still shared
+
+
+class TestDiskPipelineCache:
+    """The disk-backed variant: cross-run reuse, corruption recovery, and
+    version gating (stale entries recompile, never deserialize)."""
+
+    def compile_with(self, circuit, directory):
+        """One compile through a *fresh* DiskPipelineCache over *directory*
+        (fresh instance = empty in-memory layer, like a new process)."""
+        cache = DiskPipelineCache(directory)
+        result = AtomiqueCompiler(
+            raa_for(circuit), AtomiqueConfig(seed=7), cache=cache
+        ).compile(circuit)
+        return result, cache
+
+    def test_fresh_instance_restores_from_disk(self, circuit, sabre_counter, tmp_path):
+        first, cache1 = self.compile_with(circuit, tmp_path)
+        assert sabre_counter["count"] == 1
+        assert cache1.disk_misses.get("sabre_swap") == 1
+
+        second, cache2 = self.compile_with(circuit, tmp_path)
+        assert sabre_counter["count"] == 1  # no recompute
+        assert cache2.disk_hits.get("sabre_swap") == 1
+        assert _program_fingerprint(second) == _program_fingerprint(first)
+
+    def test_in_memory_layer_still_works(self, circuit, tmp_path):
+        cache = DiskPipelineCache(tmp_path)
+        compiler = AtomiqueCompiler(
+            raa_for(circuit), AtomiqueConfig(seed=7), cache=cache
+        )
+        compiler.compile(circuit)
+        compiler.compile(circuit)
+        # Second compile hit memory, not disk.
+        assert cache.hits.get("sabre_swap") == 1
+        assert cache.disk_hits.get("sabre_swap") is None
+
+    def test_corrupt_entries_recompile(self, circuit, sabre_counter, tmp_path):
+        first, _ = self.compile_with(circuit, tmp_path)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"garbage, not a pickle")
+        second, cache = self.compile_with(circuit, tmp_path)
+        assert sabre_counter["count"] == 2  # recompiled after corruption
+        assert _program_fingerprint(second) == _program_fingerprint(first)
+
+    def test_version_bump_recompiles(self, circuit, sabre_counter, tmp_path, monkeypatch):
+        first, _ = self.compile_with(circuit, tmp_path)
+        assert sabre_counter["count"] == 1
+        monkeypatch.setattr(
+            pipeline_mod,
+            "PIPELINE_CACHE_VERSION",
+            pipeline_mod.PIPELINE_CACHE_VERSION + 1,
+        )
+        second, cache = self.compile_with(circuit, tmp_path)
+        # Old entries are keyed away: every pass missed and recompiled.
+        assert sabre_counter["count"] == 2
+        assert cache.disk_hits.get("sabre_swap") is None
+        assert _program_fingerprint(second) == _program_fingerprint(first)
+
+    def test_stale_payload_header_is_rejected(self, circuit, sabre_counter, tmp_path):
+        """Defense in depth: even an entry sitting at the *current* path
+        is refused if its embedded version header disagrees."""
+        self.compile_with(circuit, tmp_path)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(
+                pickle.dumps((pipeline_mod.PIPELINE_CACHE_VERSION + 1, "junk"))
+            )
+        _, cache = self.compile_with(circuit, tmp_path)
+        assert sabre_counter["count"] == 2
+        assert cache.disk_hits.get("sabre_swap") is None
 
 
 class TestAblationSharing:

@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.experiments.batch as batch_mod
 from repro.baselines.registry import CompileOptions
 from repro.experiments import run_main_comparison
 from repro.experiments.batch import CompileJob, ResultCache, compile_many
@@ -142,3 +143,97 @@ class TestDiskCache:
             entry.write_bytes(b"not a pickle")
         results = compile_many(jobs, cache=cache)
         assert results[0].num_2q_gates > 0
+
+    def test_stale_cache_version_recompiles(self, tmp_path, monkeypatch):
+        """Entries written under an older CACHE_VERSION must recompile —
+        they are keyed away, never loaded."""
+        jobs = fig13_style_jobs()[:1]
+        cache = ResultCache(tmp_path)
+        first = compile_many(jobs, cache=cache)
+
+        calls = {"count": 0}
+        real = batch_mod._run_job
+
+        def counting(job):
+            calls["count"] += 1
+            return real(job)
+
+        monkeypatch.setattr(batch_mod, "_run_job", counting)
+        # Same version: served from disk, no recompile.
+        compile_many(jobs, cache=cache)
+        assert calls["count"] == 0
+
+        monkeypatch.setattr(
+            batch_mod, "CACHE_VERSION", batch_mod.CACHE_VERSION + 1
+        )
+        bumped = compile_many(jobs, cache=cache)
+        assert calls["count"] == 1  # stale entry was not deserialized
+        assert stable_row(bumped[0]) == stable_row(first[0])
+
+
+class TestPrefixCacheParam:
+    def relaxation_jobs(self):
+        """One circuit, two router-toggle configs sharing a SABRE prefix."""
+        from repro.core import AtomiqueConfig
+        from repro.core.constraints import ConstraintToggles
+        from repro.core.router import RouterConfig
+        from repro.experiments import raa_for
+
+        circ = qaoa_regular(10, 3, seed=3)
+        arch = raa_for(circ)
+        configs = [
+            AtomiqueConfig(seed=7),
+            AtomiqueConfig(
+                seed=7,
+                router=RouterConfig(toggles=ConstraintToggles(no_overlap=False)),
+            ),
+        ]
+        return [
+            CompileJob("Atomique", circ, CompileOptions(raa=arch, config=cfg))
+            for cfg in configs
+        ]
+
+    @pytest.fixture()
+    def sabre_counter(self, monkeypatch):
+        import repro.core.pipeline as pipeline_mod
+
+        calls = {"count": 0}
+        real = pipeline_mod.sabre_route
+
+        def counting(*args, **kwargs):
+            calls["count"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_mod, "sabre_route", counting)
+        return calls
+
+    def test_serial_in_memory_prefix_cache(self, sabre_counter):
+        from repro.core import PipelineCache
+
+        compile_many(self.relaxation_jobs(), prefix_cache=PipelineCache())
+        assert sabre_counter["count"] == 1
+
+    def test_directory_prefix_cache_spans_calls(self, tmp_path, sabre_counter):
+        """A directory prefix cache shares SABRE across separate
+        compile_many invocations (fresh DiskPipelineCache each time)."""
+        first = compile_many(
+            self.relaxation_jobs(), prefix_cache=tmp_path / "prefix"
+        )
+        assert sabre_counter["count"] == 1
+        second = compile_many(
+            self.relaxation_jobs(), prefix_cache=tmp_path / "prefix"
+        )
+        assert sabre_counter["count"] == 1  # restored from disk
+        assert [stable_row(m) for m in first] == [stable_row(m) for m in second]
+
+    def test_workers_share_directory_prefix_cache(self, tmp_path):
+        serial = compile_many(self.relaxation_jobs())
+        parallel = compile_many(
+            self.relaxation_jobs(),
+            workers=2,
+            prefix_cache=tmp_path / "prefix",
+        )
+        assert [stable_row(m) for m in serial] == [
+            stable_row(m) for m in parallel
+        ]
+        assert list((tmp_path / "prefix").glob("*.pkl"))  # workers persisted

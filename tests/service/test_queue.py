@@ -1,0 +1,116 @@
+"""Job-queue lifecycle: FIFO ordering, cancellation rules, and the disk
+spool surviving daemon restarts."""
+
+import json
+
+import pytest
+
+from repro.service.queue import JobQueue, JobState, QueueError
+
+
+def payload(i):
+    return {
+        "backend": "Atomique",
+        "circuit": {"name": f"circ-{i}", "num_qubits": 2, "gates": []},
+        "options": None,
+    }
+
+
+class TestOrdering:
+    def test_jobs_listed_in_submission_order(self):
+        queue = JobQueue()
+        ids = [queue.submit(payload(i), shard=i % 2).job_id for i in range(6)]
+        assert [r.job_id for r in queue.jobs()] == ids
+        assert [r.seq for r in queue.jobs()] == list(range(1, 7))
+
+    def test_pending_is_fifo_and_tracks_transitions(self):
+        queue = JobQueue()
+        ids = [queue.submit(payload(i), shard=0).job_id for i in range(3)]
+        queue.mark_running(ids[0])
+        assert [r.job_id for r in queue.pending()] == ids[1:]
+        queue.mark_done(ids[0], {"benchmark": "circ-0"})
+        assert queue.get(ids[0]).state is JobState.DONE
+
+    def test_job_ids_are_unique_for_identical_payloads(self):
+        queue = JobQueue()
+        a = queue.submit(payload(0), shard=0)
+        b = queue.submit(payload(0), shard=0)
+        assert a.job_id != b.job_id
+
+
+class TestCancellation:
+    def test_pending_job_cancels(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0).job_id
+        assert queue.cancel(job_id) is True
+        assert queue.get(job_id).state is JobState.CANCELLED
+
+    def test_running_and_done_jobs_do_not_cancel(self):
+        queue = JobQueue()
+        running = queue.submit(payload(0), shard=0).job_id
+        done = queue.submit(payload(1), shard=0).job_id
+        queue.mark_running(running)
+        queue.mark_running(done)
+        queue.mark_done(done, {})
+        assert queue.cancel(running) is False
+        assert queue.cancel(done) is False
+        assert queue.get(running).state is JobState.RUNNING
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(QueueError):
+            JobQueue().cancel("job-999999-nope")
+
+
+class TestResults:
+    def test_result_only_for_done_jobs(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0).job_id
+        assert queue.load_result(job_id) is None
+        queue.mark_done(job_id, {"benchmark": "circ-0", "depth": 3})
+        assert queue.load_result(job_id) == {"benchmark": "circ-0", "depth": 3}
+
+    def test_memory_results_are_per_queue(self):
+        a, b = JobQueue(), JobQueue()
+        job_id = a.submit(payload(0), shard=0).job_id
+        a.mark_done(job_id, {"depth": 1})
+        other = b.submit(payload(0), shard=0).job_id
+        b.mark_done(other, {"depth": 2})
+        assert a.load_result(job_id) == {"depth": 1}
+        assert b.load_result(other) == {"depth": 2}
+
+
+class TestSpoolPersistence:
+    def test_restart_sees_same_records_and_results(self, tmp_path):
+        first = JobQueue(tmp_path)
+        done = first.submit(payload(0), shard=1).job_id
+        pending = first.submit(payload(1), shard=0).job_id
+        first.mark_running(done)
+        first.mark_done(done, {"benchmark": "circ-0", "depth": 5})
+
+        reborn = JobQueue(tmp_path)
+        assert reborn.get(done).state is JobState.DONE
+        assert reborn.get(done).shard == 1
+        assert reborn.load_result(done) == {"benchmark": "circ-0", "depth": 5}
+        assert reborn.get(pending).state is JobState.PENDING
+        # seq continues, so ordering across restarts stays global FIFO
+        assert reborn.submit(payload(2), shard=0).seq == 3
+
+    def test_running_jobs_demote_to_pending_on_restart(self, tmp_path):
+        first = JobQueue(tmp_path)
+        job_id = first.submit(payload(0), shard=0).job_id
+        first.mark_running(job_id)
+
+        reborn = JobQueue(tmp_path)
+        assert reborn.get(job_id).state is JobState.PENDING
+        assert [r.job_id for r in reborn.pending()] == [job_id]
+        # the demotion is itself persisted
+        data = json.loads((tmp_path / "jobs" / f"{job_id}.json").read_text())
+        assert data["state"] == "pending"
+
+    def test_torn_spool_file_is_skipped(self, tmp_path):
+        first = JobQueue(tmp_path)
+        kept = first.submit(payload(0), shard=0).job_id
+        (tmp_path / "jobs" / "job-999999-torn.json").write_text("{not json")
+
+        reborn = JobQueue(tmp_path)
+        assert [r.job_id for r in reborn.jobs()] == [kept]

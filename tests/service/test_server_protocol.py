@@ -1,0 +1,127 @@
+"""JSON-lines socket protocol of :class:`ServiceServer`, exercised
+in-process over a Unix socket (the subprocess daemon is covered by the
+``service_smoke`` end-to-end test)."""
+
+import asyncio
+import json
+
+from repro.baselines.registry import CompileOptions
+from repro.experiments import compile_on, raa_for
+from repro.experiments.batch import CompileJob
+from repro.generators import qaoa_regular
+from repro.service import CompileService, ServiceServer
+from repro.service.wire import decode_metrics, encode_job
+
+
+async def roundtrip(path, requests):
+    """Open one connection, send each request line, collect responses."""
+    reader, writer = await asyncio.open_unix_connection(path)
+    responses = []
+    try:
+        for request in requests:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            responses.append(json.loads(line))
+    finally:
+        writer.close()
+    return responses
+
+
+def serve_scenario(tmp_path, body):
+    async def scenario():
+        service = CompileService(inline=True, shards=1)
+        server = ServiceServer(service, socket_path=tmp_path / "repro.sock")
+        await server.start()
+        try:
+            return await body(str(tmp_path / "repro.sock"))
+        finally:
+            await server.aclose()
+
+    return asyncio.run(scenario())
+
+
+class TestProtocol:
+    def test_ping_and_backends(self, tmp_path):
+        async def body(path):
+            return await roundtrip(path, [{"op": "ping"}, {"op": "backends"}])
+
+        ping, backends = serve_scenario(tmp_path, body)
+        assert ping["ok"] is True
+        assert "Atomique" in backends["backends"]
+
+    def test_submit_status_result_over_socket(self, tmp_path):
+        circuit = qaoa_regular(8, 3, seed=1)
+        job = CompileJob(
+            "Atomique", circuit, CompileOptions(raa=raa_for(circuit))
+        )
+
+        async def body(path):
+            (submitted,) = await roundtrip(
+                path, [{"op": "submit", "job": encode_job(job)}]
+            )
+            job_id = submitted["id"]
+            return await roundtrip(
+                path,
+                [
+                    {"op": "result", "id": job_id, "wait": True, "timeout": 60},
+                    {"op": "status", "id": job_id},
+                    {"op": "jobs"},
+                    {"op": "stats"},
+                ],
+            )
+
+        result, status, jobs, stats = serve_scenario(tmp_path, body)
+        direct = compile_on("Atomique", circuit, raa=raa_for(circuit))
+        assert decode_metrics(result["metrics"]).num_2q_gates == direct.num_2q_gates
+        assert status["job"]["state"] == "done"
+        assert len(jobs["jobs"]) == 1
+        assert stats["stats"]["jobs"]["done"] == 1
+
+    def test_errors_are_reported_not_fatal(self, tmp_path):
+        async def body(path):
+            responses = await roundtrip(
+                path,
+                [
+                    {"op": "warp"},
+                    {"op": "status", "id": "job-000042-missing"},
+                    {"op": "submit", "job": {"backend": "Nope", "circuit": {}}},
+                ],
+            )
+            # The connection survived all three bad requests.
+            responses += await roundtrip(path, [{"op": "ping"}])
+            return responses
+
+        unknown_op, missing, bad_submit, ping = serve_scenario(tmp_path, body)
+        assert unknown_op["ok"] is False and "unknown op" in unknown_op["error"]
+        assert missing["ok"] is False and "unknown job" in missing["error"]
+        assert bad_submit["ok"] is False
+        assert ping["ok"] is True
+
+    def test_malformed_line_gets_error_response(self, tmp_path):
+        async def body(path):
+            reader, writer = await asyncio.open_unix_connection(path)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            return json.loads(line)
+
+        response = serve_scenario(tmp_path, body)
+        assert response["ok"] is False and "bad request" in response["error"]
+
+    def test_drain_op_stops_the_server(self, tmp_path):
+        async def scenario():
+            service = CompileService(inline=True, shards=1)
+            server = ServiceServer(service, socket_path=tmp_path / "s.sock")
+            await server.start()
+            serving = asyncio.create_task(server.serve_until_drained())
+            (response,) = await roundtrip(
+                str(tmp_path / "s.sock"), [{"op": "drain"}]
+            )
+            await asyncio.wait_for(serving, timeout=10)
+            await server.aclose()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["ok"] is True and response["op"] == "drain"

@@ -1,0 +1,94 @@
+"""End-to-end daemon smoke test (CI ``service-smoke`` job, ``-m
+service_smoke``, excluded from tier-1): boot ``python -m repro serve`` as a
+real subprocess, submit three jobs across two backends through
+:class:`ServiceClient`, and assert the results are bit-identical to the
+directly-compiled golden corpus."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.registry import CompileOptions
+from repro.experiments import compile_on, raa_for
+from repro.experiments.batch import CompileJob
+from repro.generators import qaoa_regular, qsim_random
+from repro.service import ServiceClient
+
+pytestmark = pytest.mark.service_smoke
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def smoke_jobs():
+    """Three jobs across two backends (the CI service-smoke contract)."""
+    qaoa = qaoa_regular(8, 3, seed=1)
+    qsim = qsim_random(8, seed=2)
+    return [
+        CompileJob("Atomique", qaoa, CompileOptions(raa=raa_for(qaoa))),
+        CompileJob("Atomique", qsim, CompileOptions(raa=raa_for(qsim))),
+        CompileJob("Superconducting", qaoa, CompileOptions()),
+    ]
+
+
+def golden_corpus():
+    """The same three compiles, run directly in this process."""
+    return [
+        compile_on(j.backend, j.circuit, raa=j.options.raa, seed=j.options.seed)
+        for j in smoke_jobs()
+    ]
+
+
+def test_daemon_end_to_end(tmp_path):
+    socket_path = tmp_path / "repro.sock"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            str(socket_path),
+            "--spool",
+            str(tmp_path / "spool"),
+            "--shards",
+            "2",
+            "--prefix-cache",
+            str(tmp_path / "prefix"),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        client = ServiceClient(socket_path=socket_path, timeout=120.0)
+        client.wait_ready(timeout=60.0)
+
+        job_ids = client.submit_many(list(smoke_jobs()))
+        results = client.results(job_ids)
+        for via_service, golden in zip(results, golden_corpus()):
+            assert via_service.benchmark == golden.benchmark
+            assert via_service.architecture == golden.architecture
+            assert via_service.num_2q_gates == golden.num_2q_gates
+            assert via_service.num_1q_gates == golden.num_1q_gates
+            assert via_service.depth == golden.depth
+            assert via_service.additional_cnots == golden.additional_cnots
+            assert via_service.execution_seconds == golden.execution_seconds
+            assert via_service.fidelity == golden.fidelity
+
+        assert {j["state"] for j in client.jobs()} == {"done"}
+        client.drain()
+        assert daemon.wait(timeout=60) == 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+        output = daemon.stdout.read() if daemon.stdout else ""
+        print(output)

@@ -1,0 +1,119 @@
+"""Shared hypothesis strategies for the property-based test subsystem.
+
+One circuit vocabulary for every property/differential test
+(``test_properties*.py``, the service differential tests) instead of
+per-file ad-hoc generators.
+
+Shrink-friendly by construction: every structural choice — qubit count,
+gate list, gate kind, operands — is a hypothesis *draw*, never an opaque
+``numpy`` RNG stream, so failing examples minimize to the smallest circuit
+that still breaks the property.  The one strategy that genuinely needs an
+RNG (dense symmetric weight matrices) draws its seed from a small range,
+keeping reported counterexamples one-line reproducible.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+
+#: Gate vocabulary shared by every circuit strategy.
+ONE_QUBIT_GATES = ["h", "x", "y", "z", "s", "t", "sx"]
+ONE_QUBIT_PARAM_GATES = ["rx", "ry", "rz", "p"]
+TWO_QUBIT_GATES = ["cx", "cz", "swap"]
+TWO_QUBIT_PARAM_GATES = ["rzz", "cp"]
+
+
+def angles(bound: float = 2 * math.pi) -> st.SearchStrategy[float]:
+    """Finite rotation angles in ``[-bound, bound]``."""
+    return st.floats(-bound, bound, allow_nan=False)
+
+
+@st.composite
+def gate_specs(draw, num_qubits: int):
+    """One ``(name, qubits, params)`` application on an n-qubit register."""
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        name = draw(st.sampled_from(ONE_QUBIT_GATES))
+        return name, [draw(st.integers(0, num_qubits - 1))], []
+    if kind == 1:
+        name = draw(st.sampled_from(ONE_QUBIT_PARAM_GATES))
+        return name, [draw(st.integers(0, num_qubits - 1))], [draw(angles())]
+    a = draw(st.integers(0, num_qubits - 1))
+    b = draw(st.integers(0, num_qubits - 1).filter(lambda x: x != a))
+    if kind == 2:
+        return draw(st.sampled_from(TWO_QUBIT_GATES)), [a, b], []
+    name = draw(st.sampled_from(TWO_QUBIT_PARAM_GATES))
+    return name, [a, b], [draw(angles(math.pi))]
+
+
+@st.composite
+def circuits(draw, min_qubits=2, max_qubits=6, max_gates=25):
+    """General circuits over the full gate vocabulary."""
+    n = draw(st.integers(min_qubits, max_qubits))
+    num_gates = draw(st.integers(0, max_gates))
+    circ = QuantumCircuit(n)
+    for _ in range(num_gates):
+        name, qubits, params = draw(gate_specs(n))
+        circ.add(name, qubits, params)
+    return circ
+
+
+@st.composite
+def unitary_circuits(draw, min_qubits=4, max_qubits=7, max_gates=14):
+    """Circuits over ``{h, rz, cz, cx}`` small enough for unitary checks
+    (compile + statevector comparison stays tractable)."""
+    n = draw(st.integers(min_qubits, max_qubits))
+    num_gates = draw(st.integers(2, max_gates))
+    circ = QuantumCircuit(n)
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            circ.h(draw(st.integers(0, n - 1)))
+        elif kind == 1:
+            circ.rz(draw(st.floats(0.0, 3.0, allow_nan=False)), draw(st.integers(0, n - 1)))
+        else:
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1).filter(lambda x: x != a))
+            if draw(st.booleans()):
+                circ.cz(a, b)
+            else:
+                circ.cx(a, b)
+    return circ
+
+
+@st.composite
+def symmetric_weights(draw, max_n=10):
+    """Dense symmetric weight matrices with zero diagonal (MAX k-cut
+    inputs).  The RNG seed is drawn small so counterexamples stay
+    reproducible one-liners."""
+    n = draw(st.integers(2, max_n))
+    seed = draw(st.integers(0, 999))
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+@st.composite
+def inter_array_circuits(draw, min_qubits=4, max_qubits=10, max_gates=20):
+    """(circuit, array assignment) pairs whose CZs all cross arrays —
+    direct router inputs (no SWAP insertion needed)."""
+    n = draw(st.integers(min_qubits, max_qubits))
+    assignment = [i % 3 for i in range(n)]
+    cross_pairs = [
+        (a, b)
+        for a in range(n)
+        for b in range(n)
+        if a != b and assignment[a] != assignment[b]
+    ]
+    pairs = draw(
+        st.lists(st.sampled_from(cross_pairs), min_size=1, max_size=max_gates)
+    )
+    circ = QuantumCircuit(n)
+    for a, b in pairs:
+        circ.cz(a, b)
+    return circ, assignment

@@ -1,9 +1,11 @@
 """Property-based tests (hypothesis) on the core data structures and
 invariants: QASM round-trips, 1Q fusion unitarity, SABRE validity, MAX k-cut
 bounds, stripe-order permutations, DAG consistency, and router faithfulness.
-"""
 
-import math
+Circuit/weight generation lives in :mod:`tests.strategies`, the strategy
+module shared with ``test_properties_extended.py`` and the service
+differential tests.
+"""
 
 import numpy as np
 from hypothesis import given, settings
@@ -11,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.circuits import (
     DAGCircuit,
-    QuantumCircuit,
     emit_qasm,
     matrices_equal_up_to_phase,
     merge_1q_runs,
@@ -21,50 +22,7 @@ from repro.core.array_mapper import cut_fraction, max_k_cut_assignment
 from repro.core.atom_mapper import diagonal_stripe_order
 from repro.hardware import ArrayShape, grid_coupling
 from repro.transpile import Layout, sabre_route
-
-# -- strategies ---------------------------------------------------------------
-
-_1Q_NAMES = ["h", "x", "y", "z", "s", "t", "sx"]
-_1Q_PARAM = ["rx", "ry", "rz", "p"]
-_2Q_NAMES = ["cx", "cz", "swap"]
-_2Q_PARAM = ["rzz", "cp"]
-
-
-@st.composite
-def circuits(draw, max_qubits=6, max_gates=25):
-    n = draw(st.integers(2, max_qubits))
-    num_gates = draw(st.integers(0, max_gates))
-    circ = QuantumCircuit(n)
-    for _ in range(num_gates):
-        kind = draw(st.integers(0, 3))
-        if kind == 0:
-            name = draw(st.sampled_from(_1Q_NAMES))
-            circ.add(name, [draw(st.integers(0, n - 1))])
-        elif kind == 1:
-            name = draw(st.sampled_from(_1Q_PARAM))
-            angle = draw(st.floats(-2 * math.pi, 2 * math.pi, allow_nan=False))
-            circ.add(name, [draw(st.integers(0, n - 1))], [angle])
-        else:
-            a = draw(st.integers(0, n - 1))
-            b = draw(st.integers(0, n - 1).filter(lambda x: x != a))
-            if kind == 2:
-                circ.add(draw(st.sampled_from(_2Q_NAMES)), [a, b])
-            else:
-                angle = draw(st.floats(-math.pi, math.pi, allow_nan=False))
-                circ.add(draw(st.sampled_from(_2Q_PARAM)), [a, b], [angle])
-    return circ
-
-
-@st.composite
-def symmetric_weights(draw, max_n=10):
-    n = draw(st.integers(2, max_n))
-    seed = draw(st.integers(0, 2**31))
-    rng = np.random.default_rng(seed)
-    w = rng.random((n, n))
-    w = (w + w.T) / 2
-    np.fill_diagonal(w, 0.0)
-    return w
-
+from tests.strategies import circuits, inter_array_circuits, symmetric_weights
 
 # -- QASM round-trip ------------------------------------------------------------
 
@@ -180,25 +138,6 @@ def test_stripe_order_is_permutation(rows, cols):
 
 
 # -- router faithfulness -----------------------------------------------------------------
-
-
-@st.composite
-def inter_array_circuits(draw):
-    n = draw(st.integers(4, 10))
-    assignment = [i % 3 for i in range(n)]
-    num_gates = draw(st.integers(1, 20))
-    seed = draw(st.integers(0, 2**31))
-    rng = np.random.default_rng(seed)
-    circ = QuantumCircuit(n)
-    count = 0
-    attempts = 0
-    while count < num_gates and attempts < 200:
-        attempts += 1
-        a, b = rng.choice(n, size=2, replace=False)
-        if assignment[int(a)] != assignment[int(b)]:
-            circ.cz(int(a), int(b))
-            count += 1
-    return circ, assignment
 
 
 @settings(max_examples=20, deadline=None)

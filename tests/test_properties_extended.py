@@ -1,7 +1,10 @@
 """Extended property-based tests: serializer round trips, simulator
-equivalence, transfer segmentation, and degenerate architectures."""
+equivalence, transfer segmentation, and degenerate architectures.
 
-import numpy as np
+Circuits come from :mod:`tests.strategies` (shared, shrink-friendly
+draw-based generation — failing examples minimize to tiny circuits instead
+of opaque RNG seeds)."""
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,33 +13,11 @@ from repro.core import AtomiqueCompiler, AtomiqueConfig
 from repro.core.serialize import dumps, loads
 from repro.hardware import ArrayShape, RAAArchitecture
 from repro.sim import circuit_unitary, program_to_circuit
-
-
-@st.composite
-def small_inter_array_jobs(draw):
-    """(circuit, architecture) pairs small enough for unitary checks."""
-    n = draw(st.integers(4, 7))
-    seed = draw(st.integers(0, 2**31))
-    rng = np.random.default_rng(seed)
-    circ = QuantumCircuit(n)
-    num_gates = draw(st.integers(2, 14))
-    for _ in range(num_gates):
-        kind = rng.integers(0, 3)
-        if kind == 0:
-            circ.h(int(rng.integers(0, n)))
-        elif kind == 1:
-            circ.rz(float(rng.uniform(0, 3)), int(rng.integers(0, n)))
-        else:
-            a, b = rng.choice(n, size=2, replace=False)
-            if rng.random() < 0.5:
-                circ.cz(int(a), int(b))
-            else:
-                circ.cx(int(a), int(b))
-    return circ
+from tests.strategies import unitary_circuits
 
 
 @settings(max_examples=15, deadline=None)
-@given(small_inter_array_jobs())
+@given(unitary_circuits())
 def test_compiled_program_always_unitarily_faithful(circ):
     """For ANY small circuit, the compiled stage program implements the same
     unitary as the transpiled circuit."""
@@ -48,7 +29,7 @@ def test_compiled_program_always_unitarily_faithful(circ):
 
 
 @settings(max_examples=15, deadline=None)
-@given(small_inter_array_jobs())
+@given(unitary_circuits())
 def test_serializer_roundtrip_is_lossless(circ):
     arch = RAAArchitecture.default(side=3, num_aods=2)
     res = AtomiqueCompiler(arch).compile(circ)
@@ -59,7 +40,7 @@ def test_serializer_roundtrip_is_lossless(circ):
 
 
 @settings(max_examples=10, deadline=None)
-@given(small_inter_array_jobs(), st.integers(1, 3))
+@given(unitary_circuits(), st.integers(1, 3))
 def test_compiler_works_on_any_aod_count(circ, num_aods):
     arch = RAAArchitecture.default(side=3, num_aods=num_aods)
     res = AtomiqueCompiler(arch).compile(circ)

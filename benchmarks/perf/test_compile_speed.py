@@ -38,19 +38,33 @@ def test_router_compile_speed():
                 assert row["speedup_vs_seed"] > 1.0, row
             if row["sabre_speedup_vs_pr2"] is not None:
                 assert row["sabre_speedup_vs_pr2"] > 1.0, row
+            if row["emit_speedup_vs_pr3"] is not None:
+                assert row["emit_speedup_vs_pr3"] > 1.0, row
+        # The columnar-store acceptance bar: >= 2x emission speedup on the
+        # deep-narrow (emission-bound) workloads.
+        for name in ("BV-70", "QSim-rand-100"):
+            row = {r["name"]: r for r in report["results"]}[name]
+            assert row["emit_speedup_vs_pr3"] >= 2.0, row
 
 
 def test_quick_smoke_subset():
-    """A 2-entry subset that finishes in seconds.
+    """A 3-entry subset that finishes in seconds.
 
     This is the CI perf-smoke job's entry point: it checks the bench
-    harness itself stays runnable (shape of the report, sabre_seconds
-    tracking) without asserting timings, so a slow CI host cannot flake.
+    harness itself stays runnable (shape of the report, sabre_seconds and
+    emit_seconds tracking) without asserting timings, so a slow CI host
+    cannot flake.  BV-70 is the emission-bound case — deep and narrow, so
+    its router time is dominated by the stage-emission phase the columnar
+    ProgramStore rebuilt.
     """
-    specs = [s for s in bench_suite() if s.name in ("QAOA-rand-50", "BV-50")]
+    wanted = ["QAOA-rand-50", "BV-50", "BV-70"]
+    specs = [s for s in bench_suite() if s.name in wanted]
     report = bench_router(specs=specs, output=None)
-    assert [r["name"] for r in report["results"]] == ["QAOA-rand-50", "BV-50"]
+    assert [r["name"] for r in report["results"]] == wanted
     for row in report["results"]:
         assert row["stages"] > 0
         assert row["sabre_seconds"] > 0
         assert row["router_seconds"] > 0
+        # the emission window is a strict subset of the router wall-clock
+        assert 0 < row["emit_seconds"] < row["router_seconds"]
+        assert row["pr3_emit_seconds"] is not None

@@ -12,6 +12,8 @@ serve     run the compile-service daemon (async job queue over
           ``compile_many`` with sharded workers and on-disk caches)
 submit    send a QASM file to a running daemon, optionally waiting for
           and printing the resulting metrics
+cache     inspect or garbage-collect an on-disk cache directory
+          (pipeline prefix caches and result caches share one layout)
 """
 
 from __future__ import annotations
@@ -48,7 +50,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
     for name, seconds in result.pass_seconds.items():
         print(f"  pass {name:<12s} : {seconds * 1e3:.1f} ms")
     if args.output:
-        Path(args.output).write_text(dumps(result.program, indent=2))
+        Path(args.output).write_text(
+            dumps(result.program, indent=2, columnar=args.columnar)
+        )
         print(f"stage program written to {args.output}")
     return 0
 
@@ -127,6 +131,41 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .core.pipeline import cache_clear, cache_stats, evict_lru
+
+    if args.action == "stats":
+        stats = cache_stats(args.directory)
+        print(f"directory    : {stats['directory']}")
+        print(f"entries      : {stats['entries']}")
+        print(f"total bytes  : {stats['total_bytes']}")
+        if stats["oldest_mtime"] is not None:
+            from datetime import datetime
+
+            def fmt(ts: float) -> str:
+                return datetime.fromtimestamp(ts).isoformat(
+                    sep=" ", timespec="seconds"
+                )
+
+            print(f"oldest entry : {fmt(stats['oldest_mtime'])}")
+            print(f"newest entry : {fmt(stats['newest_mtime'])}")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("cache gc requires --max-bytes", file=sys.stderr)
+            return 2
+        report = evict_lru(args.directory, args.max_bytes)
+        print(
+            f"evicted {report['removed']} entries "
+            f"({report['removed_bytes']} bytes); "
+            f"{report['remaining_bytes']} bytes remain"
+        )
+        return 0
+    removed = cache_clear(args.directory)
+    print(f"cleared {removed} entries from {args.directory}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--side", type=int, default=10, help="array side")
     p_compile.add_argument("--aods", type=int, default=2, help="number of AODs")
     p_compile.add_argument("-o", "--output", help="write stage program JSON here")
+    p_compile.add_argument(
+        "--columnar",
+        action="store_true",
+        help="write the compact columnar program format (v2) instead of the "
+        "stage-list format (v1)",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_compare = sub.add_parser(
@@ -225,6 +270,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="block until every job finishes and print the metrics table",
     )
     p_submit.set_defaults(func=cmd_submit)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect an on-disk cache directory",
+    )
+    p_cache.add_argument(
+        "action", choices=["stats", "gc", "clear"], help="what to do"
+    )
+    p_cache.add_argument(
+        "directory",
+        help="cache directory (a --prefix-cache / --result-cache dir)",
+    )
+    p_cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: evict least-recently-used entries until the directory "
+        "fits this many bytes",
+    )
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -10,8 +10,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..noise.fidelity import FidelityReport
+
+if TYPE_CHECKING:
+    from ..core.program import Program
+    from ..hardware.parameters import HardwareParams
 
 
 @dataclass
@@ -48,6 +53,31 @@ class CompiledMetrics:
             "compile_s": round(self.compile_seconds, 4),
             "exec_s": round(self.execution_seconds, 6),
         }
+
+
+def program_aggregates(
+    program: "Program", params: "HardwareParams"
+) -> dict[str, float]:
+    """The program-level numbers every scoring adapter reads, in one place.
+
+    For a columnar :class:`~repro.core.program.ProgramStore` each entry is
+    a column reduction (column lengths, offset-table occupancy counts, and
+    in-order column sums) — no stage objects are materialized.  The legacy
+    object representation computes the same values through its property
+    walk, so adapters need not care which they were handed.
+    """
+    return {
+        "num_2q_gates": program.num_2q_gates,
+        "num_1q_gates": program.num_1q_gates,
+        "two_qubit_depth": program.two_qubit_depth,
+        "num_moves": program.num_moves,
+        "execution_seconds": program.execution_time(params),
+        "avg_move_distance_m": program.avg_move_distance(params),
+        "total_move_distance_m": program.total_move_distance(params),
+        "overlap_rejections": float(program.overlap_rejections),
+        "cooling_events": float(program.num_cooling_events),
+        "num_transfers": float(program.num_transfers),
+    }
 
 
 def geometric_mean(values: list[float], floor: float = 1e-12) -> float:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..analysis.metrics import CompiledMetrics
+from ..analysis.metrics import CompiledMetrics, program_aggregates
 from ..circuits.circuit import QuantumCircuit
 from ..core.compiler import AtomiqueCompiler, AtomiqueConfig, CompileResult
 from ..core.pipeline import PipelineCache
@@ -16,6 +16,7 @@ def metrics_from_result(
     """Score a finished :class:`CompileResult`."""
     params = result.architecture.params
     fidelity = estimate_raa_fidelity(result.program, params)
+    agg = program_aggregates(result.program, params)
     extras = {
         f"pass_seconds.{name}": seconds
         for name, seconds in result.pass_seconds.items()
@@ -24,19 +25,19 @@ def metrics_from_result(
         benchmark=benchmark,
         architecture=label,
         num_qubits=result.transpiled.num_qubits,
-        num_2q_gates=result.num_2q_gates,
-        num_1q_gates=result.num_1q_gates,
-        depth=result.depth,
+        num_2q_gates=int(agg["num_2q_gates"]),
+        num_1q_gates=int(agg["num_1q_gates"]),
+        depth=int(agg["two_qubit_depth"]),
         fidelity=fidelity,
         additional_cnots=result.additional_cnots,
         compile_seconds=result.compile_seconds,
-        execution_seconds=result.execution_time(),
+        execution_seconds=agg["execution_seconds"],
         extras={
             "num_swaps": float(result.num_swaps),
-            "avg_move_distance_m": result.avg_move_distance(),
-            "total_move_distance_m": result.total_move_distance(),
-            "overlap_rejections": float(result.program.overlap_rejections),
-            "cooling_events": float(result.program.num_cooling_events),
+            "avg_move_distance_m": agg["avg_move_distance_m"],
+            "total_move_distance_m": agg["total_move_distance_m"],
+            "overlap_rejections": agg["overlap_rejections"],
+            "cooling_events": agg["cooling_events"],
             **extras,
         },
     )

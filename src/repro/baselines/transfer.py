@@ -26,7 +26,7 @@ from ..circuits.dag import DAGCircuit
 from ..circuits.decompose import lower_to_two_qubit
 from ..core.array_mapper import gate_frequency_matrix, max_k_cut_assignment
 from ..core.atom_mapper import map_qubits_to_atoms
-from ..core.instructions import RAAProgram
+from ..core.program import ProgramStore
 from ..core.router import HighParallelismRouter, RouterConfig
 from ..hardware.raa import RAAArchitecture
 from ..noise.fidelity import estimate_raa_fidelity
@@ -127,31 +127,19 @@ def compile_with_transfers(
     native = lower_to_two_qubit(circuit.without_directives())
     segments, num_transfers = segment_circuit(native, arch)
 
-    all_stages = []
-    n_vib_final: dict[int, float] = {}
-    loss_log: list[float] = []
-    overlaps = 0
-    locations = {}
+    program = ProgramStore(num_qubits=native.num_qubits)
     for segment, assignment in segments:
         locs = map_qubits_to_atoms(segment, assignment, arch)
         router = HighParallelismRouter(arch, locs, RouterConfig(seed=seed))
-        program = router.route(segment)
-        all_stages.extend(program.stages)
-        n_vib_final.update(program.n_vib_final)
-        loss_log.extend(program.atom_loss_log)
-        overlaps += program.overlap_rejections
-        locations = locs
+        routed = router.route(segment)
+        program.extend(routed)
+        program.n_vib_final.update(routed.n_vib_final)
+        program.atom_loss_log.extend(routed.atom_loss_log)
+        program.overlap_rejections += routed.overlap_rejections
+        program.qubit_locations = routed.qubit_locations
 
-    program = RAAProgram(
-        stages=all_stages,
-        num_qubits=native.num_qubits,
-        qubit_locations=locations,
-        n_vib_final=n_vib_final,
-        atom_loss_log=loss_log,
-        num_transfers=num_transfers,
-        overlap_rejections=overlaps,
-        compile_seconds=time.perf_counter() - t0,
-    )
+    program.num_transfers = num_transfers
+    program.compile_seconds = time.perf_counter() - t0
     fidelity = estimate_raa_fidelity(program, arch.params)
     return CompiledMetrics(
         benchmark=circuit.name,

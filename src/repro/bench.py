@@ -43,6 +43,28 @@ SEED_ROUTER_SECONDS: dict[str, float] = {
     "BV-70": 0.003270,
 }
 
+#: Emission-phase wall-clock (seconds, min-of-N) at the PR 4 commit — the
+#: object-graph emitter this PR's columnar ProgramStore replaced.  The
+#: window is the router's *record-keeping* blocks only: Raman-pulse /
+#: Move / RydbergGate / cooling record creation, the heating+loss history,
+#: and the stage close — constraint search and DAG bookkeeping (front
+#: scans, ``execute``) excluded.  Measured on the reference dev machine by
+#: instrumenting the pre-columnar route() with this exact window; the
+#: current router reports the same window as ``ProgramStore.emit_seconds``.
+PR3_EMIT_SECONDS: dict[str, float] = {
+    "QAOA-rand-50": 0.014784,
+    "QAOA-rand-100": 0.068051,
+    "QAOA-rand-200": 0.400269,
+    "QAOA-regu5-40": 0.001658,
+    "QAOA-regu6-100": 0.006731,
+    "QAOA-regu6-200": 0.019950,
+    "QSim-rand-40": 0.006440,
+    "QSim-rand-50": 0.008218,
+    "QSim-rand-100": 0.021240,
+    "BV-50": 0.000430,
+    "BV-70": 0.000603,
+}
+
 #: SABRE pass wall-clock at the PR 2 commit (the pre-incremental-scoring
 #: baseline, from that revision's BENCH_router.json ``pass_seconds``), so
 #: the SABRE trajectory is tracked alongside the router's.
@@ -75,20 +97,26 @@ def bench_suite() -> list[BenchSpec]:
     from .generators import qaoa_random, qaoa_regular, qsim_random
     from .generators.algorithms import bernstein_vazirani
 
+    # Sub-10ms workloads run min-of-9 — their emission window is
+    # sub-millisecond, so min-of-5 is noise-bound — matching the protocol
+    # the seed router baseline itself was recorded with (min-of-9), so
+    # speedup_vs_seed stays apples-to-apples.  The PR 3 emission baselines
+    # for these entries were recorded with >= as many repeats (min-of-9 or
+    # min-of-15), which can only understate emit_speedup_vs_pr3.
     return [
         BenchSpec("QAOA-rand-50", lambda: qaoa_random(50, seed=50)),
         BenchSpec("QAOA-rand-100", lambda: qaoa_random(100, seed=100), repeats=3),
         BenchSpec("QAOA-rand-200", lambda: qaoa_random(200, seed=200), repeats=2),
-        BenchSpec("QAOA-regu5-40", lambda: qaoa_regular(40, 5, seed=40)),
+        BenchSpec("QAOA-regu5-40", lambda: qaoa_regular(40, 5, seed=40), repeats=9),
         BenchSpec("QAOA-regu6-100", lambda: qaoa_regular(100, 6, seed=100)),
         BenchSpec(
             "QAOA-regu6-200", lambda: qaoa_regular(200, 6, seed=200), repeats=3
         ),
-        BenchSpec("QSim-rand-40", lambda: qsim_random(40, seed=40)),
-        BenchSpec("QSim-rand-50", lambda: qsim_random(50, seed=50)),
+        BenchSpec("QSim-rand-40", lambda: qsim_random(40, seed=40), repeats=9),
+        BenchSpec("QSim-rand-50", lambda: qsim_random(50, seed=50), repeats=9),
         BenchSpec("QSim-rand-100", lambda: qsim_random(100, seed=100), repeats=3),
-        BenchSpec("BV-50", lambda: bernstein_vazirani(50)),
-        BenchSpec("BV-70", lambda: bernstein_vazirani(70)),
+        BenchSpec("BV-50", lambda: bernstein_vazirani(50), repeats=9),
+        BenchSpec("BV-70", lambda: bernstein_vazirani(70), repeats=9),
     ]
 
 
@@ -109,6 +137,7 @@ def bench_router(
         compiler = AtomiqueCompiler(raa, AtomiqueConfig(seed=7))
         result = compiler.compile(circuit)
         best = float("inf")
+        best_emit = float("inf")
         for _ in range(max(1, spec.repeats)):
             # A fresh router per repeat, constructed inside the timed
             # region, keeps every measurement cold: the router now persists
@@ -121,9 +150,11 @@ def bench_router(
             )
             program = router.route(result.transpiled)
             best = min(best, time.perf_counter() - t0)
+            best_emit = min(best_emit, program.emit_seconds)
         seed_s = SEED_ROUTER_SECONDS.get(spec.name)
         sabre_s = result.pass_seconds.get("sabre_swap")
         pr2_sabre = PR2_SABRE_SECONDS.get(spec.name)
+        pr3_emit = PR3_EMIT_SECONDS.get(spec.name)
         rows.append(
             {
                 "name": spec.name,
@@ -133,6 +164,16 @@ def bench_router(
                 "router_seconds": round(best, 6),
                 "seed_router_seconds": seed_s,
                 "speedup_vs_seed": round(seed_s / best, 3) if seed_s else None,
+                # emission-phase trajectory: the router's record-keeping
+                # window (ProgramStore.emit_seconds) vs the PR 3/4-era
+                # object-graph emitter measured with the same window
+                "emit_seconds": round(best_emit, 6),
+                "pr3_emit_seconds": pr3_emit,
+                "emit_speedup_vs_pr3": (
+                    round(pr3_emit / best_emit, 3)
+                    if best_emit and pr3_emit
+                    else None
+                ),
                 # SABRE trajectory: one full-pipeline compile, vs the PR 2
                 # (pre-incremental-scoring) recording of the same pass
                 "sabre_seconds": round(sabre_s, 6) if sabre_s else None,
@@ -151,18 +192,28 @@ def bench_router(
     sabre_speedups = [
         r["sabre_speedup_vs_pr2"] for r in rows if r["sabre_speedup_vs_pr2"]
     ]
+    emit_speedups = [
+        r["emit_speedup_vs_pr3"] for r in rows if r["emit_speedup_vs_pr3"]
+    ]
     report = {
         "protocol": "min wall-clock over N repeats of cold router "
         "construction + route() on the pre-transpiled circuit (a fresh "
         "router per repeat — the router caches location-epoch artifacts "
         "across calls since PR 3); seed baseline measured identically at "
         "the seed commit; sabre_seconds is the SABRE pass of one "
-        "full-pipeline compile vs the PR 2 recording",
+        "full-pipeline compile vs the PR 2 recording; emit_seconds is the "
+        "router's record-keeping window (ProgramStore.emit_seconds: pulse/"
+        "move/gate/cooling record emission + heating/loss history + stage "
+        "close, DAG bookkeeping and constraint search excluded) vs the "
+        "object-graph emitter measured with the same window at PR 4",
         "median_speedup_vs_seed": (
             round(statistics.median(speedups), 3) if speedups else None
         ),
         "median_sabre_speedup_vs_pr2": (
             round(statistics.median(sabre_speedups), 3) if sabre_speedups else None
+        ),
+        "median_emit_speedup_vs_pr3": (
+            round(statistics.median(emit_speedups), 3) if emit_speedups else None
         ),
         "results": rows,
     }
@@ -176,7 +227,7 @@ def format_report(report: dict) -> str:
     lines = [
         f"{'benchmark':18s} {'qubits':>6s} {'stages':>6s} "
         f"{'router ms':>10s} {'seed ms':>9s} {'speedup':>8s} "
-        f"{'sabre ms':>9s} {'vs PR2':>8s}"
+        f"{'sabre ms':>9s} {'vs PR2':>8s} {'emit ms':>8s} {'vs PR3':>8s}"
     ]
     for r in report["results"]:
         seed_ms = (
@@ -195,14 +246,26 @@ def format_report(report: dict) -> str:
             if r.get("sabre_speedup_vs_pr2")
             else "     n/a"
         )
+        emit_ms = (
+            f"{r['emit_seconds'] * 1e3:8.2f}" if r.get("emit_seconds") else "     n/a"
+        )
+        emit_speedup = (
+            f"{r['emit_speedup_vs_pr3']:7.2f}x"
+            if r.get("emit_speedup_vs_pr3")
+            else "     n/a"
+        )
         lines.append(
             f"{r['name']:18s} {r['qubits']:6d} {r['stages']:6d} "
             f"{r['router_seconds'] * 1e3:10.1f} {seed_ms} {speedup} "
-            f"{sabre_ms} {sabre_speedup}"
+            f"{sabre_ms} {sabre_speedup} {emit_ms} {emit_speedup}"
         )
     lines.append(f"median speedup vs seed: {report['median_speedup_vs_seed']}x")
     lines.append(
         "median sabre speedup vs PR2: "
         f"{report['median_sabre_speedup_vs_pr2']}x"
+    )
+    lines.append(
+        "median emit speedup vs PR3: "
+        f"{report['median_emit_speedup_vs_pr3']}x"
     )
     return "\n".join(lines)

@@ -19,6 +19,7 @@ from .instructions import (
     Stage,
 )
 from .movement import MovementTracker
+from .program import Program, ProgramStore, StageList, StageView
 from .pipeline import (
     PIPELINE_CACHE_VERSION,
     ArrayMapperPass,
@@ -33,7 +34,10 @@ from .pipeline import (
     PipelineError,
     SabreSwapPass,
     StageRouterPass,
+    cache_clear,
+    cache_stats,
     default_passes,
+    evict_lru,
 )
 from .router import HighParallelismRouter, RouterConfig, RoutingError
 
@@ -58,6 +62,8 @@ __all__ = [
     "PassPipeline",
     "PipelineCache",
     "PipelineError",
+    "Program",
+    "ProgramStore",
     "RAAProgram",
     "RamanPulse",
     "RouterConfig",
@@ -65,10 +71,15 @@ __all__ = [
     "RydbergGate",
     "SabreSwapPass",
     "Stage",
+    "StageList",
     "StagePlan",
     "StageRouterPass",
+    "StageView",
+    "cache_clear",
+    "cache_stats",
     "cut_fraction",
     "default_passes",
+    "evict_lru",
     "diagonal_stripe_order",
     "gate_frequency_matrix",
     "hop_profile",

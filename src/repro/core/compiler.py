@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 
 from ..circuits.circuit import QuantumCircuit
 from ..hardware.raa import AtomLocation, RAAArchitecture
-from .instructions import RAAProgram
 from .pipeline import PassPipeline, PipelineCache
+from .program import Program
 from .router import RouterConfig
 
 
@@ -67,7 +67,7 @@ class CompileResult:
     in execution order (the Fig. 21 compile-time breakdown reads this).
     """
 
-    program: RAAProgram
+    program: Program
     transpiled: QuantumCircuit
     array_of_qubit: list[int]
     locations: dict[int, AtomLocation]

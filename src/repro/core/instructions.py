@@ -9,6 +9,12 @@ on the stage where they fire.
 The :class:`RAAProgram` aggregates the statistics every experiment needs:
 gate counts, 2Q depth (= number of Rydberg stages), wall-clock execution
 time, per-atom movement/heating history, transfers, and cooling events.
+
+``RAAProgram`` is the *object-graph* representation.  The router now emits
+the columnar :class:`~repro.core.program.ProgramStore`, which exposes the
+same API (these dataclasses materialize on demand as its lazy stage
+views); ``RAAProgram`` remains the materialized form — v1 serialization,
+conversion targets, and hand-built programs in tests.
 """
 
 from __future__ import annotations

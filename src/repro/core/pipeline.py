@@ -38,7 +38,7 @@ from ..transpile.layout import Layout
 from ..transpile.sabre import sabre_route
 from .array_mapper import map_qubits_to_arrays
 from .atom_mapper import map_qubits_to_atoms
-from .instructions import RAAProgram
+from .program import Program
 from .router import HighParallelismRouter
 
 if TYPE_CHECKING:  # avoid a module-level cycle with .compiler
@@ -158,14 +158,35 @@ class DiskPipelineCache(PipelineCache):
     :data:`PIPELINE_CACHE_VERSION` both in the path digest and inside the
     payload, and a mismatch of either means the pickle is never trusted.
 
+    ``max_bytes`` bounds the directory: when writes push the total entry
+    size past the cap, least-recently-used entries (by mtime — disk hits
+    touch their entry, so recency survives process restarts) are evicted
+    until it fits.  ``None`` keeps the historical unbounded behaviour.
+    The total is tracked as a running counter seeded by one directory
+    scan at construction, so the write path never re-scans; concurrent
+    workers each enforce the cap against their own (approximate) view,
+    which re-syncs to the true on-disk total at every eviction pass.
+    Evicting an entry another worker still wants is safe: it recompiles
+    and rewrites it.
+
     ``disk_hits``/``disk_misses`` count per-pass lookups that went to disk
     (i.e. missed the in-memory layer) for tests and service stats.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self, directory: str | Path, max_bytes: int | None = None
+    ) -> None:
         super().__init__()
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._approx_bytes = (
+            cache_stats(self.directory)["total_bytes"]
+            if max_bytes is not None
+            else 0
+        )
         self.disk_hits: dict[str, int] = {}
         self.disk_misses: dict[str, int] = {}
 
@@ -194,6 +215,14 @@ class DiskPipelineCache(PipelineCache):
         with tmp.open("wb") as fh:
             pickle.dump((PIPELINE_CACHE_VERSION, value), fh)
         os.replace(tmp, path)
+        if self.max_bytes is not None:
+            try:
+                self._approx_bytes += path.stat().st_size
+            except OSError:
+                pass  # already evicted/replaced by a concurrent worker
+            if self._approx_bytes > self.max_bytes:
+                report = evict_lru(self.directory, self.max_bytes)
+                self._approx_bytes = report["remaining_bytes"]
 
     def _load(self, key: tuple) -> Any:
         path = self._path(key)
@@ -218,7 +247,89 @@ class DiskPipelineCache(PipelineCache):
             or payload[0] != PIPELINE_CACHE_VERSION
         ):
             return None  # stale version: recompile, never deserialize
+        try:
+            # LRU bookkeeping: a disk hit refreshes the entry's mtime so
+            # eviction (here or via `repro cache gc`) drops cold entries
+            # first.  Best-effort — a concurrent eviction may win.
+            os.utime(path)
+        except OSError:
+            pass
         return payload[1]
+
+
+# -- cache-directory maintenance ---------------------------------------------
+#
+# The pickle-per-entry directories (DiskPipelineCache here, the batch
+# layer's ResultCache) share one on-disk shape: flat ``*.pkl`` entries plus
+# transient ``*.tmp.<pid>`` files.  These helpers are the shared GC layer
+# behind ``DiskPipelineCache(max_bytes=...)`` and ``python -m repro cache``.
+
+
+def _cache_entries(directory: str | Path) -> list[tuple[Path, int, float]]:
+    """``(path, size_bytes, mtime)`` for every entry, oldest first."""
+    entries = []
+    for path in Path(directory).glob("*.pkl"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # evicted/replaced by a concurrent process
+        entries.append((path, stat.st_size, stat.st_mtime))
+    entries.sort(key=lambda e: e[2])
+    return entries
+
+
+def cache_stats(directory: str | Path) -> dict[str, Any]:
+    """Entry count, byte total, and mtime range of a cache directory."""
+    entries = _cache_entries(directory)
+    return {
+        "directory": str(directory),
+        "entries": len(entries),
+        "total_bytes": sum(size for _p, size, _m in entries),
+        "oldest_mtime": entries[0][2] if entries else None,
+        "newest_mtime": entries[-1][2] if entries else None,
+    }
+
+
+def evict_lru(directory: str | Path, max_bytes: int) -> dict[str, int]:
+    """Delete least-recently-used entries until the total fits *max_bytes*.
+
+    Recency is mtime: writes stamp entries, disk hits re-stamp them.
+    Missing files (raced by a concurrent evictor) are skipped.  Returns
+    ``{"removed": n, "removed_bytes": b, "remaining_bytes": r}``.
+    """
+    entries = _cache_entries(directory)
+    total = sum(size for _p, size, _m in entries)
+    removed = removed_bytes = 0
+    for path, size, _mtime in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+        removed_bytes += size
+    return {
+        "removed": removed,
+        "removed_bytes": removed_bytes,
+        "remaining_bytes": total,
+    }
+
+
+def cache_clear(directory: str | Path) -> int:
+    """Delete every entry (and stray tmp file); returns entries removed."""
+    removed = 0
+    base = Path(directory)
+    for pattern in ("*.pkl", "*.tmp.*"):
+        for path in base.glob(pattern):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            if pattern == "*.pkl":
+                removed += 1
+    return removed
 
 
 @dataclass
@@ -241,7 +352,7 @@ class CompilationContext:
     num_swaps: int | None = None
     final_layout: dict[int, int] | None = None
     locations: dict[int, AtomLocation] | None = None
-    program: RAAProgram | None = None
+    program: Program | None = None
 
     pass_seconds: dict[str, float] = field(default_factory=dict)
     artifacts: dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,497 @@
+"""Columnar program store: structure-of-arrays stage emission.
+
+The object-graph :class:`~repro.core.instructions.RAAProgram` models a
+compiled program as ``list[Stage]`` with per-stage ``Move`` / ``RamanPulse``
+/ ``RydbergGate`` / ``CoolingEvent`` dataclasses.  That layout is what made
+stage emission the dominant router cost on deep, narrow circuits (BV, QSim):
+per-stage maps are tiny (2-8 entries), so the cost is pure python object
+bookkeeping — one ``Stage`` plus a handful of frozen dataclasses and dicts
+per router iteration.
+
+:class:`ProgramStore` keeps the same program as flat *columns* (plain python
+lists of scalars, one list per field) plus a CSR-style stage-offset table:
+``stage k``'s moves are rows ``off_move[k]:off_move[k+1]`` of the move
+columns, and likewise for Raman pulses, Rydberg gates, cooling events, and
+the per-atom move-distance log.  The router appends scalars during emission
+and closes a stage with :meth:`end_stage` — no per-stage objects exist on
+the hot path.
+
+Consumers keep working unchanged through **lazy views**:
+``program.stages[i]`` returns a :class:`StageView` that materializes the
+legacy dataclasses on demand and is attribute-compatible with ``Stage``
+(including iteration order — ``atom_move_distance`` preserves the pinned
+insertion order the noisy simulator consumes positionally).  Aggregate
+consumers (fidelity, metrics, serialization, the noisy sim) read the columns
+directly and never materialize a view.
+
+Every headline metric matches the object representation bit-for-bit: the
+reductions walk the columns in exactly the order the legacy properties
+walked the object lists, with the same accumulation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..hardware.parameters import HardwareParams
+from ..hardware.raa import AtomLocation
+from .instructions import (
+    CoolingEvent,
+    Move,
+    RAAProgram,
+    RamanPulse,
+    RydbergGate,
+    Stage,
+)
+
+#: ``Move.axis`` values in column encoding order (the columnar JSON codec
+#: stores axes as indices into this tuple).
+AXES = ("row", "col")
+
+
+class StageView:
+    """Lazy, ``Stage``-compatible view over one stage of a :class:`ProgramStore`.
+
+    Attribute access materializes the legacy frozen dataclasses from the
+    column slices on first use and caches them, so a view that is only
+    asked for ``duration()`` or ``has_movement`` never builds an object
+    list.  Field order and values are bit-identical to the ``Stage`` the
+    legacy emission path would have produced.
+    """
+
+    __slots__ = (
+        "_store",
+        "_index",
+        "_one_qubit_gates",
+        "_moves",
+        "_gates",
+        "_cooling",
+        "_atom_move_distance",
+    )
+
+    def __init__(self, store: "ProgramStore", index: int) -> None:
+        self._store = store
+        self._index = index
+        self._one_qubit_gates: list[RamanPulse] | None = None
+        self._moves: list[Move] | None = None
+        self._gates: list[RydbergGate] | None = None
+        self._cooling: list[CoolingEvent] | None = None
+        self._atom_move_distance: dict[int, float] | None = None
+
+    # -- materialized slices ---------------------------------------------------
+
+    @property
+    def one_qubit_gates(self) -> list[RamanPulse]:
+        if self._one_qubit_gates is None:
+            s = self._store
+            lo, hi = s.off_raman[self._index], s.off_raman[self._index + 1]
+            self._one_qubit_gates = [
+                RamanPulse(s.raman_qubit[i], s.raman_name[i], s.raman_params[i])
+                for i in range(lo, hi)
+            ]
+        return self._one_qubit_gates
+
+    @property
+    def moves(self) -> list[Move]:
+        if self._moves is None:
+            s = self._store
+            lo, hi = s.off_move[self._index], s.off_move[self._index + 1]
+            self._moves = [
+                Move(
+                    s.move_aod[i],
+                    s.move_axis[i],
+                    s.move_index[i],
+                    s.move_start[i],
+                    s.move_end[i],
+                )
+                for i in range(lo, hi)
+            ]
+        return self._moves
+
+    @property
+    def gates(self) -> list[RydbergGate]:
+        if self._gates is None:
+            s = self._store
+            lo, hi = s.off_gate[self._index], s.off_gate[self._index + 1]
+            self._gates = [
+                RydbergGate(
+                    s.gate_a[i],
+                    s.gate_b[i],
+                    (s.gate_site_r[i], s.gate_site_c[i]),
+                    n_vib=s.gate_n_vib[i],
+                    name=s.gate_name[i],
+                    params=s.gate_params[i],
+                )
+                for i in range(lo, hi)
+            ]
+        return self._gates
+
+    @property
+    def cooling(self) -> list[CoolingEvent]:
+        if self._cooling is None:
+            s = self._store
+            lo, hi = s.off_cool[self._index], s.off_cool[self._index + 1]
+            self._cooling = [
+                CoolingEvent(s.cool_aod[i], s.cool_atoms[i])
+                for i in range(lo, hi)
+            ]
+        return self._cooling
+
+    @property
+    def atom_move_distance(self) -> dict[int, float]:
+        if self._atom_move_distance is None:
+            s = self._store
+            lo, hi = s.off_amd[self._index], s.off_amd[self._index + 1]
+            # Insertion order matches the emission order, which the noisy
+            # simulator zips positionally against atom_loss_log.
+            self._atom_move_distance = {
+                s.amd_qubit[i]: s.amd_dist[i] for i in range(lo, hi)
+            }
+        return self._atom_move_distance
+
+    # -- Stage-compatible derived quantities ------------------------------------
+
+    @property
+    def has_movement(self) -> bool:
+        s = self._store
+        return s.off_move[self._index + 1] > s.off_move[self._index]
+
+    @property
+    def max_move_distance_sites(self) -> float:
+        s = self._store
+        lo, hi = s.off_move[self._index], s.off_move[self._index + 1]
+        return max(
+            (abs(s.move_end[i] - s.move_start[i]) for i in range(lo, hi)),
+            default=0.0,
+        )
+
+    def duration(self, params: HardwareParams) -> float:
+        """Wall-clock stage time; same term order as ``Stage.duration``."""
+        s = self._store
+        i = self._index
+        t = 0.0
+        if s.off_raman[i + 1] > s.off_raman[i]:
+            t += params.t_1q
+        if s.off_move[i + 1] > s.off_move[i]:
+            t += params.t_per_move
+        if s.off_gate[i + 1] > s.off_gate[i]:
+            t += params.t_2q
+        if s.off_cool[i + 1] > s.off_cool[i]:
+            t += params.t_per_move + 2 * params.t_2q
+        return t
+
+    def materialize(self) -> Stage:
+        """A real (mutable, legacy) ``Stage`` with copies of every field."""
+        return Stage(
+            one_qubit_gates=list(self.one_qubit_gates),
+            moves=list(self.moves),
+            gates=list(self.gates),
+            cooling=list(self.cooling),
+            atom_move_distance=dict(self.atom_move_distance),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StageView {self._index}: "
+            f"{len(self.one_qubit_gates)}x1Q {len(self.moves)} moves "
+            f"{len(self.gates)} gates>"
+        )
+
+
+class StageList:
+    """Sequence facade over a store's stages; indexing yields views."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "ProgramStore") -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return self._store.num_stages
+
+    def __getitem__(self, index):
+        n = self._store.num_stages
+        if isinstance(index, slice):
+            return [StageView(self._store, i) for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"stage index {index} out of range (0..{n - 1})")
+        return StageView(self._store, index)
+
+    def __iter__(self) -> Iterator[StageView]:
+        store = self._store
+        return (StageView(store, i) for i in range(store.num_stages))
+
+
+@dataclass
+class ProgramStore:
+    """A compiled RAA program in structure-of-arrays layout.
+
+    Drop-in compatible with :class:`~repro.core.instructions.RAAProgram`
+    for every consumer: the same top-level attributes, the same headline
+    metric properties (computed as column reductions), and ``stages``
+    exposing lazy :class:`StageView` objects.
+
+    The store doubles as its own builder: the router appends scalars to
+    the columns and calls :meth:`end_stage` to close each stage.  The
+    offset lists always hold ``num_stages + 1`` entries (CSR convention,
+    leading 0).
+    """
+
+    num_qubits: int = 0
+    qubit_locations: dict[int, AtomLocation] = field(default_factory=dict)
+    n_vib_final: dict[int, float] = field(default_factory=dict)
+    atom_loss_log: list[float] = field(default_factory=list)
+    num_transfers: int = 0
+    overlap_rejections: int = 0
+    compile_seconds: float = 0.0
+    #: wall-clock spent in the router's emission phase (the per-stage
+    #: record-keeping blocks, excluding constraint search) — the quantity
+    #: ``repro bench --perf`` tracks as ``emit_seconds``
+    emit_seconds: float = 0.0
+
+    # -- columns (one python list of scalars per field) ------------------------
+    raman_qubit: list[int] = field(default_factory=list)
+    raman_name: list[str] = field(default_factory=list)
+    raman_params: list[tuple[float, ...]] = field(default_factory=list)
+
+    move_aod: list[int] = field(default_factory=list)
+    move_axis: list[str] = field(default_factory=list)  # "row" | "col"
+    move_index: list[int] = field(default_factory=list)
+    move_start: list[float] = field(default_factory=list)
+    move_end: list[float] = field(default_factory=list)
+
+    gate_a: list[int] = field(default_factory=list)
+    gate_b: list[int] = field(default_factory=list)
+    gate_site_r: list[float] = field(default_factory=list)
+    gate_site_c: list[float] = field(default_factory=list)
+    gate_n_vib: list[float] = field(default_factory=list)
+    gate_name: list[str] = field(default_factory=list)
+    gate_params: list[tuple[float, ...]] = field(default_factory=list)
+
+    cool_aod: list[int] = field(default_factory=list)
+    cool_atoms: list[int] = field(default_factory=list)
+
+    #: per-atom move-distance log (metres), stage-segmented like the rest;
+    #: the pair order within a stage is the pinned loss-sample order
+    amd_qubit: list[int] = field(default_factory=list)
+    amd_dist: list[float] = field(default_factory=list)
+
+    # -- stage-index table (CSR offsets, len == num_stages + 1) ----------------
+    off_raman: list[int] = field(default_factory=lambda: [0])
+    off_move: list[int] = field(default_factory=lambda: [0])
+    off_gate: list[int] = field(default_factory=lambda: [0])
+    off_cool: list[int] = field(default_factory=lambda: [0])
+    off_amd: list[int] = field(default_factory=lambda: [0])
+
+    # -- building --------------------------------------------------------------
+
+    def end_stage(self) -> None:
+        """Close the currently-open stage (everything appended since the
+        last close becomes stage ``num_stages``)."""
+        self.off_raman.append(len(self.raman_qubit))
+        self.off_move.append(len(self.move_aod))
+        self.off_gate.append(len(self.gate_a))
+        self.off_cool.append(len(self.cool_aod))
+        self.off_amd.append(len(self.amd_qubit))
+
+    @property
+    def open_raman_count(self) -> int:
+        """Raman pulses appended since the last :meth:`end_stage`."""
+        return len(self.raman_qubit) - self.off_raman[-1]
+
+    # -- stages ----------------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.off_gate) - 1
+
+    @property
+    def stages(self) -> StageList:
+        return StageList(self)
+
+    # -- headline metrics (column reductions) ----------------------------------
+
+    @property
+    def num_2q_gates(self) -> int:
+        """Two-qubit gates executed by Rydberg pulses (cooling CZs excluded)."""
+        return len(self.gate_a)
+
+    @property
+    def num_cooling_cz(self) -> int:
+        """CZ gates spent on cooling swaps."""
+        return sum(2 * n for n in self.cool_atoms)
+
+    @property
+    def num_1q_gates(self) -> int:
+        return len(self.raman_qubit)
+
+    @property
+    def two_qubit_depth(self) -> int:
+        """Number of stages whose Rydberg pulse executes at least one gate."""
+        off = self.off_gate
+        return sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.move_aod)
+
+    @property
+    def num_moving_stages(self) -> int:
+        """Stages that move at least one AOD line."""
+        off = self.off_move
+        return sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+
+    @property
+    def num_1q_stages(self) -> int:
+        """Stages that flush at least one Raman pulse."""
+        off = self.off_raman
+        return sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+
+    def total_move_distance(self, params: HardwareParams) -> float:
+        """Total AOD line travel in metres (same summation order as the
+        object walk: moves in stage order)."""
+        pitch = params.atom_distance
+        return sum(
+            abs(e - s) * pitch for s, e in zip(self.move_start, self.move_end)
+        )
+
+    def avg_move_distance(self, params: HardwareParams) -> float:
+        """Mean per-stage line travel (metres); Fig. 20's 'Avg. Moving Distance'."""
+        moving = self.num_moving_stages
+        if not moving:
+            return 0.0
+        return self.total_move_distance(params) / moving
+
+    def execution_time(self, params: HardwareParams) -> float:
+        """Wall-clock execution time in seconds (term and stage order
+        identical to ``sum(Stage.duration)``)."""
+        t_1q = params.t_1q
+        t_move = params.t_per_move
+        t_2q = params.t_2q
+        t_cool = params.t_per_move + 2 * params.t_2q
+        off_r, off_m = self.off_raman, self.off_move
+        off_g, off_c = self.off_gate, self.off_cool
+        total = 0.0
+        for i in range(len(off_g) - 1):
+            t = 0.0
+            if off_r[i + 1] > off_r[i]:
+                t += t_1q
+            if off_m[i + 1] > off_m[i]:
+                t += t_move
+            if off_g[i + 1] > off_g[i]:
+                t += t_2q
+            if off_c[i + 1] > off_c[i]:
+                t += t_cool
+            total += t
+        return total
+
+    @property
+    def num_cooling_events(self) -> int:
+        return len(self.cool_aod)
+
+    def gate_pairs(self) -> list[tuple[int, int]]:
+        """All executed 2Q pairs in order (for equivalence checks)."""
+        return list(zip(self.gate_a, self.gate_b))
+
+    # -- conversions -----------------------------------------------------------
+
+    def append_stage(self, stage: Stage | StageView) -> None:
+        """Ingest one object-graph stage (fields copied into the columns)."""
+        for p in stage.one_qubit_gates:
+            self.raman_qubit.append(p.qubit)
+            self.raman_name.append(p.name)
+            self.raman_params.append(p.params)
+        for m in stage.moves:
+            self.move_aod.append(m.aod)
+            self.move_axis.append(m.axis)
+            self.move_index.append(m.index)
+            self.move_start.append(m.start)
+            self.move_end.append(m.end)
+        for g in stage.gates:
+            self.gate_a.append(g.qubit_a)
+            self.gate_b.append(g.qubit_b)
+            self.gate_site_r.append(g.site[0])
+            self.gate_site_c.append(g.site[1])
+            self.gate_n_vib.append(g.n_vib)
+            self.gate_name.append(g.name)
+            self.gate_params.append(g.params)
+        for c in stage.cooling:
+            self.cool_aod.append(c.aod)
+            self.cool_atoms.append(c.num_atoms)
+        for q, d in stage.atom_move_distance.items():
+            self.amd_qubit.append(q)
+            self.amd_dist.append(d)
+        self.end_stage()
+
+    def extend(self, other: "ProgramStore") -> None:
+        """Append every stage of *other* after this store's stages.
+
+        Column concatenation plus an offset-table splice — the columnar
+        equivalent of ``stages.extend(other.stages)``.  Top-level fields
+        (locations, loss log, counters) are left to the caller.
+        """
+        self.raman_qubit.extend(other.raman_qubit)
+        self.raman_name.extend(other.raman_name)
+        self.raman_params.extend(other.raman_params)
+        self.move_aod.extend(other.move_aod)
+        self.move_axis.extend(other.move_axis)
+        self.move_index.extend(other.move_index)
+        self.move_start.extend(other.move_start)
+        self.move_end.extend(other.move_end)
+        self.gate_a.extend(other.gate_a)
+        self.gate_b.extend(other.gate_b)
+        self.gate_site_r.extend(other.gate_site_r)
+        self.gate_site_c.extend(other.gate_site_c)
+        self.gate_n_vib.extend(other.gate_n_vib)
+        self.gate_name.extend(other.gate_name)
+        self.gate_params.extend(other.gate_params)
+        self.cool_aod.extend(other.cool_aod)
+        self.cool_atoms.extend(other.cool_atoms)
+        self.amd_qubit.extend(other.amd_qubit)
+        self.amd_dist.extend(other.amd_dist)
+        for mine, theirs in (
+            (self.off_raman, other.off_raman),
+            (self.off_move, other.off_move),
+            (self.off_gate, other.off_gate),
+            (self.off_cool, other.off_cool),
+            (self.off_amd, other.off_amd),
+        ):
+            base = mine[-1]
+            mine.extend(base + off for off in theirs[1:])
+
+    @classmethod
+    def from_program(cls, program: "RAAProgram | ProgramStore") -> "ProgramStore":
+        """Columnar copy of any program representation."""
+        store = cls(
+            num_qubits=program.num_qubits,
+            qubit_locations=dict(program.qubit_locations),
+            n_vib_final=dict(program.n_vib_final),
+            atom_loss_log=list(program.atom_loss_log),
+            num_transfers=program.num_transfers,
+            overlap_rejections=program.overlap_rejections,
+            compile_seconds=program.compile_seconds,
+            emit_seconds=getattr(program, "emit_seconds", 0.0),
+        )
+        for stage in program.stages:
+            store.append_stage(stage)
+        return store
+
+    def to_program(self) -> RAAProgram:
+        """Materialize the legacy object-graph representation."""
+        return RAAProgram(
+            stages=[view.materialize() for view in self.stages],
+            num_qubits=self.num_qubits,
+            qubit_locations=dict(self.qubit_locations),
+            n_vib_final=dict(self.n_vib_final),
+            atom_loss_log=list(self.atom_loss_log),
+            num_transfers=self.num_transfers,
+            overlap_rejections=self.overlap_rejections,
+            compile_seconds=self.compile_seconds,
+        )
+
+
+#: Any compiled-program representation a consumer may receive.
+Program = RAAProgram | ProgramStore

@@ -38,8 +38,8 @@ from .constraints import (
     StagePlan,
     _snap,
 )
-from .instructions import RAAProgram, RamanPulse, RydbergGate, Stage
 from .movement import MovementTracker
+from .program import ProgramStore
 
 
 class RoutingError(RuntimeError):
@@ -253,9 +253,27 @@ class HighParallelismRouter:
                 overlap_rejections += 1
         return plan, chosen, overlap_rejections
 
-    def route(self, circuit: QuantumCircuit) -> RAAProgram:
-        """Route *circuit* (CZ/1Q basis, all 2Q gates inter-array)."""
-        t0 = time.perf_counter()
+    def route(self, circuit: QuantumCircuit) -> ProgramStore:
+        """Route *circuit* (CZ/1Q basis, all 2Q gates inter-array).
+
+        Emission is columnar: every stage record — Raman pulses, AOD line
+        moves, Rydberg gates, cooling events, per-atom displacements — is
+        appended as scalars to the returned :class:`ProgramStore`'s flat
+        columns, and a stage closes with one offset-table append.  No
+        ``Stage``/``Move``/``RydbergGate`` objects exist on this path; the
+        store's lazy views materialize them on demand for consumers.
+
+        ``emit_seconds`` on the result accumulates the wall-clock of the
+        per-stage *record-keeping* blocks — Raman-pulse emission,
+        movement/heating emission, gate emission, cooling records, and the
+        stage close — excluding the constraint search and the DAG
+        bookkeeping (front scans, ``execute``), which are scheduling work,
+        not representation work.  This is the emission-phase cost tracked
+        by ``repro bench --perf``; the PR 3 baselines there were measured
+        with the same window over the object-building emitter.
+        """
+        perf = time.perf_counter
+        t0 = perf()
         dag = DAGCircuit(circuit)
         tracker = MovementTracker(
             architecture=self.architecture,
@@ -263,40 +281,64 @@ class HighParallelismRouter:
             params=self.architecture.params,
             cooling_threshold=self.config.cooling_threshold,
         )
-        stages: list[Stage] = []
+        store = ProgramStore(num_qubits=circuit.num_qubits)
         overlap_rejections = 0
         gates = dag.gates
         is_2q = dag.two_qubit
         is_1q = dag.one_qubit
         trials = max(1, self.config.ordering_trials)
+        emit = 0.0
+
+        raman_qubit_append = store.raman_qubit.append
+        raman_name_append = store.raman_name.append
+        raman_params_append = store.raman_params.append
+        gate_a_append = store.gate_a.append
+        gate_b_append = store.gate_b.append
+        site_r_append = store.gate_site_r.append
+        site_c_append = store.gate_site_c.append
+        n_vib_append = store.gate_n_vib.append
+        gate_name_append = store.gate_name.append
+        gate_params_append = store.gate_params.append
+        cool_aod_append = store.cool_aod.append
+        cool_atoms_append = store.cool_atoms.append
+        end_stage = store.end_stage
+        emit_stage = tracker.bind_store(store)
+        n_vib = tracker.n_vib
+        array_of = tracker._array_of
+        maybe_cool = tracker.maybe_cool
+        dag_execute = dag.execute
 
         while not dag.done:
-            stage = Stage()
             # Step 1: flush frontier 1Q gates (Fig. 8 "Execute 1Q Gates").
             # Gates that are neither 1Q nor 2Q stay in the front and hit the
             # RoutingError below — the router has no lowering for them.
-            pulses = stage.one_qubit_gates
-            flushed = True
-            while flushed:
-                flushed = False
-                for idx in dag.front_indices():
-                    if is_1q[idx]:
-                        g = gates[idx]
-                        pulses.append(RamanPulse(g.qubits[0], g.name, g.params))
-                        dag.execute(idx)
-                        flushed = True
+            # Each sweep scans a copy of the front, so batching the pulse
+            # records before the DAG pops keeps the historical pulse order.
+            while True:
+                todo = [idx for idx in dag.front_indices() if is_1q[idx]]
+                if not todo:
+                    break
+                t_emit = perf()
+                for idx in todo:
+                    g = gates[idx]
+                    raman_qubit_append(g.qubits[0])
+                    raman_name_append(g.name)
+                    raman_params_append(g.params)
+                emit += perf() - t_emit
+                for idx in todo:
+                    dag_execute(idx)
 
             front_2q = [(idx, gates[idx]) for idx in dag.front_indices() if is_2q[idx]]
             if not front_2q:
-                if stage.one_qubit_gates:
-                    stages.append(stage)
+                if store.open_raman_count:
+                    store.end_stage()
                 if dag.done:
                     break
                 raise RoutingError("front layer stuck without 2Q gates")
 
             best: tuple[StagePlan, list[tuple[int, Gate, Site]], int] | None = None
             rng = (
-                np.random.default_rng(self.config.seed + len(stages))
+                np.random.default_rng(self.config.seed + store.num_stages)
                 if trials > 1
                 else None
             )
@@ -317,33 +359,38 @@ class HighParallelismRouter:
                     "router stalled: no frontier gate is schedulable even alone"
                 )
 
-            moves, distances = tracker.apply_stage_maps(
-                plan.row_maps, plan.col_maps
-            )
-            stage.moves = moves
-            stage.atom_move_distance = distances
-            for idx, g, site in chosen:
-                stage.gates.append(
-                    RydbergGate(
-                        g.qubits[0],
-                        g.qubits[1],
-                        site,
-                        n_vib=tracker.pair_n_vib(g.qubits[0], g.qubits[1]),
-                        name=g.name,
-                        params=g.params,
-                    )
+            t_emit = perf()
+            emit_stage(plan.row_maps, plan.col_maps)
+            for _idx, g, site in chosen:
+                qubits = g.qubits
+                qa = qubits[0]
+                qb = qubits[1]
+                gate_a_append(qa)
+                gate_b_append(qb)
+                site_r_append(site[0])
+                site_c_append(site[1])
+                # pair_n_vib inlined: AOD-touching endpoints contribute, in
+                # (a, b) order — identical float sum
+                n_vib_append(
+                    (n_vib[qa] if array_of[qa] else 0.0)
+                    + (n_vib[qb] if array_of[qb] else 0.0)
                 )
-                dag.execute(idx)
-            stage.cooling = tracker.maybe_cool()
-            stages.append(stage)
+                gate_name_append(g.name)
+                gate_params_append(g.params)
+            for ev in maybe_cool():
+                cool_aod_append(ev.aod)
+                cool_atoms_append(ev.num_atoms)
+            end_stage()
+            emit += perf() - t_emit
+            for idx, _g, _site in chosen:
+                dag_execute(idx)
 
-        return RAAProgram(
-            stages=stages,
-            num_qubits=circuit.num_qubits,
-            qubit_locations=dict(self.locations),
-            n_vib_final=dict(tracker.n_vib),
-            atom_loss_log=list(tracker.loss_samples),
-            num_transfers=0,
-            overlap_rejections=overlap_rejections,
-            compile_seconds=time.perf_counter() - t0,
-        )
+        store.qubit_locations = dict(self.locations)
+        # n_vib is slot-indexed; key the final snapshot like the historical
+        # dict (locations iteration order)
+        store.n_vib_final = {q: n_vib[q] for q in self.locations}
+        store.atom_loss_log = list(tracker.loss_samples)
+        store.overlap_rejections = overlap_rejections
+        store.emit_seconds = emit
+        store.compile_seconds = perf() - t0
+        return store

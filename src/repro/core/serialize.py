@@ -1,9 +1,23 @@
 """JSON (de)serialization of compiled RAA programs.
 
-The wire format is a plain-JSON document a control system (or a later
-session) can consume: architecture geometry, per-qubit trap assignments,
-and the stage list with moves, pulses, gates, and cooling events.  Round-
-tripping preserves every field the fidelity model reads.
+Two wire formats:
+
+* **v1 (object)** — the historical stage-list document: one dict per stage,
+  one dict per gate.  Decodes to a legacy
+  :class:`~repro.core.instructions.RAAProgram`.
+* **v2 (columnar)** — the structure-of-arrays document matching
+  :class:`~repro.core.program.ProgramStore`: flat arrays of numbers per
+  field plus the CSR stage-offset table.  For large programs this removes
+  the per-gate dict overhead (no repeated keys) and encodes/decodes in
+  bulk; it is the format the service wire's program codec uses
+  (:func:`repro.service.wire.encode_program`).  Decodes to a
+  :class:`ProgramStore`.
+
+``json`` emits floats with ``repr``-exact shortest round-trip text, so both
+formats preserve every field the fidelity model reads bit-for-bit.
+:func:`program_to_dict` picks the format matching the representation it is
+given (override with ``columnar=``); :func:`program_from_dict` dispatches
+on ``format_version``.
 """
 
 from __future__ import annotations
@@ -20,14 +34,14 @@ from .instructions import (
     RydbergGate,
     Stage,
 )
+from .program import AXES, Program, ProgramStore
 
 FORMAT_VERSION = 1
+COLUMNAR_FORMAT_VERSION = 2
 
 
-def program_to_dict(program: RAAProgram) -> dict[str, Any]:
-    """Lower a program to JSON-ready primitives."""
+def _common_header(program: Program) -> dict[str, Any]:
     return {
-        "format_version": FORMAT_VERSION,
         "num_qubits": program.num_qubits,
         "qubit_locations": {
             str(q): [loc.array, loc.row, loc.col]
@@ -38,6 +52,76 @@ def program_to_dict(program: RAAProgram) -> dict[str, Any]:
         "num_transfers": program.num_transfers,
         "overlap_rejections": program.overlap_rejections,
         "compile_seconds": program.compile_seconds,
+    }
+
+
+def program_to_dict(
+    program: Program, *, columnar: bool | None = None
+) -> dict[str, Any]:
+    """Lower a program to JSON-ready primitives.
+
+    ``columnar=None`` (the default) keeps the representation: a
+    :class:`ProgramStore` becomes a v2 columnar document, a legacy
+    :class:`RAAProgram` a v1 stage-list document — so a round trip always
+    returns the type it was fed.
+    """
+    if columnar is None:
+        columnar = isinstance(program, ProgramStore)
+    if columnar:
+        store = (
+            program
+            if isinstance(program, ProgramStore)
+            else ProgramStore.from_program(program)
+        )
+        # every column is snapshotted (like the v1 path) so the document
+        # neither tracks later store mutations nor exposes the store to
+        # callers editing the payload
+        return {
+            "format_version": COLUMNAR_FORMAT_VERSION,
+            **_common_header(store),
+            "emit_seconds": store.emit_seconds,
+            "columns": {
+                "raman": {
+                    "qubit": list(store.raman_qubit),
+                    "name": list(store.raman_name),
+                    "params": [list(p) for p in store.raman_params],
+                },
+                "moves": {
+                    "aod": list(store.move_aod),
+                    "axis": [AXES.index(a) for a in store.move_axis],
+                    "index": list(store.move_index),
+                    "start": list(store.move_start),
+                    "end": list(store.move_end),
+                },
+                "gates": {
+                    "a": list(store.gate_a),
+                    "b": list(store.gate_b),
+                    "site_r": list(store.gate_site_r),
+                    "site_c": list(store.gate_site_c),
+                    "n_vib": list(store.gate_n_vib),
+                    "name": list(store.gate_name),
+                    "params": [list(p) for p in store.gate_params],
+                },
+                "cooling": {
+                    "aod": list(store.cool_aod),
+                    "num_atoms": list(store.cool_atoms),
+                },
+                "amd": {
+                    "qubit": list(store.amd_qubit),
+                    "dist": list(store.amd_dist),
+                },
+            },
+            "stage_offsets": {
+                "raman": list(store.off_raman),
+                "moves": list(store.off_move),
+                "gates": list(store.off_gate),
+                "cooling": list(store.off_cool),
+                "amd": list(store.off_amd),
+            },
+        }
+    return {
+        "format_version": FORMAT_VERSION,
+        **_common_header(program),
         "stages": [
             {
                 "one_qubit_gates": [
@@ -69,11 +153,7 @@ def program_to_dict(program: RAAProgram) -> dict[str, Any]:
     }
 
 
-def program_from_dict(doc: dict[str, Any]) -> RAAProgram:
-    """Rebuild a program from :func:`program_to_dict` output."""
-    version = doc.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported program format version {version!r}")
+def _decode_v1(doc: dict[str, Any]) -> RAAProgram:
     stages = []
     for sd in doc["stages"]:
         stages.append(
@@ -121,11 +201,70 @@ def program_from_dict(doc: dict[str, Any]) -> RAAProgram:
     )
 
 
-def dumps(program: RAAProgram, indent: int | None = None) -> str:
-    """Serialize to a JSON string."""
-    return json.dumps(program_to_dict(program), indent=indent)
+def _decode_v2(doc: dict[str, Any]) -> ProgramStore:
+    cols = doc["columns"]
+    offs = doc["stage_offsets"]
+    raman, moves, gates = cols["raman"], cols["moves"], cols["gates"]
+    cooling, amd = cols["cooling"], cols["amd"]
+    return ProgramStore(
+        num_qubits=doc["num_qubits"],
+        qubit_locations={
+            int(q): AtomLocation(*loc)
+            for q, loc in doc["qubit_locations"].items()
+        },
+        n_vib_final={int(q): v for q, v in doc["n_vib_final"].items()},
+        atom_loss_log=list(doc["atom_loss_log"]),
+        num_transfers=doc["num_transfers"],
+        overlap_rejections=doc["overlap_rejections"],
+        compile_seconds=doc["compile_seconds"],
+        emit_seconds=doc.get("emit_seconds", 0.0),
+        raman_qubit=list(raman["qubit"]),
+        raman_name=list(raman["name"]),
+        raman_params=[tuple(p) for p in raman["params"]],
+        move_aod=list(moves["aod"]),
+        move_axis=[AXES[a] for a in moves["axis"]],
+        move_index=list(moves["index"]),
+        move_start=list(moves["start"]),
+        move_end=list(moves["end"]),
+        gate_a=list(gates["a"]),
+        gate_b=list(gates["b"]),
+        gate_site_r=list(gates["site_r"]),
+        gate_site_c=list(gates["site_c"]),
+        gate_n_vib=list(gates["n_vib"]),
+        gate_name=list(gates["name"]),
+        gate_params=[tuple(p) for p in gates["params"]],
+        cool_aod=list(cooling["aod"]),
+        cool_atoms=list(cooling["num_atoms"]),
+        amd_qubit=list(amd["qubit"]),
+        amd_dist=list(amd["dist"]),
+        off_raman=list(offs["raman"]),
+        off_move=list(offs["moves"]),
+        off_gate=list(offs["gates"]),
+        off_cool=list(offs["cooling"]),
+        off_amd=list(offs["amd"]),
+    )
 
 
-def loads(text: str) -> RAAProgram:
+def program_from_dict(doc: dict[str, Any]) -> Program:
+    """Rebuild a program from :func:`program_to_dict` output (either format)."""
+    version = doc.get("format_version")
+    if version == FORMAT_VERSION:
+        return _decode_v1(doc)
+    if version == COLUMNAR_FORMAT_VERSION:
+        return _decode_v2(doc)
+    raise ValueError(f"unsupported program format version {version!r}")
+
+
+def dumps(
+    program: Program,
+    indent: int | None = None,
+    *,
+    columnar: bool | None = None,
+) -> str:
+    """Serialize to a JSON string (format chosen like :func:`program_to_dict`)."""
+    return json.dumps(program_to_dict(program, columnar=columnar), indent=indent)
+
+
+def loads(text: str) -> Program:
     """Deserialize from a JSON string."""
     return program_from_dict(json.loads(text))

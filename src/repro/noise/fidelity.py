@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 
 from ..circuits.circuit import QuantumCircuit
-from ..core.instructions import RAAProgram
+from ..core.program import Program, ProgramStore
 from ..hardware.parameters import HardwareParams
 from . import movement_noise as mov
 
@@ -86,13 +86,25 @@ def _two_qubit_term(
 
 
 def estimate_raa_fidelity(
-    program: RAAProgram, params: HardwareParams
+    program: Program, params: HardwareParams
 ) -> FidelityReport:
-    """Fidelity of a compiled RAA program (movement terms included)."""
+    """Fidelity of a compiled RAA program (movement terms included).
+
+    Accepts either program representation.  For a columnar
+    :class:`~repro.core.program.ProgramStore` the aggregates are column
+    reductions — stage-occupancy counts off the offset table and the
+    ``n_vib`` column read as-is (same values, same order as the object
+    walk); no stage views are materialized.
+    """
     n = program.num_qubits
-    num_1q_layers = sum(1 for s in program.stages if s.one_qubit_gates)
-    num_moving = sum(1 for s in program.stages if s.moves)
-    gate_n_vibs = [g.n_vib for s in program.stages for g in s.gates]
+    if isinstance(program, ProgramStore):
+        num_1q_layers = program.num_1q_stages
+        num_moving = program.num_moving_stages
+        gate_n_vibs = program.gate_n_vib
+    else:
+        num_1q_layers = sum(1 for s in program.stages if s.one_qubit_gates)
+        num_moving = sum(1 for s in program.stages if s.moves)
+        gate_n_vibs = [g.n_vib for s in program.stages for g in s.gates]
 
     f_transfer = (1.0 - params.p_transfer_loss) ** program.num_transfers
     if program.num_transfers:

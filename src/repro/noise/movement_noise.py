@@ -13,6 +13,7 @@ Four multiplicative fidelity terms characterize movement:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 from scipy.special import erf
 
@@ -29,9 +30,14 @@ def heating_gate_factor(n_vib: float, params: HardwareParams) -> float:
 
 
 def movement_heating_fidelity(
-    gate_n_vibs: list[float], params: HardwareParams
+    gate_n_vibs: Sequence[float], params: HardwareParams
 ) -> float:
-    """Eq. 2 over all executed 2Q gates."""
+    """Eq. 2 over all executed 2Q gates.
+
+    *gate_n_vibs* is typically a :class:`~repro.core.program.ProgramStore`
+    n_vib column consumed as-is (no per-gate objects); the product runs in
+    column order, which is gate execution order.
+    """
     f = 1.0
     for nv in gate_n_vibs:
         f *= heating_gate_factor(nv, params)
@@ -50,7 +56,7 @@ def atom_loss_probability(n_vib: float, params: HardwareParams) -> float:
 
 
 def movement_loss_fidelity(
-    move_n_vibs: list[float], params: HardwareParams
+    move_n_vibs: Sequence[float], params: HardwareParams
 ) -> float:
     """Probability no atom is lost across all (atom, move) events."""
     f = 1.0

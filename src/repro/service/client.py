@@ -13,7 +13,6 @@ wire form, so callers can treat a service compile exactly like a local one.
 
 from __future__ import annotations
 
-import json
 import socket
 import time
 from pathlib import Path
@@ -21,7 +20,16 @@ from typing import Any
 
 from ..analysis.metrics import CompiledMetrics
 from ..experiments.batch import CompileJob
-from .wire import decode_metrics, encode_job
+from .wire import (
+    WIRE_COMPRESS_THRESHOLD,
+    WIRE_GZIP_ENCODING,
+    WireError,
+    compress_line,
+    decode_line,
+    decode_metrics,
+    encode_job,
+    encode_line,
+)
 
 
 class ServiceUnavailable(ConnectionError):
@@ -48,6 +56,9 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: whether the daemon unwraps gzip+b64 requests (None = unknown;
+        #: probed via ping before the first large request)
+        self._server_gzip: bool | None = None
 
     # -- transport -----------------------------------------------------------
 
@@ -77,11 +88,26 @@ class ServiceClient:
         blocking ops (``result`` with ``wait``, ``drain``) pass a deadline
         comfortably past the server-side one so the server's answer,
         including its timeout error, always arrives before the socket
-        gives up."""
+        gives up.
+
+        Every request declares ``"enc": "gzip+b64"`` (an unknown field to
+        old daemons, which ignore it), so a new daemon may compress its
+        large responses back.  Requests over 64 KiB are themselves
+        gzip-compressed, but only after a one-time ping confirms the
+        daemon advertises the encoding — an old daemon cannot unwrap the
+        envelope, so large submissions to it stay plain JSON."""
+        if "enc" not in payload:
+            payload = {**payload, "enc": WIRE_GZIP_ENCODING}
+        line_out = encode_line(payload)
+        if len(line_out) - 1 > WIRE_COMPRESS_THRESHOLD:
+            if self._server_gzip is None and payload.get("op") != "ping":
+                self.ping()  # sets _server_gzip from the capability advert
+            if self._server_gzip:
+                line_out = compress_line(line_out)
         sock = self._connect(timeout if timeout is not None else self.timeout)
         try:
             with sock.makefile("rwb") as stream:
-                stream.write(json.dumps(payload).encode() + b"\n")
+                stream.write(line_out)
                 stream.flush()
                 line = stream.readline()
         except OSError as exc:  # read timeout / reset mid-request
@@ -92,7 +118,12 @@ class ServiceClient:
             sock.close()
         if not line:
             raise ServiceUnavailable("connection closed before a response")
-        response = json.loads(line)
+        try:
+            response, _compressed = decode_line(line)
+        except WireError as exc:
+            raise RemoteError(f"undecodable service response: {exc}") from exc
+        if response.get("op") == "ping" and response.get("ok"):
+            self._server_gzip = response.get("enc") == WIRE_GZIP_ENCODING
         if not response.get("ok"):
             raise RemoteError(response.get("error", "unknown service error"))
         return response

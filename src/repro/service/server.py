@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
-import json
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -45,7 +44,15 @@ from ..experiments import batch
 from ..experiments.batch import CompileJob, ResultCache
 from ..hardware.raa import RAAArchitecture
 from .queue import JobQueue, JobState, QueueError
-from .wire import WireError, decode_job, decode_metrics, encode_metrics
+from .wire import (
+    WIRE_GZIP_ENCODING,
+    WireError,
+    decode_job,
+    decode_line,
+    decode_metrics,
+    encode_line,
+    encode_metrics,
+)
 
 
 class ServiceError(RuntimeError):
@@ -356,7 +363,19 @@ class ServiceServer:
     ``ok`` flag.  Supported ops: ``ping``, ``backends``, ``submit``,
     ``status``, ``result`` (optional ``wait``/``timeout``), ``cancel``,
     ``jobs``, ``stats``, ``drain``.
+
+    Requests may arrive gzip-wrapped (``{"enc": "gzip+b64", "data": ...}``)
+    — large submissions cross the socket compressed.  Responses are
+    compressed only for peers that negotiated it (a wrapped request, or an
+    ``"enc": "gzip+b64"`` request field) and only past the 64 KiB
+    threshold, so old clients are unaffected.  The stream line limit is
+    raised past asyncio's 64 KiB default so large plain-JSON lines (an old
+    client submitting a big circuit) still frame correctly.
     """
+
+    #: per-line stream buffer cap (asyncio defaults to 64 KiB, which a
+    #: large uncompressed submission legitimately exceeds)
+    MAX_LINE_BYTES = 32 * 2**20
 
     def __init__(
         self,
@@ -385,11 +404,14 @@ class ServiceServer:
             if stale.is_socket():  # leftover of a killed daemon
                 stale.unlink()
             self._server = await asyncio.start_unix_server(
-                self._handle, path=self.socket_path
+                self._handle, path=self.socket_path, limit=self.MAX_LINE_BYTES
             )
         else:
             self._server = await asyncio.start_server(
-                self._handle, host=self.host, port=self.port
+                self._handle,
+                host=self.host,
+                port=self.port,
+                limit=self.MAX_LINE_BYTES,
             )
             self.port = self._server.sockets[0].getsockname()[1]
 
@@ -417,8 +439,18 @@ class ServiceServer:
                 line = await reader.readline()
                 if not line:
                     break
-                response = await self._respond(line)
-                writer.write(json.dumps(response).encode() + b"\n")
+                try:
+                    request, wrapped = decode_line(line)
+                except WireError as exc:
+                    request, wrapped = None, False
+                    response = {"ok": False, "error": str(exc)}
+                else:
+                    response = await self._respond(request)
+                accepts_gzip = wrapped or (
+                    request is not None
+                    and request.get("enc") == WIRE_GZIP_ENCODING
+                )
+                writer.write(encode_line(response, compress=accepts_gzip))
                 await writer.drain()
                 if response.get("op") == "drain" and response.get("ok"):
                     self._drained.set()
@@ -432,16 +464,18 @@ class ServiceServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _respond(self, line: bytes) -> dict[str, Any]:
+    async def _respond(self, request: dict[str, Any]) -> dict[str, Any]:
         try:
-            request = json.loads(line)
             op = request["op"]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        except (KeyError, TypeError) as exc:
             return {"ok": False, "error": f"bad request: {exc}"}
         service = self.service
         try:
             if op == "ping":
-                return {"ok": True, "op": op}
+                # the "enc" field doubles as a capability advert: clients
+                # only gzip-compress their requests to daemons that answer
+                # with it (an old daemon's ping lacks the field)
+                return {"ok": True, "op": op, "enc": WIRE_GZIP_ENCODING}
             if op == "backends":
                 return {"ok": True, "op": op, "backends": available_backends()}
             if op == "submit":

@@ -14,10 +14,25 @@ service compile against a direct in-process compile down to the last bit.
 Every ``encode_*``/``decode_*`` pair is lossless for the types the compile
 path consumes.  ``pipeline_cache`` never travels: it is process-local
 identity state, and the service's workers install their own shard cache.
+
+:func:`encode_program`/:func:`decode_program` define the program codec for
+service surfaces — the compact columnar v2 format (arrays of numbers, no
+per-gate dicts).  No daemon op ships programs yet (only metrics travel
+today); a future ``program`` op should use exactly this pair.  Any JSON
+line larger than :data:`WIRE_COMPRESS_THRESHOLD` can be wrapped in a
+``{"enc": "gzip+b64", "data": ...}`` envelope (:func:`encode_line` /
+:func:`decode_line`).  Compression is negotiated in both directions: the
+server only compresses a response when the request arrived compressed or
+carried an ``"enc": "gzip+b64"`` field, and the client only compresses a
+large request after a ping shows the daemon advertises the encoding — so
+unupgraded peers on either side keep exchanging plain JSON.
 """
 
 from __future__ import annotations
 
+import base64
+import gzip
+import json
 from dataclasses import asdict
 from typing import Any
 
@@ -27,7 +42,9 @@ from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
 from ..core.compiler import AtomiqueConfig
 from ..core.constraints import ConstraintToggles
+from ..core.program import Program, ProgramStore
 from ..core.router import RouterConfig
+from ..core.serialize import program_from_dict, program_to_dict
 from ..experiments.batch import CompileJob
 from ..hardware.parameters import HardwareParams
 from ..hardware.raa import ArrayShape, RAAArchitecture
@@ -36,6 +53,76 @@ from ..noise.fidelity import FidelityReport
 
 class WireError(ValueError):
     """A payload could not be decoded into a compile job."""
+
+
+# -- line framing ------------------------------------------------------------
+
+#: Lines longer than this (encoded bytes) are gzip-compressed when the peer
+#: negotiated the ``gzip+b64`` encoding.
+WIRE_COMPRESS_THRESHOLD = 64 * 1024
+
+#: The only transfer encoding the protocol knows.
+WIRE_GZIP_ENCODING = "gzip+b64"
+
+
+def compress_line(line: bytes) -> bytes:
+    """Gzip-wrap an already-encoded JSON line (trailing newline optional).
+
+    Returns the ``{"enc": "gzip+b64", "data": ...}`` envelope as a
+    newline-terminated line — still one JSON line, so framing is unchanged
+    for every reader.
+    """
+    packed = base64.b64encode(gzip.compress(line.rstrip(b"\n"))).decode("ascii")
+    return json.dumps({"enc": WIRE_GZIP_ENCODING, "data": packed}).encode() + b"\n"
+
+
+def encode_line(
+    payload: dict[str, Any],
+    *,
+    compress: bool = False,
+    threshold: int = WIRE_COMPRESS_THRESHOLD,
+) -> bytes:
+    """One protocol line (newline-terminated) for *payload*.
+
+    With ``compress=True`` (the peer negotiated it) and an encoded size
+    over *threshold*, the line is wrapped via :func:`compress_line`.
+    """
+    line = json.dumps(payload).encode()
+    if compress and len(line) > threshold:
+        return compress_line(line)
+    return line + b"\n"
+
+
+def decode_line(line: bytes | str) -> tuple[dict[str, Any], bool]:
+    """Decode one protocol line; returns ``(payload, was_compressed)``.
+
+    Transparently unwraps the gzip envelope — recognized by its exact
+    two-key shape ``{"enc", "data"}`` (payloads merely *carrying* an
+    ``enc`` or ``data`` field alongside other keys are not envelopes).
+    Raises :class:`WireError` on malformed JSON, a bad envelope, or an
+    unknown encoding.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"bad request: {exc}") from exc
+    if isinstance(payload, dict) and payload.keys() == {"enc", "data"}:
+        enc = payload.get("enc")
+        if enc != WIRE_GZIP_ENCODING:
+            raise WireError(f"unknown transfer encoding {enc!r}")
+        try:
+            raw = gzip.decompress(base64.b64decode(payload["data"]))
+            inner = json.loads(raw)
+        except (ValueError, OSError, TypeError) as exc:
+            raise WireError(f"bad {WIRE_GZIP_ENCODING} envelope: {exc}") from exc
+        if not isinstance(inner, dict):
+            raise WireError("envelope payload must be an object")
+        return inner, True
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"request must be an object, got {type(payload).__name__}"
+        )
+    return payload, False
 
 
 # -- circuits ---------------------------------------------------------------
@@ -218,6 +305,30 @@ def decode_job(payload: dict[str, Any]) -> CompileJob:
             decode_options(options) if options is not None else CompileOptions()
         ),
     )
+
+
+# -- programs ----------------------------------------------------------------
+
+
+def encode_program(program: Program) -> dict[str, Any]:
+    """Columnar wire form of a compiled program.
+
+    Always the v2 structure-of-arrays document: flat arrays of numbers
+    with ``repr``-exact floats, no per-gate dict overhead — the form a
+    program-shipping service op should use (none exists yet; see the
+    ROADMAP architecture items).
+    """
+    return program_to_dict(program, columnar=True)
+
+
+def decode_program(payload: dict[str, Any]) -> ProgramStore:
+    try:
+        program = program_from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad program payload: {exc}") from exc
+    if not isinstance(program, ProgramStore):
+        program = ProgramStore.from_program(program)
+    return program
 
 
 # -- results ----------------------------------------------------------------

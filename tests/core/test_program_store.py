@@ -1,0 +1,209 @@
+"""Columnar ProgramStore: object-view equality with the legacy representation.
+
+The router now emits a :class:`~repro.core.program.ProgramStore`; these
+tests pin its lazy views and column reductions against the materialized
+:class:`~repro.core.instructions.RAAProgram` field by field, round-trip the
+store through the dataclasses and both serialization formats, and check the
+builder API (``extend``, ``append_stage``).
+"""
+
+import json
+
+import pytest
+
+from repro.core import AtomiqueCompiler, AtomiqueConfig
+from repro.core.atom_mapper import map_qubits_to_atoms
+from repro.core.instructions import RAAProgram, Stage
+from repro.core.program import ProgramStore, StageView
+from repro.core.router import HighParallelismRouter, RouterConfig
+from repro.core.serialize import (
+    COLUMNAR_FORMAT_VERSION,
+    FORMAT_VERSION,
+    dumps,
+    loads,
+    program_to_dict,
+)
+from repro.generators import qaoa_random, qaoa_regular, qsim_random
+from repro.hardware import RAAArchitecture
+
+
+def compiled_store(circuit, side=4):
+    arch = RAAArchitecture.default(side=side, num_aods=2)
+    result = AtomiqueCompiler(arch, AtomiqueConfig(seed=7)).compile(circuit)
+    return result.program, arch
+
+
+CORPUS = [
+    ("qaoa10", lambda: qaoa_random(10, seed=10)),
+    ("qaoa-regu12", lambda: qaoa_regular(12, 3, seed=4)),
+    ("qsim10", lambda: qsim_random(10, seed=10)),
+]
+
+
+def assert_stage_equal(view: StageView, stage: Stage):
+    assert view.one_qubit_gates == stage.one_qubit_gates
+    assert view.moves == stage.moves
+    assert view.gates == stage.gates
+    assert view.cooling == stage.cooling
+    assert view.atom_move_distance == stage.atom_move_distance
+    # dict/iteration order is pinned, not just the mapping
+    assert list(view.atom_move_distance) == list(stage.atom_move_distance)
+
+
+class TestViewEquality:
+    @pytest.mark.parametrize("name,factory", CORPUS)
+    def test_views_match_materialized_program(self, name, factory):
+        store, _arch = compiled_store(factory())
+        assert isinstance(store, ProgramStore)
+        legacy = store.to_program()
+        assert isinstance(legacy, RAAProgram)
+        assert len(store.stages) == len(legacy.stages)
+        for view, stage in zip(store.stages, legacy.stages):
+            assert_stage_equal(view, stage)
+
+    @pytest.mark.parametrize("name,factory", CORPUS)
+    def test_headline_metrics_match(self, name, factory):
+        store, arch = compiled_store(factory())
+        legacy = store.to_program()
+        params = arch.params
+        assert store.num_2q_gates == legacy.num_2q_gates
+        assert store.num_1q_gates == legacy.num_1q_gates
+        assert store.two_qubit_depth == legacy.two_qubit_depth
+        assert store.num_moves == legacy.num_moves
+        assert store.num_cooling_cz == legacy.num_cooling_cz
+        assert store.num_cooling_events == legacy.num_cooling_events
+        assert store.gate_pairs() == legacy.gate_pairs()
+        # float reductions are bit-identical (same accumulation order)
+        assert store.execution_time(params) == legacy.execution_time(params)
+        assert store.total_move_distance(params) == legacy.total_move_distance(
+            params
+        )
+        assert store.avg_move_distance(params) == legacy.avg_move_distance(params)
+
+    def test_stage_view_derived_fields(self):
+        store, arch = compiled_store(qaoa_random(10, seed=10))
+        legacy = store.to_program()
+        for view, stage in zip(store.stages, legacy.stages):
+            assert view.has_movement == stage.has_movement
+            assert view.max_move_distance_sites == stage.max_move_distance_sites
+            assert view.duration(arch.params) == stage.duration(arch.params)
+
+    def test_stage_indexing(self):
+        store, _ = compiled_store(qaoa_random(10, seed=10))
+        n = len(store.stages)
+        assert store.stages[0].one_qubit_gates == store.stages[-n].one_qubit_gates
+        assert len(store.stages[1:3]) == 2
+        with pytest.raises(IndexError):
+            store.stages[n]
+
+
+class TestRoundTrip:
+    def test_store_to_program_to_store(self):
+        store, _ = compiled_store(qsim_random(10, seed=10))
+        back = ProgramStore.from_program(store.to_program())
+        for col in (
+            "raman_qubit",
+            "raman_name",
+            "raman_params",
+            "move_aod",
+            "move_axis",
+            "move_index",
+            "move_start",
+            "move_end",
+            "gate_a",
+            "gate_b",
+            "gate_site_r",
+            "gate_site_c",
+            "gate_n_vib",
+            "gate_name",
+            "gate_params",
+            "cool_aod",
+            "cool_atoms",
+            "amd_qubit",
+            "amd_dist",
+            "off_raman",
+            "off_move",
+            "off_gate",
+            "off_cool",
+            "off_amd",
+        ):
+            assert getattr(back, col) == getattr(store, col), col
+        assert back.atom_loss_log == store.atom_loss_log
+        assert back.n_vib_final == store.n_vib_final
+        assert back.qubit_locations == store.qubit_locations
+
+    def test_columnar_json_roundtrip_is_exact(self):
+        store, _ = compiled_store(qaoa_random(10, seed=10))
+        doc = program_to_dict(store)
+        assert doc["format_version"] == COLUMNAR_FORMAT_VERSION
+        restored = loads(dumps(store))
+        assert isinstance(restored, ProgramStore)
+        assert restored.gate_n_vib == store.gate_n_vib
+        assert restored.atom_loss_log == store.atom_loss_log
+        assert restored.move_start == store.move_start
+        assert restored.off_gate == store.off_gate
+        for view, orig in zip(restored.stages, store.stages):
+            assert_stage_equal(view, orig.materialize())
+
+    def test_v1_and_v2_decode_to_equivalent_programs(self):
+        store, _ = compiled_store(qaoa_regular(12, 3, seed=4))
+        v1 = loads(dumps(store, columnar=False))
+        v2 = loads(dumps(store, columnar=True))
+        assert isinstance(v1, RAAProgram)
+        assert isinstance(v2, ProgramStore)
+        assert len(v1.stages) == len(v2.stages)
+        for stage, view in zip(v1.stages, v2.stages):
+            assert_stage_equal(view, stage)
+        assert v1.atom_loss_log == v2.atom_loss_log
+
+    def test_v1_documents_still_decode(self):
+        store, _ = compiled_store(qaoa_random(10, seed=10))
+        doc = program_to_dict(store, columnar=False)
+        assert doc["format_version"] == FORMAT_VERSION
+        legacy = loads(json.dumps(doc))
+        assert isinstance(legacy, RAAProgram)
+        assert legacy.num_2q_gates == store.num_2q_gates
+
+
+class TestBuilder:
+    def test_extend_concatenates_stages(self):
+        a, _ = compiled_store(qaoa_random(10, seed=10))
+        b, _ = compiled_store(qsim_random(10, seed=10))
+        combined = ProgramStore(num_qubits=max(a.num_qubits, b.num_qubits))
+        combined.extend(a)
+        combined.extend(b)
+        assert len(combined.stages) == len(a.stages) + len(b.stages)
+        assert combined.num_2q_gates == a.num_2q_gates + b.num_2q_gates
+        assert combined.num_moves == a.num_moves + b.num_moves
+        joined = [*a.stages, *b.stages]
+        for view, orig in zip(combined.stages, joined):
+            assert_stage_equal(view, orig.materialize())
+
+    def test_append_stage_matches_view(self):
+        store, _ = compiled_store(qaoa_random(10, seed=10))
+        rebuilt = ProgramStore(num_qubits=store.num_qubits)
+        for view in store.stages:
+            rebuilt.append_stage(view)
+        for view, orig in zip(rebuilt.stages, store.stages):
+            assert_stage_equal(view, orig.materialize())
+
+    def test_emit_seconds_recorded(self):
+        store, _ = compiled_store(qaoa_random(10, seed=10))
+        assert store.emit_seconds > 0.0
+        assert store.emit_seconds <= store.compile_seconds
+
+
+class TestDirectRouting:
+    def test_router_emits_store_directly(self):
+        # direct routing (no pipeline) also returns the columnar store
+        from tests.core.test_router_golden import random_inter_array
+
+        circ, assignment = random_inter_array()
+        arch = RAAArchitecture.default(side=6, num_aods=2)
+        locs = map_qubits_to_atoms(circ, assignment, arch)
+        program = HighParallelismRouter(arch, locs, RouterConfig()).route(circ)
+        assert isinstance(program, ProgramStore)
+        assert program.num_2q_gates == len(program.gate_pairs())
+        legacy = program.to_program()
+        for view, stage in zip(program.stages, legacy.stages):
+            assert_stage_equal(view, stage)

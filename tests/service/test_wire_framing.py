@@ -1,0 +1,194 @@
+"""Gzip line framing and the columnar program codec on the service wire."""
+
+import json
+
+import pytest
+
+from repro.core import AtomiqueCompiler, AtomiqueConfig
+from repro.core.program import ProgramStore
+from repro.generators import qaoa_random, qsim_random
+from repro.hardware import RAAArchitecture
+from repro.service.wire import (
+    WIRE_COMPRESS_THRESHOLD,
+    WIRE_GZIP_ENCODING,
+    WireError,
+    decode_line,
+    decode_program,
+    encode_line,
+    encode_program,
+)
+
+
+class TestLineFraming:
+    def test_small_lines_stay_plain_json(self):
+        line = encode_line({"op": "ping"}, compress=True)
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"op": "ping"}
+
+    def test_large_lines_compress_when_negotiated(self):
+        payload = {"op": "submit", "blob": "x" * (WIRE_COMPRESS_THRESHOLD + 1)}
+        line = encode_line(payload, compress=True)
+        envelope = json.loads(line)
+        assert envelope["enc"] == WIRE_GZIP_ENCODING
+        assert len(line) < WIRE_COMPRESS_THRESHOLD  # "x"*N compresses well
+        decoded, was_compressed = decode_line(line)
+        assert was_compressed
+        assert decoded == payload
+
+    def test_large_lines_stay_plain_without_negotiation(self):
+        payload = {"op": "submit", "blob": "x" * (WIRE_COMPRESS_THRESHOLD + 1)}
+        line = encode_line(payload, compress=False)
+        decoded, was_compressed = decode_line(line)
+        assert not was_compressed
+        assert decoded == payload
+
+    def test_roundtrip_is_lossless_for_floats(self):
+        payload = {"op": "x", "vals": [0.1, 1e-300, 2.0 / 3.0]}
+        big = {**payload, "pad": "y" * (WIRE_COMPRESS_THRESHOLD + 1)}
+        decoded, _ = decode_line(encode_line(big, compress=True))
+        assert decoded["vals"] == payload["vals"]
+
+    def test_unknown_encoding_rejected(self):
+        line = json.dumps({"enc": "zstd", "data": "xx"}).encode() + b"\n"
+        with pytest.raises(WireError, match="unknown transfer encoding"):
+            decode_line(line)
+
+    def test_corrupt_envelope_rejected(self):
+        line = (
+            json.dumps({"enc": WIRE_GZIP_ENCODING, "data": "!!!notb64"}).encode()
+            + b"\n"
+        )
+        with pytest.raises(WireError, match="envelope"):
+            decode_line(line)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(WireError, match="bad request"):
+            decode_line(b"{nope\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError, match="must be an object"):
+            decode_line(b"[1, 2]\n")
+
+
+class TestProgramCodec:
+    @pytest.fixture(scope="class")
+    def store(self):
+        circuit = qsim_random(10, seed=10)
+        arch = RAAArchitecture.default(side=4)
+        return AtomiqueCompiler(arch, AtomiqueConfig(seed=7)).compile(
+            circuit
+        ).program
+
+    def test_program_roundtrip_bit_exact(self, store):
+        payload = encode_program(store)
+        # through real JSON text, as the socket would carry it
+        restored = decode_program(json.loads(json.dumps(payload)))
+        assert isinstance(restored, ProgramStore)
+        assert restored.gate_n_vib == store.gate_n_vib
+        assert restored.atom_loss_log == store.atom_loss_log
+        assert restored.gate_pairs() == store.gate_pairs()
+        assert restored.off_gate == store.off_gate
+        assert restored.move_start == store.move_start
+
+    def test_columnar_wire_form_is_smaller(self, store):
+        from repro.core.serialize import program_to_dict
+
+        columnar = len(json.dumps(encode_program(store)))
+        object_form = len(json.dumps(program_to_dict(store, columnar=False)))
+        assert columnar < object_form
+
+    def test_bad_program_payload_rejected(self):
+        with pytest.raises(WireError, match="bad program payload"):
+            decode_program({"format_version": 99})
+
+
+class TestOldServerCompat:
+    """A pre-gzip daemon (plain ``json.loads``, no envelope unwrapping,
+    no ping capability advert) must keep working with the new client,
+    including for requests past the compression threshold."""
+
+    def test_large_request_to_old_server_stays_plain(self, tmp_path):
+        import asyncio
+        import json as _json
+
+        from repro.service.client import ServiceClient
+
+        seen_lines = []
+
+        async def run():
+            async def handle(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    seen_lines.append(line)
+                    request = _json.loads(line)  # old server: plain JSON only
+                    op = request["op"]
+                    response = {"ok": True, "op": op}
+                    if op == "echo":
+                        response["size"] = len(request["blob"])
+                    writer.write(_json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_unix_server(
+                handle, path=str(tmp_path / "old.sock"), limit=2**20
+            )
+            client = ServiceClient(socket_path=tmp_path / "old.sock")
+            loop = asyncio.get_running_loop()
+            blob = "x" * (WIRE_COMPRESS_THRESHOLD + 1)
+            response = await loop.run_in_executor(
+                None, client.request, {"op": "echo", "blob": blob}
+            )
+            server.close()
+            await server.wait_closed()
+            return client, response
+
+        client, response = asyncio.run(run())
+        # the probe saw no advert, so the big request went out plain
+        assert client._server_gzip is False
+        assert response["size"] == WIRE_COMPRESS_THRESHOLD + 1
+        assert all(b'"enc": "gzip+b64", "data"' not in ln for ln in seen_lines)
+
+
+class TestClientServerCompression(object):
+    """End-to-end: a large circuit submission crosses the socket compressed
+    and compiles to the same result as a plain submission."""
+
+    def test_inline_service_accepts_compressed_submission(self, tmp_path):
+        import asyncio
+
+        from repro.experiments.batch import CompileJob
+        from repro.service.server import CompileService, ServiceServer
+        from repro.service.client import ServiceClient
+
+        # a small circuit keeps the runtime down; pad the name so the
+        # encoded job crosses the 64 KiB threshold and actually compresses.
+        circuit = qaoa_random(12, seed=5)
+        circuit.name = "q" * (WIRE_COMPRESS_THRESHOLD + 1)
+        job = CompileJob("Superconducting", circuit)
+
+        async def run():
+            service = CompileService(spool_dir=tmp_path / "spool", inline=True)
+            server = ServiceServer(service, socket_path=tmp_path / "sock")
+            await server.start()
+            client = ServiceClient(socket_path=tmp_path / "sock")
+            loop = asyncio.get_running_loop()
+            job_id = await loop.run_in_executor(None, client.submit, job)
+            # the large submit triggered the one-time capability probe,
+            # which must have recorded the daemon's gzip advert
+            assert client._server_gzip is True
+            metrics = await loop.run_in_executor(
+                None, lambda: client.result(job_id, wait=True)
+            )
+            await server.aclose()
+            return metrics
+
+        metrics = asyncio.run(run())
+        from repro.baselines.registry import CompileOptions, get_backend
+
+        direct = get_backend("Superconducting").compile(
+            circuit, CompileOptions()
+        )
+        assert metrics.num_2q_gates == direct.num_2q_gates
+        assert metrics.fidelity == direct.fidelity

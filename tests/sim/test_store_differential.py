@@ -1,0 +1,74 @@
+"""Differential: noisy-sim replay over a ProgramStore vs the legacy objects.
+
+The Monte Carlo noise simulator consumes ``atom_loss_log`` *positionally* —
+one sample per (atom, move) event, matched against each stage's
+``atom_move_distance`` entries in iteration order.  The columnar
+:class:`~repro.core.program.ProgramStore` path slices columns instead of
+walking stage objects, so these tests pin the two consumer paths against
+each other event by event on hypothesis-generated circuits: same event
+kinds, same stage indices, same atoms, and bit-identical probabilities —
+which is only possible if the loss-sample stream lines up positionally.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.atom_mapper import map_qubits_to_atoms
+from repro.core.program import ProgramStore
+from repro.core.router import HighParallelismRouter, RouterConfig
+from repro.hardware import RAAArchitecture
+from repro.sim.noisy import _stage_events, analytic_reference, run_monte_carlo
+from tests.strategies import inter_array_circuits
+
+
+def route_store(circ, assignment, cooling_threshold=None):
+    arch = RAAArchitecture.default(side=6, num_aods=2)
+    locs = map_qubits_to_atoms(circ, assignment, arch)
+    router = HighParallelismRouter(
+        arch, locs, RouterConfig(cooling_threshold=cooling_threshold)
+    )
+    return router.route(circ), arch
+
+
+@settings(max_examples=40, deadline=None)
+@given(inter_array_circuits())
+def test_stage_events_identical_over_store_and_objects(circ_assignment):
+    circ, assignment = circ_assignment
+    store, arch = route_store(circ, assignment)
+    assert isinstance(store, ProgramStore)
+    legacy = store.to_program()
+    columnar_events = _stage_events(store, arch.params)
+    object_events = _stage_events(legacy, arch.params)
+    # tuple equality is bitwise on the float probabilities: the loss events
+    # in particular only match if the per-stage atom order consumed the
+    # loss-sample stream at identical positions
+    assert columnar_events == object_events
+
+
+@settings(max_examples=15, deadline=None)
+@given(inter_array_circuits())
+def test_monte_carlo_identical_over_store_and_objects(circ_assignment):
+    circ, assignment = circ_assignment
+    store, arch = route_store(circ, assignment)
+    legacy = store.to_program()
+    a = run_monte_carlo(store, arch.params, trials=64, seed=5, keep_outcomes=True)
+    b = run_monte_carlo(legacy, arch.params, trials=64, seed=5, keep_outcomes=True)
+    assert a.successes == b.successes
+    assert a.outcomes == b.outcomes
+    assert analytic_reference(store, arch.params) == analytic_reference(
+        legacy, arch.params
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(inter_array_circuits(min_qubits=6, max_qubits=9, max_gates=30))
+def test_events_identical_with_cooling(circ_assignment):
+    """A tiny cooling threshold forces cooling events into the program, so
+    the differential also covers the cooling-CZ event expansion."""
+    circ, assignment = circ_assignment
+    store, arch = route_store(circ, assignment, cooling_threshold=1e-6)
+    legacy = store.to_program()
+    if store.num_cooling_events:
+        assert [c for s in legacy.stages for c in s.cooling]
+    assert _stage_events(store, arch.params) == _stage_events(
+        legacy, arch.params
+    )

@@ -9,9 +9,13 @@ bench     print Table II statistics for the built-in benchmark suites;
           with ``--perf``, time end-to-end routing on the 50+ qubit
           generator suite and write ``BENCH_router.json``
 serve     run the compile-service daemon (async job queue over
-          ``compile_many`` with sharded workers and on-disk caches)
+          ``compile_many`` with sharded workers and on-disk caches);
+          ``--faults`` arms a chaos fault-injection plan
 submit    send a QASM file to a running daemon, optionally waiting for
-          and printing the resulting metrics
+          and printing the resulting metrics; ``--timeout`` and
+          ``--max-retries`` bound the daemon-side attempts
+jobs      list a daemon's jobs; ``--failed`` shows only dead-letter
+          entries with their attempt counts and last errors
 cache     inspect or garbage-collect an on-disk cache directory
           (pipeline prefix caches and result caches share one layout)
 """
@@ -94,6 +98,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve_forever
 
+    fault_spec = args.faults
+    if fault_spec and fault_spec.startswith("@"):
+        fault_spec = Path(fault_spec[1:]).read_text()
     return serve_forever(
         socket_path=args.socket,
         host=args.host,
@@ -103,6 +110,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         prefix_cache_dir=args.prefix_cache,
         result_cache_dir=args.result_cache,
         inline=args.inline,
+        lease_seconds=args.lease,
+        fault_spec=fault_spec,
     )
 
 
@@ -122,12 +131,44 @@ def cmd_submit(args: argparse.Namespace) -> int:
         job = CompileJob(
             backend, circuit, CompileOptions(raa=raa, seed=args.seed)
         )
-        job_id = client.submit(job)
+        key = f"{args.key}:{backend}" if args.key else None
+        job_id = client.submit(
+            job, timeout=args.timeout, max_retries=args.max_retries, key=key
+        )
         job_ids.append(job_id)
         print(f"submitted {job_id} ({backend})")
     if args.wait:
         rows = [m.row() for m in client.results(job_ids)]
         print(format_table(rows))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    )
+    records = client.jobs()
+    if args.failed:
+        records = [r for r in records if r.get("state") == "failed"]
+    if not records:
+        print("no failed jobs" if args.failed else "no jobs")
+        return 0
+    for record in records:
+        line = (
+            f"{record['id']}  {record['state']:<9s} "
+            f"{record.get('backend', '?'):<12s} "
+            f"{record.get('benchmark', '?'):<20s} "
+            f"attempts={record.get('attempts', 0)}/"
+            f"{record.get('max_retries', '?')}"
+        )
+        print(line)
+        error = record.get("error")
+        if error:
+            # dead-letter detail: the last error, indented under the row
+            for errline in str(error).strip().splitlines():
+                print(f"    {errline}")
     return 0
 
 
@@ -246,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run jobs in the server process instead of worker shards",
     )
+    p_serve.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        help="job lease duration in seconds (heartbeats extend it; an "
+        "expired lease requeues the job)",
+    )
+    p_serve.add_argument(
+        "--faults",
+        help="chaos testing: a JSON fault-plan spec (or @file), see "
+        "repro.service.faults",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -269,7 +322,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="block until every job finishes and print the metrics table",
     )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job compile deadline in seconds (a timed-out attempt "
+        "retries; exhausted retries dead-letter the job)",
+    )
+    p_submit.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="attempts before the job dead-letters as FAILED (default: "
+        "the daemon's policy, 3)",
+    )
+    p_submit.add_argument(
+        "--key",
+        help="idempotency key prefix: resubmitting with the same key "
+        "returns the existing job instead of enqueuing a duplicate",
+    )
     p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a running daemon's jobs"
+    )
+    p_jobs.add_argument(
+        "--socket", help="daemon Unix socket path (default: TCP host/port)"
+    )
+    p_jobs.add_argument("--host", default="127.0.0.1", help="daemon TCP host")
+    p_jobs.add_argument("--port", type=int, help="daemon TCP port")
+    p_jobs.add_argument(
+        "--failed",
+        action="store_true",
+        help="show only dead-lettered jobs (attempt counts + last errors)",
+    )
+    p_jobs.set_defaults(func=cmd_jobs)
 
     p_cache = sub.add_parser(
         "cache",

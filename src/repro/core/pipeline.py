@@ -212,9 +212,19 @@ class DiskPipelineCache(PipelineCache):
         super().store(key, value)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump((PIPELINE_CACHE_VERSION, value), fh)
-        os.replace(tmp, path)
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump((PIPELINE_CACHE_VERSION, value), fh)
+            os.replace(tmp, path)
+        except OSError:
+            # Disk full / read-only directory: degrade to the in-memory
+            # layer (already updated above) — a cache write failure must
+            # never fail the compile whose artifact it was persisting.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
         if self.max_bytes is not None:
             try:
                 self._approx_bytes += path.stat().st_size

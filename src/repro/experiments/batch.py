@@ -32,7 +32,7 @@ from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import cast
+from typing import Any, cast
 
 from ..analysis.metrics import CompiledMetrics
 from ..baselines.registry import CompileOptions, get_backend
@@ -96,12 +96,20 @@ class ResultCache:
 
     def put(self, job: CompileJob, metrics: CompiledMetrics) -> None:
         # Atomic write: concurrent runs sharing the directory must never
-        # observe a torn entry.
+        # observe a torn entry.  A write failure (disk full, directory
+        # gone read-only) degrades to an uncached entry — the cache must
+        # never fail a compile that already succeeded.
         path = self._path(job)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(metrics, fh)
-        os.replace(tmp, path)
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(metrics, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
 
 #: Per-worker-process pipeline prefix cache, installed by the pool
@@ -109,18 +117,33 @@ class ResultCache:
 _WORKER_PREFIX_CACHE: PipelineCache | None = None
 
 
-def init_worker_prefix_cache(directory: str | None = None) -> None:
+def init_worker_prefix_cache(
+    directory: str | None = None, fault_spec: Any = None
+) -> None:
     """Process-pool initializer: build this worker's prefix cache once.
 
     With a *directory*, the worker gets a :class:`DiskPipelineCache` over
     it — every worker (and every later run pointed at the same directory)
     shares the persisted artifacts.  Without one, jobs run uncached unless
     they carry their own ``pipeline_cache``.
+
+    *fault_spec* (a :meth:`FaultPlan.to_spec` dict) arms the chaos
+    harness's fault-injection plan inside the worker process; absent one,
+    the ``REPRO_FAULTS`` environment variable (inherited from the parent)
+    is honored.  Outside chaos tests both are unset and this is a no-op.
     """
     global _WORKER_PREFIX_CACHE
     _WORKER_PREFIX_CACHE = (
         DiskPipelineCache(directory) if directory is not None else None
     )
+    # Imported lazily: batch is a core experiments module and must not pay
+    # a service import (or create a cycle) outside worker-pool boots.
+    from ..service import faults
+
+    if fault_spec is not None:
+        faults.install(fault_spec)
+    else:
+        faults.install_from_env()
 
 
 def with_worker_prefix_cache(job: CompileJob) -> CompileJob:

@@ -1,23 +1,41 @@
 """Compile-service daemon: an async job queue over ``compile_many``.
 
 ``python -m repro serve`` boots the daemon; :class:`ServiceClient` talks to
-it.  See ``docs/ARCHITECTURE.md`` ("Compile service") for the queue
-lifecycle and the shard/cache topology.
+it.  See ``docs/ARCHITECTURE.md`` ("Compile service" and "Failure model")
+for the queue lifecycle, the shard/cache topology, and the lease/retry
+machinery; :mod:`repro.service.faults` is the deterministic
+fault-injection layer behind the chaos tests.
 """
 
 from .client import RemoteError, ServiceClient, ServiceUnavailable
-from .queue import JobQueue, JobRecord, JobState, QueueError
+from .faults import FAULTS_ENV, FaultPlan, FaultRule, InjectedFault
+from .queue import (
+    DEFAULT_MAX_RETRIES,
+    JobQueue,
+    JobRecord,
+    JobState,
+    QueueError,
+)
 from .server import CompileService, ServiceError, ServiceServer, serve_forever
 from .wire import (
+    JobControl,
     WireError,
     decode_job,
+    decode_job_control,
     decode_metrics,
     encode_job,
+    encode_job_control,
     encode_metrics,
 )
 
 __all__ = [
     "CompileService",
+    "DEFAULT_MAX_RETRIES",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "JobControl",
     "JobQueue",
     "JobRecord",
     "JobState",
@@ -29,8 +47,10 @@ __all__ = [
     "ServiceUnavailable",
     "WireError",
     "decode_job",
+    "decode_job_control",
     "decode_metrics",
     "encode_job",
+    "encode_job_control",
     "encode_metrics",
     "serve_forever",
 ]

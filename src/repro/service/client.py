@@ -9,10 +9,21 @@ wire form, so callers can treat a service compile exactly like a local one.
     client = ServiceClient(socket_path="/tmp/repro.sock")
     job_id = client.submit(CompileJob("Atomique", circuit))
     metrics = client.result(job_id, wait=True)
+
+Transient transport failures (daemon restarting, connection reset, a
+dropped socket) are retried with exponential backoff and jitter.  The
+retry rule is strict about duplicates: a request that *may have reached
+the daemon* (the socket died after the request was written) is only
+retried when repeating it is safe — read-only ops, ``cancel``, and
+``submit`` carrying an idempotency ``key`` (the daemon deduplicates on
+the key, so the retry returns the original job id instead of enqueuing a
+second job).  A keyless submit whose response was lost raises
+:class:`ServiceUnavailable` rather than risk compiling the job twice.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from pathlib import Path
@@ -23,17 +34,32 @@ from ..experiments.batch import CompileJob
 from .wire import (
     WIRE_COMPRESS_THRESHOLD,
     WIRE_GZIP_ENCODING,
+    JobControl,
     WireError,
     compress_line,
     decode_line,
     decode_metrics,
     encode_job,
+    encode_job_control,
     encode_line,
+)
+
+#: Ops that are safe to repeat verbatim even when the first copy may have
+#: been processed.  ``submit`` joins this set only when it carries an
+#: idempotency key.
+_IDEMPOTENT_OPS = frozenset(
+    {"ping", "backends", "status", "result", "cancel", "jobs", "stats"}
 )
 
 
 class ServiceUnavailable(ConnectionError):
-    """The daemon could not be reached at the configured address."""
+    """The daemon could not be reached, or the connection died mid-request.
+
+    ``request_sent`` distinguishes "never reached the daemon" (always safe
+    to retry) from "the request was written but no response came back"
+    (retried only for idempotent ops)."""
+
+    request_sent: bool = False
 
 
 class RemoteError(RuntimeError):
@@ -41,7 +67,13 @@ class RemoteError(RuntimeError):
 
 
 class ServiceClient:
-    """One client endpoint: either ``socket_path`` (Unix) or ``host``/``port``."""
+    """One client endpoint: either ``socket_path`` (Unix) or ``host``/``port``.
+
+    *retries*/*backoff_base*/*backoff_cap* shape the transient-failure
+    policy: attempt n sleeps ``min(base * 2**n, cap)`` scaled by a jitter
+    factor in [0.5, 1.5).  *backoff_seed* makes the jitter sequence
+    deterministic — the chaos tests pin it so a replayed fault plan meets
+    an identical retry schedule."""
 
     def __init__(
         self,
@@ -49,6 +81,10 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int | None = None,
         timeout: float = 300.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_seed: int | None = None,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("need a socket_path or a port")
@@ -56,6 +92,10 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._jitter = random.Random(backoff_seed)
         #: whether the daemon unwraps gzip+b64 requests (None = unknown;
         #: probed via ping before the first large request)
         self._server_gzip: bool | None = None
@@ -80,7 +120,10 @@ class ServiceClient:
             ) from exc
 
     def request(
-        self, payload: dict[str, Any], timeout: float | None = None
+        self,
+        payload: dict[str, Any],
+        timeout: float | None = None,
+        idempotent: bool | None = None,
     ) -> dict[str, Any]:
         """Send one op, return the decoded response; raise on ``ok: false``.
 
@@ -89,6 +132,36 @@ class ServiceClient:
         comfortably past the server-side one so the server's answer,
         including its timeout error, always arrives before the socket
         gives up.
+
+        Transient :class:`ServiceUnavailable` failures retry up to
+        ``self.retries`` times with exponential backoff; *idempotent*
+        overrides the built-in safe-to-repeat classification (see module
+        docstring).  :class:`RemoteError` — the daemon answered and said
+        no — never retries."""
+        op = payload.get("op")
+        if idempotent is None:
+            idempotent = op in _IDEMPOTENT_OPS or (
+                op == "submit" and payload.get("key") is not None
+            )
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(payload, timeout)
+            except ServiceUnavailable as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                if exc.request_sent and not idempotent:
+                    raise
+                delay = min(
+                    self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap
+                )
+                time.sleep(delay * (0.5 + self._jitter.random()))
+
+    def _request_once(
+        self, payload: dict[str, Any], timeout: float | None = None
+    ) -> dict[str, Any]:
+        """One wire round-trip (the retry loop lives in :meth:`request`).
 
         Every request declares ``"enc": "gzip+b64"`` (an unknown field to
         old daemons, which ignore it), so a new daemon may compress its
@@ -105,19 +178,27 @@ class ServiceClient:
             if self._server_gzip:
                 line_out = compress_line(line_out)
         sock = self._connect(timeout if timeout is not None else self.timeout)
+        sent = False
         try:
             with sock.makefile("rwb") as stream:
                 stream.write(line_out)
                 stream.flush()
+                sent = True
                 line = stream.readline()
         except OSError as exc:  # read timeout / reset mid-request
-            raise ServiceUnavailable(
+            failure = ServiceUnavailable(
                 f"no response from compile service: {exc}"
-            ) from exc
+            )
+            failure.request_sent = sent
+            raise failure from exc
         finally:
             sock.close()
         if not line:
-            raise ServiceUnavailable("connection closed before a response")
+            # The daemon closed without answering — it may or may not have
+            # processed the request (this is exactly a dropped socket).
+            failure = ServiceUnavailable("connection closed before a response")
+            failure.request_sent = True
+            raise failure
         try:
             response, _compressed = decode_line(line)
         except WireError as exc:
@@ -130,15 +211,20 @@ class ServiceClient:
 
     # -- ops -----------------------------------------------------------------
 
-    def ping(self) -> bool:
-        return bool(self.request({"op": "ping"})["ok"])
+    def ping(self, timeout: float | None = None) -> bool:
+        return bool(self.request({"op": "ping"}, timeout=timeout)["ok"])
 
     def wait_ready(self, timeout: float = 10.0, poll: float = 0.05) -> None:
-        """Block until the daemon answers pings (boot synchronization)."""
+        """Block until the daemon answers pings (boot synchronization).
+
+        Each probe uses a short socket timeout of its own: a live daemon
+        answers in milliseconds, and a connect that lands in a dead
+        listener's backlog (never accepted) must not absorb the whole
+        deadline in one blocking ``recv``."""
         deadline = time.monotonic() + timeout
         while True:
             try:
-                self.ping()
+                self.ping(timeout=5.0)
                 return
             except (ServiceUnavailable, OSError):
                 if time.monotonic() >= deadline:
@@ -148,12 +234,38 @@ class ServiceClient:
     def backends(self) -> list[str]:
         return list(self.request({"op": "backends"})["backends"])
 
-    def submit(self, job: CompileJob | dict[str, Any]) -> str:
-        payload = encode_job(job) if isinstance(job, CompileJob) else job
-        return str(self.request({"op": "submit", "job": payload})["id"])
+    def submit(
+        self,
+        job: CompileJob | dict[str, Any],
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        key: str | None = None,
+    ) -> str:
+        """Submit one job; returns its id.
 
-    def submit_many(self, jobs: list[CompileJob | dict[str, Any]]) -> list[str]:
-        return [self.submit(job) for job in jobs]
+        *timeout* and *max_retries* bound the daemon-side attempts; *key*
+        makes the submission idempotent (and thereby retryable across a
+        dropped socket): the daemon returns the existing job's id for a
+        key it has already accepted."""
+        payload = encode_job(job) if isinstance(job, CompileJob) else job
+        request: dict[str, Any] = {"op": "submit", "job": payload}
+        request.update(
+            encode_job_control(
+                JobControl(timeout=timeout, max_retries=max_retries, key=key)
+            )
+        )
+        return str(self.request(request)["id"])
+
+    def submit_many(
+        self,
+        jobs: list[CompileJob | dict[str, Any]],
+        timeout: float | None = None,
+        max_retries: int | None = None,
+    ) -> list[str]:
+        return [
+            self.submit(job, timeout=timeout, max_retries=max_retries)
+            for job in jobs
+        ]
 
     def status(self, job_id: str) -> dict[str, Any]:
         return dict(self.request({"op": "status", "id": job_id})["job"])

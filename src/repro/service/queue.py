@@ -7,12 +7,23 @@ disk so a restarted daemon resumes exactly where the last one stopped —
 process died are re-queued (their worker is gone), and finished results
 are served from the spool without recompiling.
 
+A ``RUNNING`` job holds a **lease**: :meth:`JobQueue.acquire` stamps an
+owner and a lease deadline and increments the record's attempt counter;
+the dispatcher extends the lease with :meth:`heartbeat` while the job
+executes.  A lease that expires (daemon froze, dispatcher lost track) or
+an owner that died requeues the job — unless its attempts have reached
+``max_retries``, in which case it **dead-letters** as ``FAILED`` with the
+last error, so a poison job that crashes its worker on every attempt
+stops retrying instead of wedging the shard forever.
+
 Layout of a spool directory::
 
     spool/
       jobs/<job_id>.json      one record per job, rewritten atomically on
                               every state transition
       results/<job_id>.json   wire-encoded CompiledMetrics of DONE jobs
+      quarantine/<name>       spool files that failed to decode at boot,
+                              moved aside (never deleted, never fatal)
 
 Ordering is submission order (FIFO): records carry a monotonically
 increasing ``seq`` assigned at submission, which survives restarts.
@@ -22,11 +33,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
+
+from . import faults
+
+log = logging.getLogger("repro.service")
+
+#: Attempts a job may consume before it dead-letters as FAILED.
+DEFAULT_MAX_RETRIES = 3
 
 
 class JobState(str, Enum):
@@ -57,6 +77,18 @@ class JobRecord:
     payload: dict[str, Any]
     state: JobState = JobState.PENDING
     error: str | None = None
+    #: times the job has been leased to a worker (``acquire`` increments)
+    attempts: int = 0
+    #: attempts allowed before the job dead-letters as FAILED
+    max_retries: int = DEFAULT_MAX_RETRIES
+    #: per-job execution timeout in seconds (None = no deadline)
+    timeout: float | None = None
+    #: client-supplied idempotency key (resubmission returns this record)
+    job_key: str | None = None
+    #: lease holder while RUNNING (a daemon identity string)
+    owner: str | None = None
+    #: wall-clock time the current lease expires (RUNNING only)
+    lease_deadline: float | None = None
 
     def summary(self) -> dict[str, Any]:
         """The status-API view of this record (no circuit body)."""
@@ -68,28 +100,45 @@ class JobRecord:
             "backend": self.payload.get("backend"),
             "benchmark": (self.payload.get("circuit") or {}).get("name"),
             "error": self.error,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "timeout": self.timeout,
+            "key": self.job_key,
         }
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
+def _atomic_write_text(path: Path, text: str, site: str) -> None:
+    faults.maybe_fail(site, str(path))
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
     tmp.write_text(text)
     os.replace(tmp, path)
 
 
 class JobQueue:
-    """FIFO job store with optional disk persistence.
+    """FIFO job store with optional disk persistence and job leases.
 
     Without a ``spool_dir`` everything lives in memory (tests, ephemeral
     services).  With one, every mutation is mirrored to disk before it is
     observable, so a crash between any two statements loses at most the
     in-flight transition — never a submitted job.
+
+    ``clock`` is injectable (defaults to :func:`time.time`) so lease
+    expiry is testable without sleeping.  Leases use wall-clock time
+    because they must be comparable across daemon processes and reboots.
     """
 
-    def __init__(self, spool_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        spool_dir: str | Path | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self._records: dict[str, JobRecord] = {}
         self._memory_results: dict[str, dict[str, Any]] = {}
+        self._by_key: dict[str, str] = {}
         self._seq = 0
+        self.clock = clock
+        #: spool filenames quarantined at boot (undecodable records)
+        self.quarantined: list[str] = []
         self.spool_dir = Path(spool_dir) if spool_dir is not None else None
         if self.spool_dir is not None:
             (self.spool_dir / "jobs").mkdir(parents=True, exist_ok=True)
@@ -98,8 +147,25 @@ class JobQueue:
 
     # -- submission and lookup ---------------------------------------------
 
-    def submit(self, payload: dict[str, Any], shard: int) -> JobRecord:
-        """Register a wire-encoded job; returns its record (PENDING)."""
+    def submit(
+        self,
+        payload: dict[str, Any],
+        shard: int,
+        job_key: str | None = None,
+        timeout: float | None = None,
+        max_retries: int | None = None,
+    ) -> JobRecord:
+        """Register a wire-encoded job; returns its record (PENDING).
+
+        With a *job_key*, submission is **idempotent**: a key the queue
+        has already seen returns the existing record unchanged — the
+        retry path of a client whose submit response was lost resubmits
+        safely instead of duplicating the job.
+        """
+        if job_key is not None:
+            existing = self.by_key(job_key)
+            if existing is not None:
+                return existing
         self._seq += 1
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()
@@ -109,8 +175,15 @@ class JobQueue:
             seq=self._seq,
             shard=shard,
             payload=payload,
+            timeout=timeout,
+            max_retries=(
+                max_retries if max_retries is not None else DEFAULT_MAX_RETRIES
+            ),
+            job_key=job_key,
         )
         self._records[record.job_id] = record
+        if job_key is not None:
+            self._by_key[job_key] = record.job_id
         self._persist(record)
         return record
 
@@ -120,6 +193,11 @@ class JobQueue:
         except KeyError:
             raise QueueError(f"unknown job {job_id!r}") from None
 
+    def by_key(self, job_key: str) -> JobRecord | None:
+        """The record submitted under an idempotency key, if any."""
+        job_id = self._by_key.get(job_key)
+        return self._records.get(job_id) if job_id is not None else None
+
     def jobs(self) -> list[JobRecord]:
         """All records in submission order."""
         return sorted(self._records.values(), key=lambda r: r.seq)
@@ -128,38 +206,144 @@ class JobQueue:
         """PENDING records in submission order (restart re-dispatch)."""
         return [r for r in self.jobs() if r.state is JobState.PENDING]
 
-    # -- state transitions --------------------------------------------------
+    def failed(self) -> list[JobRecord]:
+        """Dead-lettered records in submission order."""
+        return [r for r in self.jobs() if r.state is JobState.FAILED]
 
-    def mark_running(self, job_id: str) -> None:
-        self._transition(job_id, JobState.RUNNING)
+    # -- leases --------------------------------------------------------------
 
-    def requeue(self, job_id: str) -> None:
-        """Put a RUNNING job back to PENDING (shutdown took its worker)."""
-        self._transition(job_id, JobState.PENDING)
+    def acquire(
+        self,
+        job_id: str,
+        owner: str | None = None,
+        lease_seconds: float | None = None,
+    ) -> JobRecord:
+        """Lease a PENDING job to *owner*: RUNNING, attempts + 1.
 
-    def mark_done(self, job_id: str, result_payload: dict[str, Any]) -> None:
-        self._store_result(job_id, result_payload)
-        self._transition(job_id, JobState.DONE)
-
-    def mark_failed(self, job_id: str, error: str) -> None:
-        record = self.get(job_id)
-        record.error = error
-        self._transition(job_id, JobState.FAILED)
-
-    def cancel(self, job_id: str) -> bool:
-        """Cancel a PENDING job.  Running or finished jobs are not touched
-        (a compile in flight on a worker process cannot be interrupted
-        safely); returns whether the cancellation took effect."""
+        Raises :class:`QueueError` if the job is not PENDING (it finished,
+        was cancelled, or another dispatcher got there first).
+        """
         record = self.get(job_id)
         if record.state is not JobState.PENDING:
+            raise QueueError(
+                f"cannot acquire {job_id}: state is {record.state.value}"
+            )
+        record.state = JobState.RUNNING
+        record.attempts += 1
+        record.owner = owner
+        record.lease_deadline = (
+            self.clock() + lease_seconds if lease_seconds is not None else None
+        )
+        self._persist(record)
+        return record
+
+    def mark_running(self, job_id: str) -> None:
+        """Back-compat shorthand for :meth:`acquire` without a lease."""
+        self.acquire(job_id)
+
+    def heartbeat(self, job_id: str, lease_seconds: float) -> bool:
+        """Extend a RUNNING job's lease; returns whether it still held."""
+        record = self.get(job_id)
+        if record.state is not JobState.RUNNING:
             return False
-        self._transition(job_id, JobState.CANCELLED)
+        record.lease_deadline = self.clock() + lease_seconds
+        self._persist(record)
         return True
 
-    def _transition(self, job_id: str, state: JobState) -> None:
+    def expired_leases(self) -> list[JobRecord]:
+        """RUNNING records whose lease deadline has passed."""
+        now = self.clock()
+        return [
+            r
+            for r in self.jobs()
+            if r.state is JobState.RUNNING
+            and r.lease_deadline is not None
+            and r.lease_deadline < now
+        ]
+
+    def requeue(self, job_id: str, refund_attempt: bool = False) -> None:
+        """Put a RUNNING job back to PENDING, releasing its lease.
+
+        ``refund_attempt=True`` is for clean hand-backs (graceful
+        shutdown took the worker before the job failed): the attempt is
+        not charged, so draining a daemon N times can never dead-letter a
+        healthy job.  Crash and expiry paths keep the charge.
+        """
         record = self.get(job_id)
-        record.state = state
+        if refund_attempt and record.attempts > 0:
+            record.attempts -= 1
+        record.state = JobState.PENDING
+        record.owner = None
+        record.lease_deadline = None
         self._persist(record)
+
+    def retry_or_fail(self, job_id: str, error: str) -> JobState:
+        """Handle a failed attempt: requeue, or dead-letter as FAILED.
+
+        Records *error* either way (a requeued job keeps its last error
+        until it succeeds).  Returns the state the job landed in —
+        ``PENDING`` means the caller should re-dispatch it.
+        """
+        record = self.get(job_id)
+        if record.state.terminal:
+            return record.state  # cancelled/finished while the attempt ran
+        record.error = error
+        record.owner = None
+        record.lease_deadline = None
+        if record.attempts >= record.max_retries:
+            record.state = JobState.FAILED
+        else:
+            record.state = JobState.PENDING
+        self._persist(record)
+        return record.state
+
+    # -- state transitions --------------------------------------------------
+
+    def mark_done(self, job_id: str, result_payload: dict[str, Any]) -> bool:
+        """Store the result and finish the job; returns whether it counted.
+
+        A job cancelled (or otherwise finished) while its attempt was in
+        flight is left alone — the late result is discarded.
+        """
+        record = self.get(job_id)
+        if record.state.terminal:
+            return False
+        self._store_result(job_id, result_payload)
+        record.state = JobState.DONE
+        record.error = None
+        record.owner = None
+        record.lease_deadline = None
+        self._persist(record)
+        return True
+
+    def mark_failed(self, job_id: str, error: str) -> bool:
+        """Fail the job immediately (no retry); False if already terminal."""
+        record = self.get(job_id)
+        if record.state.terminal:
+            return False
+        record.error = error
+        record.state = JobState.FAILED
+        record.owner = None
+        record.lease_deadline = None
+        self._persist(record)
+        return True
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a PENDING or RUNNING job.
+
+        Cancelling a RUNNING job revokes its lease — the dispatcher's
+        in-flight attempt is discarded when it reports back.  Finished
+        jobs are not touched; returns whether the cancellation took
+        effect.
+        """
+        record = self.get(job_id)
+        if record.state.terminal:
+            return False
+        record.state = JobState.CANCELLED
+        record.owner = None
+        record.lease_deadline = None
+        self._persist(record)
+        return True
 
     # -- results -------------------------------------------------------------
 
@@ -181,7 +365,7 @@ class JobQueue:
             self._memory_results[job_id] = payload
             return
         path = self.spool_dir / "results" / f"{job_id}.json"
-        _atomic_write_text(path, json.dumps(payload))
+        _atomic_write_text(path, json.dumps(payload), site="spool.result")
 
     # -- persistence ---------------------------------------------------------
 
@@ -198,10 +382,29 @@ class JobQueue:
                     "shard": record.shard,
                     "state": record.state.value,
                     "error": record.error,
+                    "attempts": record.attempts,
+                    "max_retries": record.max_retries,
+                    "timeout": record.timeout,
+                    "job_key": record.job_key,
+                    "owner": record.owner,
+                    "lease_deadline": record.lease_deadline,
                     "payload": record.payload,
                 }
             ),
+            site="spool.write",
         )
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an undecodable spool file aside instead of refusing to boot."""
+        assert self.spool_dir is not None
+        pen = self.spool_dir / "quarantine"
+        try:
+            pen.mkdir(parents=True, exist_ok=True)
+            os.replace(path, pen / path.name)
+        except OSError:
+            return  # cannot move it either: leave it in place, still boot
+        self.quarantined.append(path.name)
+        log.warning("quarantined undecodable spool file %s", path.name)
 
     def _load(self) -> None:
         assert self.spool_dir is not None
@@ -216,12 +419,35 @@ class JobQueue:
                     payload=data["payload"],
                     state=state,
                     error=data.get("error"),
+                    attempts=int(data.get("attempts", 0)),
+                    max_retries=int(
+                        data.get("max_retries", DEFAULT_MAX_RETRIES)
+                    ),
+                    timeout=data.get("timeout"),
+                    job_key=data.get("job_key"),
+                    owner=data.get("owner"),
+                    lease_deadline=data.get("lease_deadline"),
                 )
             except (KeyError, TypeError, ValueError, json.JSONDecodeError):
-                continue  # torn/foreign file: skip rather than refuse to boot
-            # A job RUNNING at crash time lost its worker — re-run it.
+                self._quarantine(path)
+                continue
+            # A job RUNNING at crash time lost its worker: requeue it,
+            # keeping the attempt charge — unless its attempts are already
+            # exhausted, in which case it dead-letters (a poison job that
+            # takes the whole daemon down must not crash-loop forever).
             if record.state is JobState.RUNNING:
-                record.state = JobState.PENDING
+                record.owner = None
+                record.lease_deadline = None
+                if record.attempts >= record.max_retries:
+                    record.state = JobState.FAILED
+                    record.error = (
+                        record.error
+                        or "daemon died while the job was running"
+                    ) + f" (attempts exhausted: {record.attempts})"
+                else:
+                    record.state = JobState.PENDING
                 self._persist(record)
             self._records[record.job_id] = record
+            if record.job_key is not None:
+                self._by_key[record.job_key] = record.job_id
             self._seq = max(self._seq, record.seq)

@@ -12,10 +12,27 @@ in-memory layer hits across jobs of one run, and the disk layer
 across daemon restarts.  An optional :class:`ResultCache` short-circuits
 whole jobs the service has compiled before.
 
+Fault tolerance (see docs/ARCHITECTURE.md "Failure model"):
+
+- A dispatched job holds a **lease** (:meth:`JobQueue.acquire`), extended
+  by a heartbeat task while the attempt runs; a lease-reaper requeues
+  jobs whose lease expired because a dispatcher lost track of them.
+- A worker-process crash (``BrokenProcessPool``) is contained to its
+  shard: the pool and its prefix cache are rebuilt, the in-flight job is
+  retried, and a poison job that keeps killing its worker dead-letters
+  as FAILED once its attempts reach ``max_retries``.
+- Per-job **timeouts** (pool mode) kill the stuck worker, rebuild the
+  shard, and charge the attempt; per-job ``max_retries`` bounds every
+  retry path.
+- Infrastructure failures retry; deterministic compile errors (the job
+  itself raising) fail immediately — retrying a deterministic failure
+  can only waste attempts.
+
 ``inline=True`` executes jobs in the server process instead of worker
 pools — deterministic single-process mode for tests and tiny deployments;
 results are identical either way because compiles are seeded and
-deterministic.
+deterministic.  Timeouts are not preemptive inline (nothing can interrupt
+the in-process compile).
 
 :class:`ServiceServer` exposes the service over a JSON-lines socket
 protocol (one request object per line, one response per line), Unix or
@@ -27,8 +44,12 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import logging
+import multiprocessing
+import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from pathlib import Path
 from typing import Any
@@ -43,21 +64,35 @@ from ..core.pipeline import (
 from ..experiments import batch
 from ..experiments.batch import CompileJob, ResultCache
 from ..hardware.raa import RAAArchitecture
+from . import faults
 from .queue import JobQueue, JobState, QueueError
 from .wire import (
     WIRE_GZIP_ENCODING,
     WireError,
     decode_job,
+    decode_job_control,
     decode_line,
     decode_metrics,
     encode_line,
     encode_metrics,
 )
 
+log = logging.getLogger("repro.service")
+
+#: Default lease duration; heartbeats land every third of this, so a
+#: healthy attempt can miss two heartbeats before the reaper acts.
+DEFAULT_LEASE_SECONDS = 30.0
+
 
 class ServiceError(RuntimeError):
     """A request the service must reject (unknown backend, bad payload,
     submission after draining started)."""
+
+
+class _RetryableJobError(RuntimeError):
+    """An infrastructure failure of one attempt (crash/timeout): the job
+    itself may be fine, so it goes through the retry budget rather than
+    failing outright."""
 
 
 def _prefix_shard(job: CompileJob, shards: int) -> int:
@@ -75,15 +110,19 @@ def _prefix_shard(job: CompileJob, shards: int) -> int:
     return int.from_bytes(digest[:4], "big") % shards
 
 
-def _execute_wire_job(payload: dict[str, Any]) -> dict[str, Any]:
+def _execute_wire_job(payload: dict[str, Any], attempt: int = 0) -> dict[str, Any]:
     """Decode, compile, and re-encode one job (runs inside a shard worker).
 
     Module-level so ``ProcessPoolExecutor`` can pickle it; the worker's
     prefix cache (installed by the pool initializer) is injected by
     :func:`repro.experiments.batch.with_worker_prefix_cache` inside
-    ``batch._run_job``.
+    ``batch._run_job``.  The fault-injection context includes the attempt
+    number so chaos plans can target "only the first attempt of job X".
     """
     job = decode_job(payload)
+    context = f"{job.backend}:{job.circuit.name}#a{attempt}"
+    faults.maybe_exit("worker.crash", context)
+    faults.maybe_sleep("job.slow", context)
     return encode_metrics(batch._run_job(job))
 
 
@@ -97,12 +136,19 @@ class CompileService:
         prefix_cache_dir: str | Path | None = None,
         result_cache_dir: str | Path | None = None,
         inline: bool = False,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        fault_plan: "faults.FaultPlan | str | dict[str, Any] | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
         self.shards = shards
         self.inline = inline
+        self.lease_seconds = lease_seconds
+        self.fault_plan = faults.FaultPlan.coerce(fault_plan)
         self.queue = JobQueue(spool_dir)
+        self._owner = f"daemon-{os.getpid()}"
         self._prefix_cache_dir = (
             str(prefix_cache_dir) if prefix_cache_dir is not None else None
         )
@@ -115,17 +161,36 @@ class CompileService:
         #: what the pool initializer builds inside each worker process
         self.shard_caches: list[PipelineCache] = []
         self._dispatchers: list[asyncio.Task[None]] = []
+        self._reaper: asyncio.Task[None] | None = None
         self._events: dict[str, asyncio.Event] = {}
+        self._inflight: dict[str, asyncio.Future[Any]] = {}
         self._accepting = True
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        fault_spec = (
+            self.fault_plan.to_spec() if self.fault_plan is not None else None
+        )
+        # spawn, not fork: a forked worker inherits the daemon's listening
+        # socket, so after a daemon hard-kill the orphaned worker keeps the
+        # old listener alive and silently black-holes client connects meant
+        # for the replacement daemon.
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=batch.init_worker_prefix_cache,
+            initargs=(self._prefix_cache_dir, fault_spec),
+        )
 
     async def start(self) -> None:
         """Spin up shard queues/workers and re-dispatch spooled jobs."""
         if self._started:
             return
         self._started = True
+        if self.fault_plan is not None:
+            faults.install(self.fault_plan)
         self._shard_queues = [asyncio.Queue() for _ in range(self.shards)]
         if self.inline:
             self.shard_caches = [
@@ -135,25 +200,21 @@ class CompileService:
                 for _ in range(self.shards)
             ]
         else:
-            self._pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=batch.init_worker_prefix_cache,
-                    initargs=(self._prefix_cache_dir,),
-                )
-                for _ in range(self.shards)
-            ]
+            self._pools = [self._make_pool() for _ in range(self.shards)]
         self._dispatchers = [
             asyncio.create_task(self._dispatch(shard))
             for shard in range(self.shards)
         ]
+        self._reaper = asyncio.create_task(self._reap_expired_leases())
         # Jobs spooled by a previous daemon: PENDING (including interrupted
-        # RUNNING ones, already demoted by the queue's loader) re-enqueue.
-        for record in self.queue.pending():
-            self._events[record.job_id] = asyncio.Event()
-            self._shard_queues[record.shard % self.shards].put_nowait(
-                record.job_id
-            )
+        # RUNNING ones, already demoted by the queue's loader) re-enqueue;
+        # jobs the loader dead-lettered just need their waiter event.
+        for record in self.queue.jobs():
+            if record.state is JobState.PENDING:
+                self._events[record.job_id] = asyncio.Event()
+                self._shard_queues[record.shard % self.shards].put_nowait(
+                    record.job_id
+                )
 
     async def drain(self) -> int:
         """Stop accepting, finish everything queued, shut workers down.
@@ -172,29 +233,56 @@ class CompileService:
     async def aclose(self) -> None:
         """Tear down dispatchers and worker pools (no waiting for jobs)."""
         self._accepting = False
-        for task in self._dispatchers:
+        tasks = list(self._dispatchers)
+        if self._reaper is not None:
+            tasks.append(self._reaper)
+        for task in tasks:
             task.cancel()
-        for task in self._dispatchers:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
         self._dispatchers = []
+        self._reaper = None
         for pool in self._pools:
+            # Kill workers still computing (e.g. a cancelled job's
+            # attempt): their results are discarded anyway, and a live
+            # worker would block interpreter exit until it finishes.
+            victims = list((getattr(pool, "_processes", None) or {}).values())
             pool.shutdown(wait=False, cancel_futures=True)
+            for proc in victims:
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
         self._pools = []
 
     # -- job APIs ------------------------------------------------------------
 
-    async def submit(self, payload: dict[str, Any]) -> str:
+    async def submit(
+        self,
+        payload: dict[str, Any],
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        job_key: str | None = None,
+    ) -> str:
         """Validate and enqueue a wire-encoded job; returns its id.
 
         Validation happens here, not on the worker: an unknown backend or
         a malformed circuit fails the *submission*, with the registry's
         known-backends message, instead of producing a FAILED job later.
+
+        With a *job_key*, submission is idempotent: a key the queue has
+        already seen returns the existing job's id without enqueuing
+        anything, so a client may safely resubmit after a lost response.
         """
         if not self._started:
             await self.start()
+        if job_key is not None:
+            existing = self.queue.by_key(job_key)
+            if existing is not None:
+                return existing.job_id
         if not self._accepting:
             raise ServiceError("service is draining; submissions are closed")
         try:
@@ -203,7 +291,13 @@ class CompileService:
         except (WireError, ValueError) as exc:
             raise ServiceError(str(exc)) from exc
         shard = _prefix_shard(job, self.shards)
-        record = self.queue.submit(payload, shard=shard)
+        record = self.queue.submit(
+            payload,
+            shard=shard,
+            job_key=job_key,
+            timeout=timeout,
+            max_retries=max_retries,
+        )
         self._events[record.job_id] = asyncio.Event()
         hit = self._result_cache.get(job) if self._result_cache else None
         if hit is not None:
@@ -247,7 +341,10 @@ class CompileService:
                 raise ServiceError(f"result of {job_id} is missing from spool")
             return payload
         if record.state is JobState.FAILED:
-            raise ServiceError(f"job {job_id} failed: {record.error}")
+            raise ServiceError(
+                f"job {job_id} failed after {record.attempts} attempt(s): "
+                f"{record.error}"
+            )
         if record.state is JobState.CANCELLED:
             raise ServiceError(f"job {job_id} was cancelled")
         raise ServiceError(
@@ -255,11 +352,20 @@ class CompileService:
         )
 
     def cancel(self, job_id: str) -> bool:
+        """Cancel a PENDING or RUNNING job.
+
+        A RUNNING job's lease is revoked and its in-flight future is
+        cancelled best-effort — a worker-process compile cannot be
+        interrupted mid-flight, so the attempt may run to completion, but
+        its result is discarded and the job stays CANCELLED."""
         try:
             cancelled = self.queue.cancel(job_id)
         except QueueError as exc:
             raise ServiceError(str(exc)) from exc
         if cancelled:
+            future = self._inflight.get(job_id)
+            if future is not None:
+                future.cancel()
             event = self._events.get(job_id)
             if event is not None:
                 event.set()
@@ -271,17 +377,30 @@ class CompileService:
     def stats(self) -> dict[str, Any]:
         counts: dict[str, int] = {s.value: 0 for s in JobState}
         per_shard = [0] * self.shards
+        retried = dead_lettered = 0
         for record in self.queue.jobs():
             counts[record.state.value] += 1
             per_shard[record.shard % self.shards] += 1
+            if record.attempts > 1:
+                retried += 1
+            if record.state is JobState.FAILED:
+                dead_lettered += 1
         return {
             "shards": self.shards,
             "inline": self.inline,
             "accepting": self._accepting,
+            "owner": self._owner,
+            "lease_seconds": self.lease_seconds,
             "jobs": counts,
             "jobs_per_shard": per_shard,
+            "retried_jobs": retried,
+            "dead_lettered": dead_lettered,
+            "quarantined_spool_files": len(self.queue.quarantined),
             "prefix_cache_dir": self._prefix_cache_dir,
             "backends": available_backends(),
+            "faults": (
+                self.fault_plan.to_spec() if self.fault_plan is not None else None
+            ),
         }
 
     # -- execution -----------------------------------------------------------
@@ -299,49 +418,202 @@ class CompileService:
                 # read-only or full).  The dispatcher must outlive any
                 # single job, or every later job on this shard strands in
                 # PENDING; record the failure if the spool lets us.
+                log.exception(
+                    "shard %d: bookkeeping failure while running %s",
+                    shard,
+                    job_id,
+                )
                 try:
                     self.queue.mark_failed(
                         job_id, traceback.format_exc(limit=8)
                     )
                 except Exception:
-                    pass
-                event = self._events.get(job_id)
-                if event is not None:
-                    event.set()
+                    log.exception(
+                        "shard %d: could not record the failure of %s — "
+                        "the job stays in its last spooled state",
+                        shard,
+                        job_id,
+                    )
+                self._finish(job_id)
             finally:
                 queue.task_done()
 
-    async def _run_one(self, job_id: str, shard: int) -> None:
-        loop = asyncio.get_running_loop()
-        record = self.queue.get(job_id)
-        if record.state is not JobState.PENDING:
-            return  # cancelled while queued
-        self.queue.mark_running(job_id)
-        try:
-            if self.inline:
-                encoded = self._execute_inline(record.payload, shard)
-            else:
-                encoded = await loop.run_in_executor(
-                    self._pools[shard], _execute_wire_job, record.payload
+    async def _heartbeat(self, job_id: str) -> None:
+        interval = max(self.lease_seconds / 3.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            if not self.queue.heartbeat(job_id, self.lease_seconds):
+                return  # job left RUNNING (cancelled/reaped): stop beating
+
+    async def _reap_expired_leases(self) -> None:
+        """Requeue (or dead-letter) RUNNING jobs whose lease expired.
+
+        With healthy dispatchers the heartbeat keeps leases alive and this
+        never fires; it is the backstop for a dispatcher that died or a
+        daemon that froze past its lease, and the hook multi-daemon
+        deployments need to steal work from a dead peer."""
+        interval = max(self.lease_seconds / 2.0, 0.1)
+        while True:
+            await asyncio.sleep(interval)
+            for record in self.queue.expired_leases():
+                log.warning(
+                    "lease expired for %s (owner %s, attempt %d/%d)",
+                    record.job_id,
+                    record.owner,
+                    record.attempts,
+                    record.max_retries,
                 )
-        except asyncio.CancelledError:
-            # Shutdown mid-job: put it back for the next daemon.
-            self.queue.requeue(job_id)
-            raise
-        except Exception:
-            self.queue.mark_failed(job_id, traceback.format_exc(limit=8))
-        else:
-            self.queue.mark_done(job_id, encoded)
-            if self._result_cache is not None:
-                try:
-                    self._result_cache.put(
-                        decode_job(record.payload), decode_metrics(encoded)
+                state = self.queue.retry_or_fail(
+                    record.job_id,
+                    f"lease expired after {self.lease_seconds}s "
+                    f"(owner {record.owner})",
+                )
+                if state is JobState.PENDING:
+                    self._shard_queues[record.shard % self.shards].put_nowait(
+                        record.job_id
                     )
-                except OSError:
-                    pass  # cache write failure must not fail a DONE job
+                else:
+                    self._finish(record.job_id)
+
+    def _finish(self, job_id: str) -> None:
         event = self._events.get(job_id)
         if event is not None:
             event.set()
+
+    def _rebuild_shard(self, shard: int, kill: bool = False) -> None:
+        """Replace a shard's worker pool (crash containment / timeout).
+
+        ``kill=True`` terminates worker processes still running (a timed-
+        out job's worker keeps computing otherwise); the fresh pool
+        rebuilds its prefix cache from the shared disk directory, so only
+        the in-memory layer is lost."""
+        if self.inline:
+            return
+        pool = self._pools[shard]
+        victims = (
+            list((getattr(pool, "_processes", None) or {}).values())
+            if kill
+            else []
+        )
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in victims:
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        self._pools[shard] = self._make_pool()
+        log.warning("shard %d: worker pool rebuilt (kill=%s)", shard, kill)
+
+    async def _execute(self, record: Any, shard: int) -> dict[str, Any]:
+        """Run one attempt, translating infrastructure failures into
+        :class:`_RetryableJobError` for the retry path."""
+        if self.inline:
+            job = decode_job(record.payload)
+            context = f"{job.backend}:{job.circuit.name}#a{record.attempts}"
+            faults.maybe_sleep("job.slow", context)
+            return self._execute_inline(record.payload, shard)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._pools[shard], _execute_wire_job, record.payload, record.attempts
+        )
+        self._inflight[record.job_id] = future
+        try:
+            if record.timeout is not None:
+                return await asyncio.wait_for(future, record.timeout)
+            return await future
+        except asyncio.TimeoutError:
+            self._rebuild_shard(shard, kill=True)
+            raise _RetryableJobError(
+                f"attempt {record.attempts} timed out after {record.timeout}s "
+                f"(worker killed, shard {shard} pool rebuilt)"
+            ) from None
+        except BrokenProcessPool:
+            self._rebuild_shard(shard)
+            raise _RetryableJobError(
+                f"attempt {record.attempts} crashed its worker "
+                f"(BrokenProcessPool; shard {shard} pool rebuilt)"
+            ) from None
+        finally:
+            self._inflight.pop(record.job_id, None)
+
+    async def _run_one(self, job_id: str, shard: int) -> None:
+        record = self.queue.get(job_id)
+        if record.state is not JobState.PENDING:
+            return  # cancelled while queued, or a duplicate enqueue
+        self.queue.acquire(
+            job_id, owner=self._owner, lease_seconds=self.lease_seconds
+        )
+        attempt = record.attempts
+        beat = asyncio.create_task(self._heartbeat(job_id))
+        try:
+            encoded = await self._execute(record, shard)
+        except asyncio.CancelledError:
+            # Job-level cancellation (cancel() revoked the lease and
+            # cancelled the in-flight future) and dispatcher-task
+            # cancellation (aclose()) both land here; a task cancel must
+            # propagate even when the job was also cancelled, or the
+            # dispatcher swallows it and aclose() waits forever.
+            task = asyncio.current_task()
+            dying = task is not None and task.cancelling()
+            if self.queue.get(job_id).state is not JobState.CANCELLED:
+                # Hand the attempt back uncharged: on shutdown the next
+                # daemon re-runs it from the spool; otherwise (the future
+                # was cancelled out from under us) re-enqueue it here.
+                self.queue.requeue(job_id, refund_attempt=True)
+                if not dying:
+                    self._shard_queues[shard].put_nowait(job_id)
+            if dying:
+                raise
+            return
+        except _RetryableJobError as exc:
+            log.warning("job %s: %s", job_id, exc)
+            state = self.queue.retry_or_fail(job_id, str(exc))
+            if state is JobState.PENDING:
+                self._shard_queues[shard].put_nowait(job_id)
+            else:
+                log.error(
+                    "job %s dead-lettered after %d attempt(s): %s",
+                    job_id,
+                    self.queue.get(job_id).attempts,
+                    exc,
+                )
+                self._finish(job_id)
+            return
+        except Exception:
+            # The job itself raised — deterministic, so retrying cannot
+            # help; fail it now with the traceback.
+            error = traceback.format_exc(limit=8)
+            log.warning("job %s failed:\n%s", job_id, error)
+            self.queue.mark_failed(job_id, error)
+            self._finish(job_id)
+            return
+        finally:
+            beat.cancel()
+        current = self.queue.get(job_id)
+        if current.state is not JobState.RUNNING or current.attempts != attempt:
+            # Cancelled or reaped while the attempt ran: discard the late
+            # result (the reaped case re-runs and produces it again).
+            log.warning(
+                "job %s: discarding result of superseded attempt %d "
+                "(state=%s, attempts=%d)",
+                job_id,
+                attempt,
+                current.state.value,
+                current.attempts,
+            )
+            return
+        self.queue.mark_done(job_id, encoded)
+        if self._result_cache is not None:
+            try:
+                self._result_cache.put(
+                    decode_job(record.payload), decode_metrics(encoded)
+                )
+            except OSError:
+                pass  # cache write failure must not fail a DONE job
+        self._finish(job_id)
+        # Chaos hook: a deterministic stand-in for "SIGKILL mid-run" —
+        # fires only under an installed fault plan.
+        faults.maybe_exit("daemon.exit", job_id)
 
     def _execute_inline(self, payload: dict[str, Any], shard: int) -> dict[str, Any]:
         job = decode_job(payload)
@@ -360,9 +632,10 @@ class ServiceServer:
     """JSON-lines socket server exposing a :class:`CompileService`.
 
     One request object per line; every response is a single line with an
-    ``ok`` flag.  Supported ops: ``ping``, ``backends``, ``submit``,
-    ``status``, ``result`` (optional ``wait``/``timeout``), ``cancel``,
-    ``jobs``, ``stats``, ``drain``.
+    ``ok`` flag.  Supported ops: ``ping``, ``backends``, ``submit``
+    (optional ``timeout``/``max_retries``/``key``), ``status``, ``result``
+    (optional ``wait``/``timeout``), ``cancel``, ``jobs``, ``stats``,
+    ``drain``.
 
     Requests may arrive gzip-wrapped (``{"enc": "gzip+b64", "data": ...}``)
     — large submissions cross the socket compressed.  Responses are
@@ -446,6 +719,14 @@ class ServiceServer:
                     response = {"ok": False, "error": str(exc)}
                 else:
                     response = await self._respond(request)
+                # Chaos hook: drop the connection after the request was
+                # processed but before the response line leaves — the
+                # window where a client cannot know whether its submit
+                # landed, which is what idempotency keys are for.
+                if faults.fires(
+                    "socket.drop", str((request or {}).get("op", ""))
+                ):
+                    break
                 accepts_gzip = wrapped or (
                     request is not None
                     and request.get("enc") == WIRE_GZIP_ENCODING
@@ -479,7 +760,13 @@ class ServiceServer:
             if op == "backends":
                 return {"ok": True, "op": op, "backends": available_backends()}
             if op == "submit":
-                job_id = await service.submit(request.get("job"))
+                control = decode_job_control(request)
+                job_id = await service.submit(
+                    request.get("job"),
+                    timeout=control.timeout,
+                    max_retries=control.max_retries,
+                    job_key=control.key,
+                )
                 return {"ok": True, "op": op, "id": job_id}
             if op == "status":
                 return {"ok": True, "op": op, "job": service.status(request["id"])}
@@ -503,6 +790,8 @@ class ServiceServer:
             if op == "drain":
                 finished = await service.drain()
                 return {"ok": True, "op": op, "finished": finished}
+        except WireError as exc:
+            return {"ok": False, "op": op, "error": str(exc)}
         except ServiceError as exc:
             return {"ok": False, "op": op, "error": str(exc)}
         except KeyError as exc:
@@ -519,6 +808,8 @@ async def _serve(
     prefix_cache_dir: str | None,
     result_cache_dir: str | None,
     inline: bool,
+    lease_seconds: float,
+    fault_spec: str | None,
 ) -> None:
     service = CompileService(
         spool_dir=spool_dir,
@@ -526,6 +817,8 @@ async def _serve(
         prefix_cache_dir=prefix_cache_dir,
         result_cache_dir=result_cache_dir,
         inline=inline,
+        lease_seconds=lease_seconds,
+        fault_plan=fault_spec if fault_spec is not None else faults.active(),
     )
     server = ServiceServer(service, socket_path=socket_path, host=host, port=port)
     await server.start()
@@ -548,8 +841,17 @@ def serve_forever(
     prefix_cache_dir: str | None = None,
     result_cache_dir: str | None = None,
     inline: bool = False,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    fault_spec: str | None = None,
 ) -> int:
     """Blocking entry point used by ``python -m repro serve``."""
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    # Chaos harnesses arm a whole daemon subprocess via the environment;
+    # an explicit --faults spec wins over it.
+    faults.install_from_env()
     try:
         asyncio.run(
             _serve(
@@ -561,6 +863,8 @@ def serve_forever(
                 prefix_cache_dir,
                 result_cache_dir,
                 inline,
+                lease_seconds,
+                fault_spec,
             )
         )
     except KeyboardInterrupt:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import base64
 import gzip
 import json
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from typing import Any
 
 from ..analysis.metrics import CompiledMetrics
@@ -305,6 +305,61 @@ def decode_job(payload: dict[str, Any]) -> CompileJob:
             decode_options(options) if options is not None else CompileOptions()
         ),
     )
+
+
+# -- job control (submit-time robustness knobs) ------------------------------
+
+
+@dataclass(frozen=True)
+class JobControl:
+    """Per-job fault-tolerance knobs riding alongside a submit request.
+
+    These travel as top-level fields of the ``submit`` op (not inside the
+    job payload) because they configure the *queue's* handling of the job
+    — timeout enforcement, retry budget, idempotent resubmission — and
+    deliberately stay out of every cache key: two submissions differing
+    only in their control knobs are the same compile.
+    """
+
+    timeout: float | None = None
+    max_retries: int | None = None
+    key: str | None = None
+
+
+def encode_job_control(control: JobControl) -> dict[str, Any]:
+    """The submit-request fields for *control* (absent knobs omitted, so
+    requests to old daemons carry nothing unknown unless used)."""
+    fields: dict[str, Any] = {}
+    if control.timeout is not None:
+        fields["timeout"] = control.timeout
+    if control.max_retries is not None:
+        fields["max_retries"] = control.max_retries
+    if control.key is not None:
+        fields["key"] = control.key
+    return fields
+
+
+def decode_job_control(request: dict[str, Any]) -> JobControl:
+    """Validate and extract the control fields of a submit request."""
+    try:
+        timeout = request.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ValueError(f"timeout must be > 0, got {timeout}")
+        max_retries = request.get("max_retries")
+        if max_retries is not None:
+            max_retries = int(max_retries)
+            if max_retries < 1:
+                raise ValueError(
+                    f"max_retries must be >= 1, got {max_retries}"
+                )
+        key = request.get("key")
+        if key is not None:
+            key = str(key)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"bad job control fields: {exc}") from exc
+    return JobControl(timeout=timeout, max_retries=max_retries, key=key)
 
 
 # -- programs ----------------------------------------------------------------

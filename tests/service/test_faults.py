@@ -1,0 +1,128 @@
+"""The fault-injection layer itself: trigger semantics, determinism, and
+the spec round-trip that ships plans across process boundaries."""
+
+import pytest
+
+from repro.service import faults
+from repro.service.faults import FaultPlan, FaultRule, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestTriggers:
+    def test_at_fires_on_exact_matching_calls(self):
+        plan = FaultPlan([FaultRule(site="s", at=(2, 4))])
+        fired = [plan.fires("s") is not None for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan([FaultRule(site="s", every=3)])
+        fired = [plan.fires("s") is not None for _ in range(7)]
+        assert fired == [False, False, True, False, False, True, False]
+
+    def test_match_restricts_counting_to_context(self):
+        plan = FaultPlan([FaultRule(site="s", at=(1,), match="qaoa")])
+        # non-matching calls do not advance the rule's counter
+        assert plan.fires("s", "qsim#a1") is None
+        assert plan.fires("s", "qaoa#a1") is not None
+        assert plan.fires("s", "qaoa#a2") is None  # at=(1,) already spent
+
+    def test_limit_caps_total_firings(self):
+        plan = FaultPlan([FaultRule(site="s", every=1, limit=2)])
+        fired = [plan.fires("s") is not None for _ in range(4)]
+        assert fired == [True, True, False, False]
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan([FaultRule(site="a", at=(1,))])
+        assert plan.fires("b") is None
+        assert plan.fires("a") is not None
+
+    def test_first_matching_rule_wins_but_all_count(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", at=(1,)), FaultRule(site="s", at=(2,))]
+        )
+        first = plan.fires("s")
+        second = plan.fires("s")
+        assert first is plan.rules[0]
+        assert second is plan.rules[1]
+
+
+class TestDeterminism:
+    def test_identical_plans_fire_identically(self):
+        def run():
+            plan = FaultPlan(
+                [
+                    FaultRule(site="s", prob=0.3),
+                    FaultRule(site="s", at=(5,)),
+                    FaultRule(site="t", every=2),
+                ],
+                seed=42,
+            )
+            calls = [("s", "x"), ("t", ""), ("s", "y")] * 20
+            return [
+                plan.rules.index(rule) if rule is not None else None
+                for rule in (plan.fires(site, ctx) for site, ctx in calls)
+            ]
+
+        assert run() == run()
+
+    def test_seed_changes_probabilistic_stream(self):
+        def fires_with(seed):
+            plan = FaultPlan([FaultRule(site="s", prob=0.5)], seed=seed)
+            return [plan.fires("s") is not None for _ in range(32)]
+
+        assert fires_with(1) != fires_with(2)
+
+    def test_spec_round_trip_preserves_behavior(self):
+        plan = FaultPlan(
+            [
+                FaultRule(site="s", at=(1, 3), match="m", limit=2),
+                FaultRule(site="t", prob=0.4, seconds=0.2, exit_code=9),
+            ],
+            seed=7,
+        )
+        clone = FaultPlan.from_spec(plan.to_spec())
+        calls = [("s", "m1"), ("s", "x"), ("t", ""), ("s", "m2")] * 8
+        trace = lambda p: [  # noqa: E731
+            p.fires(site, ctx) is not None for site, ctx in calls
+        ]
+        assert trace(plan) == trace(clone)
+
+    def test_from_spec_accepts_json_and_rejects_garbage(self):
+        plan = FaultPlan.from_spec('{"seed": 3, "rules": [{"site": "s"}]}')
+        assert plan.seed == 3 and plan.rules[0].site == "s"
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("{not json")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec('["not", "an", "object"]')
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec({"rules": [{"no_site": True}]})
+
+
+class TestHooks:
+    def test_hooks_are_inert_without_a_plan(self):
+        assert faults.active() is None
+        assert faults.fires("s") is None
+        faults.maybe_fail("s")  # must not raise
+        faults.maybe_sleep("s")
+
+    def test_maybe_fail_raises_oserror_subclass(self):
+        faults.install({"rules": [{"site": "s", "at": [1]}]})
+        with pytest.raises(InjectedFault) as info:
+            faults.maybe_fail("s", "ctx")
+        assert isinstance(info.value, OSError)
+
+    def test_install_from_env_defers_to_explicit_install(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.FAULTS_ENV, '{"rules": [{"site": "env", "at": [1]}]}'
+        )
+        explicit = faults.install({"rules": [{"site": "exp", "at": [1]}]})
+        assert faults.install_from_env() is explicit
+        faults.reset()
+        plan = faults.install_from_env()
+        assert plan is not None and plan.rules[0].site == "env"

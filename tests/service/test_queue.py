@@ -45,16 +45,25 @@ class TestCancellation:
         assert queue.cancel(job_id) is True
         assert queue.get(job_id).state is JobState.CANCELLED
 
-    def test_running_and_done_jobs_do_not_cancel(self):
+    def test_running_job_cancels_via_lease_revocation(self):
         queue = JobQueue()
         running = queue.submit(payload(0), shard=0).job_id
+        queue.acquire(running, owner="d1", lease_seconds=30)
+        assert queue.cancel(running) is True
+        record = queue.get(running)
+        assert record.state is JobState.CANCELLED
+        assert record.owner is None and record.lease_deadline is None
+        # the in-flight attempt's late result is discarded, not resurrected
+        assert queue.mark_done(running, {}) is False
+        assert record.state is JobState.CANCELLED
+
+    def test_finished_jobs_do_not_cancel(self):
+        queue = JobQueue()
         done = queue.submit(payload(1), shard=0).job_id
-        queue.mark_running(running)
         queue.mark_running(done)
         queue.mark_done(done, {})
-        assert queue.cancel(running) is False
         assert queue.cancel(done) is False
-        assert queue.get(running).state is JobState.RUNNING
+        assert queue.get(done).state is JobState.DONE
 
     def test_unknown_job_raises(self):
         with pytest.raises(QueueError):
@@ -107,10 +116,144 @@ class TestSpoolPersistence:
         data = json.loads((tmp_path / "jobs" / f"{job_id}.json").read_text())
         assert data["state"] == "pending"
 
-    def test_torn_spool_file_is_skipped(self, tmp_path):
+    def test_torn_spool_file_is_quarantined_not_fatal(self, tmp_path):
         first = JobQueue(tmp_path)
         kept = first.submit(payload(0), shard=0).job_id
         (tmp_path / "jobs" / "job-999999-torn.json").write_text("{not json")
 
         reborn = JobQueue(tmp_path)
         assert [r.job_id for r in reborn.jobs()] == [kept]
+        assert reborn.quarantined == ["job-999999-torn.json"]
+        # moved aside for post-mortem, not deleted, and out of the boot path
+        assert (tmp_path / "quarantine" / "job-999999-torn.json").exists()
+        assert not (tmp_path / "jobs" / "job-999999-torn.json").exists()
+        assert JobQueue(tmp_path).quarantined == []
+
+
+class TestLeases:
+    def test_acquire_stamps_lease_and_counts_attempt(self):
+        now = [1000.0]
+        queue = JobQueue(clock=lambda: now[0])
+        job_id = queue.submit(payload(0), shard=0).job_id
+        record = queue.acquire(job_id, owner="daemon-1", lease_seconds=30)
+        assert record.state is JobState.RUNNING
+        assert record.attempts == 1
+        assert record.owner == "daemon-1"
+        assert record.lease_deadline == 1030.0
+
+    def test_acquire_rejects_non_pending(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.acquire(job_id)
+        with pytest.raises(QueueError, match="running"):
+            queue.acquire(job_id)
+
+    def test_heartbeat_extends_until_expiry(self):
+        now = [1000.0]
+        queue = JobQueue(clock=lambda: now[0])
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.acquire(job_id, owner="d1", lease_seconds=10)
+        now[0] = 1008.0
+        assert queue.heartbeat(job_id, lease_seconds=10) is True
+        now[0] = 1017.0  # inside the extended lease
+        assert queue.expired_leases() == []
+        now[0] = 1018.5  # past it
+        assert [r.job_id for r in queue.expired_leases()] == [job_id]
+        # heartbeat on a job that left RUNNING reports the loss
+        queue.cancel(job_id)
+        assert queue.heartbeat(job_id, lease_seconds=10) is False
+
+    def test_requeue_releases_lease_and_can_refund(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.acquire(job_id, owner="d1", lease_seconds=10)
+        queue.requeue(job_id)
+        record = queue.get(job_id)
+        assert record.state is JobState.PENDING
+        assert record.attempts == 1  # crash-path requeue keeps the charge
+        queue.acquire(job_id)
+        queue.requeue(job_id, refund_attempt=True)
+        assert queue.get(job_id).attempts == 1  # clean hand-back refunds
+
+
+class TestRetryAndDeadLetter:
+    def test_retries_until_exhausted_then_dead_letters(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0, max_retries=3).job_id
+        for attempt in range(1, 3):
+            queue.acquire(job_id)
+            assert (
+                queue.retry_or_fail(job_id, f"boom {attempt}")
+                is JobState.PENDING
+            )
+        queue.acquire(job_id)
+        assert queue.retry_or_fail(job_id, "boom 3") is JobState.FAILED
+        record = queue.get(job_id)
+        assert record.attempts == 3
+        assert record.error == "boom 3"
+        assert [r.job_id for r in queue.failed()] == [job_id]
+
+    def test_retry_preserves_last_error_until_success(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.acquire(job_id)
+        queue.retry_or_fail(job_id, "transient crash")
+        assert queue.get(job_id).error == "transient crash"
+        queue.acquire(job_id)
+        queue.mark_done(job_id, {})
+        assert queue.get(job_id).error is None
+
+    def test_cancelled_job_wins_over_late_retry(self):
+        queue = JobQueue()
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.acquire(job_id)
+        queue.cancel(job_id)
+        assert queue.retry_or_fail(job_id, "late crash") is JobState.CANCELLED
+        assert queue.get(job_id).state is JobState.CANCELLED
+
+    def test_exhausted_running_job_dead_letters_at_boot(self, tmp_path):
+        first = JobQueue(tmp_path)
+        job_id = first.submit(payload(0), shard=0, max_retries=2).job_id
+        first.acquire(job_id)
+        first.retry_or_fail(job_id, "worker crash")
+        first.acquire(job_id)  # attempts now == max_retries, daemon "dies"
+
+        reborn = JobQueue(tmp_path)
+        record = reborn.get(job_id)
+        assert record.state is JobState.FAILED
+        assert "attempts exhausted: 2" in record.error
+
+    def test_healthy_running_job_requeues_at_boot_with_charge(self, tmp_path):
+        first = JobQueue(tmp_path)
+        job_id = first.submit(payload(0), shard=0).job_id
+        first.acquire(job_id, owner="d1", lease_seconds=30)
+
+        reborn = JobQueue(tmp_path)
+        record = reborn.get(job_id)
+        assert record.state is JobState.PENDING
+        assert record.attempts == 1  # the lost attempt stays charged
+        assert record.owner is None and record.lease_deadline is None
+
+
+class TestIdempotentSubmission:
+    def test_same_key_returns_same_record(self):
+        queue = JobQueue()
+        a = queue.submit(payload(0), shard=0, job_key="k1")
+        b = queue.submit(payload(0), shard=0, job_key="k1")
+        assert a.job_id == b.job_id
+        assert len(queue.jobs()) == 1
+        assert queue.by_key("k1").job_id == a.job_id
+        assert queue.by_key("missing") is None
+
+    def test_keys_survive_restart(self, tmp_path):
+        first = JobQueue(tmp_path)
+        a = first.submit(payload(0), shard=0, job_key="k1")
+        reborn = JobQueue(tmp_path)
+        assert reborn.submit(payload(0), shard=0, job_key="k1").job_id == a.job_id
+        assert len(reborn.jobs()) == 1
+
+    def test_keyless_submissions_never_deduplicate(self):
+        queue = JobQueue()
+        a = queue.submit(payload(0), shard=0)
+        b = queue.submit(payload(0), shard=0)
+        assert a.job_id != b.job_id

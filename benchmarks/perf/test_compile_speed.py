@@ -45,17 +45,30 @@ def test_router_compile_speed():
         for name in ("BV-70", "QSim-rand-100"):
             row = {r["name"]: r for r in report["results"]}[name]
             assert row["emit_speedup_vs_pr3"] >= 2.0, row
+        # The candidate-pruning acceptance bar, on the probe-bound flagship
+        # workloads only (the sub-20ms entries are noise-bound and can land
+        # either side of 1.0 even on the reference machine).  Interleaved
+        # same-process A/B against the PR 6 commit measured the pruned
+        # router at 1.15-1.28x on these; the bench protocol's cold
+        # min-of-2/3 runs recorded 1.19x (rand-100) and 1.10x (rand-200),
+        # so the bars sit just below the recorded ratios.
+        for name, bar in (("QAOA-rand-100", 1.1), ("QAOA-rand-200", 1.05)):
+            row = {r["name"]: r for r in report["results"]}[name]
+            assert row["probe_speedup_vs_pr5"] >= bar, row
 
 
 def test_quick_smoke_subset():
     """A 3-entry subset that finishes in seconds.
 
     This is the CI perf-smoke job's entry point: it checks the bench
-    harness itself stays runnable (shape of the report, sabre_seconds and
-    emit_seconds tracking) without asserting timings, so a slow CI host
-    cannot flake.  BV-70 is the emission-bound case — deep and narrow, so
-    its router time is dominated by the stage-emission phase the columnar
-    ProgramStore rebuilt.
+    harness itself stays runnable (shape of the report, sabre_seconds,
+    emit_seconds, and probe_seconds tracking) without asserting timings,
+    so a slow CI host cannot flake.  BV-70 is the emission-bound case —
+    deep and narrow, so its router time is dominated by the
+    stage-emission phase the columnar ProgramStore rebuilt; QAOA-rand-50
+    is the probe-bound case — wide and dense, so its router time is
+    dominated by the place_pair candidate scan the index-side pruning
+    and vectorized batch probe attack.
     """
     wanted = ["QAOA-rand-50", "BV-50", "BV-70"]
     specs = [s for s in bench_suite() if s.name in wanted]
@@ -68,3 +81,16 @@ def test_quick_smoke_subset():
         # the emission window is a strict subset of the router wall-clock
         assert 0 < row["emit_seconds"] < row["router_seconds"]
         assert row["pr3_emit_seconds"] is not None
+        # so is the candidate-probe window, and the two windows are
+        # disjoint phases of the same route() pass
+        assert 0 < row["probe_seconds"] < row["router_seconds"]
+        assert row["probe_seconds"] + row["emit_seconds"] < row["router_seconds"]
+        assert row["pr5_router_seconds"] is not None
+        assert row["probe_speedup_vs_pr5"] > 0
+    # On the probe-bound workload the probe window is the dominant phase:
+    # it must exceed the emission window (a shape check, not a timing bar —
+    # true on any host because both windows come from the same pass).
+    by_name = {r["name"]: r for r in report["results"]}
+    assert by_name["QAOA-rand-50"]["probe_seconds"] > (
+        by_name["QAOA-rand-50"]["emit_seconds"]
+    )

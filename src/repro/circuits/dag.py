@@ -83,10 +83,13 @@ class DAGCircuit:
                 newly.append(succ)
         return newly
 
-    def execute_many(self, indices: Iterable[int]) -> None:
-        """Execute several front-layer gates."""
+    def execute_many(self, indices: Iterable[int]) -> list[int]:
+        """Execute several front-layer gates; return all indices newly added
+        to the front, in unlock order (feed for incremental worklists)."""
+        newly: list[int] = []
         for i in list(indices):
-            self.execute(i)
+            newly.extend(self.execute(i))
+        return newly
 
     @property
     def done(self) -> bool:

@@ -40,9 +40,11 @@ rather than a full :meth:`engaged_atoms` rebuild.  Mutating ``row_maps`` /
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import NamedTuple
+
+import numpy as np
 
 from ..hardware.raa import AtomLocation, RAAArchitecture
 
@@ -71,17 +73,205 @@ def _snap(x: float) -> float:
     return round(x / _EPS) * _EPS
 
 
+def _snap_site(r: float, c: float) -> Site:
+    """Snap both coordinates of a site to the comparison resolution.
+
+    The single definition of the float-snapping discipline shared by
+    :meth:`StagePlan.can_add`, :meth:`StagePlan.add`, and both
+    :meth:`StagePlan.place_pair` paths, so occupancy keys cannot drift
+    between them.
+    """
+    return (round(r / _EPS) * _EPS, round(c / _EPS) * _EPS)
+
+
+#: Below this candidate count the scalar probe loop wins outright (PR 3
+#: measured numpy slower than scalars at 2–8 entries), so the vectorized
+#: batch probe only engages at or above it.
+_VEC_MIN = 12
+
+#: A per-axis digest run at most this long is probed by the exact scalar
+#: loop directly — cheaper than building a numpy mask over all candidates.
+_RUN_MAX = 8
+
+#: memo-miss sentinel (``None`` is a valid cached probe result)
+_MISS = object()
+
+
+class _ProbeIndex:
+    """Per-:class:`CandidateSet` feasibility digest over the snapped sites.
+
+    Holds, per axis, the candidate coordinates sorted by value alongside
+    the candidate indices in that order, plus (lazily) columnar numpy
+    arrays in best-first order.  :meth:`StagePlan.place_pair` uses these to
+    answer "can any site in this coordinate range satisfy this line
+    requirement?" without touching the plan, and to select a sound
+    *superset* of the candidates that can survive its silent
+    pinned/C2-window rejects.  Selection never drops a candidate that
+    could reach the C3 equality test (the ``overlap_blocked`` statistic)
+    or the commit attempt: every pruned candidate fails a check the
+    scalar loop rejects with a plain ``continue``.
+    """
+
+    __slots__ = ("vals", "order", "_rs", "_cs", "_coords", "_memo")
+
+    def __init__(self, pairs: list[tuple[Site, Site]]) -> None:
+        rs = [s[0] for _raw, s in pairs]
+        cs = [s[1] for _raw, s in pairs]
+        r_order = sorted(range(len(rs)), key=rs.__getitem__)
+        c_order = sorted(range(len(cs)), key=cs.__getitem__)
+        #: per-axis candidate coordinates sorted ascending
+        self.vals = ([rs[i] for i in r_order], [cs[i] for i in c_order])
+        #: per-axis candidate indices, parallel to ``vals``
+        self.order = (r_order, c_order)
+        self._rs = rs
+        self._cs = cs
+        self._coords: tuple[np.ndarray, np.ndarray] | None = None
+        #: query -> selection memo.  The probes are pure functions of the
+        #: digest, and their float inputs are quantized (committed line
+        #: targets and the windows derived from them), so the same handful
+        #: of queries recur across the whole route; capped as a safety
+        #: valve.  Entries are immutable (tuples/arrays callers only read).
+        self._memo: dict[tuple, tuple | np.ndarray | None] = {}
+
+    @property
+    def coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar (rows, cols) float64 arrays in best-first order."""
+        if self._coords is None:
+            self._coords = (np.asarray(self._rs), np.asarray(self._cs))
+        return self._coords
+
+    def pin_run(self, coord: int, bound: float) -> tuple:
+        """Candidate indices within the snap tolerance of a pinned *bound*.
+
+        Exact complement of the scalar ``abs(bound - x) >= _EPS`` reject
+        (same subtraction, same tolerance), found as a contiguous run of
+        the sorted digest; the run scans terminate because the distance to
+        *bound* is monotone away from the bisect point.  Returned in
+        candidate (best-first) order.
+        """
+        memo = self._memo
+        key = (coord, bound)
+        run = memo.get(key, _MISS)
+        if run is not _MISS:
+            return run
+        vals = self.vals[coord]
+        order = self.order[coord]
+        j = bisect_left(vals, bound)
+        lo = j
+        while lo > 0 and abs(bound - vals[lo - 1]) < _EPS:
+            lo -= 1
+        hi = j
+        n = len(vals)
+        while hi < n and abs(bound - vals[hi]) < _EPS:
+            hi += 1
+        run = tuple(sorted(order[lo:hi]))
+        if len(memo) > 1024:
+            memo.clear()
+        memo[key] = run
+        return run
+
+    def window_run(
+        self, rpred: float, rsucc: float, cpred: float, csucc: float
+    ) -> tuple | None:
+        """Digest probe of the combined C2 windows.
+
+        Returns ``()`` when either axis window misses every candidate
+        coordinate (the whole scan is decided: all rejects are silent),
+        a short candidate-index run when one axis narrows the scan to at
+        most ``_RUN_MAX`` sites, or ``None`` when both runs are wide and
+        the caller should fall through to the batch/scalar probe.  The
+        2×``_EPS`` margin keeps the range a conservative superset of the
+        scalar ``pred > x + _EPS or succ < x - _EPS`` accept region.
+        """
+        memo = self._memo
+        key = (rpred, rsucc, cpred, csucc)
+        run = memo.get(key, _MISS)
+        if run is not _MISS:
+            return run
+        two = _EPS + _EPS
+        rv, cv = self.vals
+        a = bisect_left(rv, rpred - two)
+        b = bisect_right(rv, rsucc + two)
+        if a >= b:
+            run = ()
+        else:
+            a2 = bisect_left(cv, cpred - two)
+            b2 = bisect_right(cv, csucc + two)
+            if a2 >= b2:
+                run = ()
+            elif b - a <= b2 - a2:
+                run = (
+                    tuple(sorted(self.order[0][a:b]))
+                    if b - a <= _RUN_MAX
+                    else None
+                )
+            elif b2 - a2 <= _RUN_MAX:
+                run = tuple(sorted(self.order[1][a2:b2]))
+            else:
+                run = None
+        if len(memo) > 1024:
+            memo.clear()
+        memo[key] = run
+        return run
+
+    def vec_run(
+        self,
+        rpred: float,
+        rsucc: float,
+        cpred: float,
+        csucc: float,
+        max_r: float,
+        max_c: float,
+    ) -> np.ndarray:
+        """Vectorized batch probe: columnar bounds + C2 window masks over
+        all candidates in one shot.  Elementwise float64 ops are
+        IEEE-identical to the scalar expressions, so the kept set is
+        exactly the candidates the scalar loop would not silently reject
+        on these checks; ``flatnonzero`` preserves best-first order."""
+        memo = self._memo
+        key = (rpred, rsucc, cpred, csucc, max_r, max_c)
+        run = memo.get(key)
+        if run is not None:
+            return run
+        rs, cs = self.coords
+        keep = (rs >= -0.5) & (rs <= max_r)
+        keep &= (cs >= -0.5) & (cs <= max_c)
+        keep &= rs + _EPS >= rpred
+        keep &= rs - _EPS <= rsucc
+        keep &= cs + _EPS >= cpred
+        keep &= cs - _EPS <= csucc
+        run = np.flatnonzero(keep)
+        if len(memo) > 1024:
+            memo.clear()
+        memo[key] = run
+        return run
+
+
 class CandidateSet(NamedTuple):
     """Candidate interaction sites for one qubit pair, plus their
     coordinate extremes (over the snapped values) so the placement engine
     can reject a whole scan when a gate's feasibility window cannot touch
-    any candidate."""
+    any candidate, and a :class:`_ProbeIndex` digest for index-side
+    candidate pruning (built for multi-candidate sets only)."""
 
     sites: list[tuple[Site, Site]]  # (raw, snapped), best-first
     min_r: float
     max_r: float
     min_c: float
     max_c: float
+    probe: _ProbeIndex | None = None
+
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[Site, Site]]) -> "CandidateSet":
+        """Build a set (extremes + probe digest) from ``(raw, snapped)``
+        pairs — the one constructor both the router and direct
+        list-of-pairs callers go through."""
+        if not pairs:
+            return cls(pairs, 0.0, 0.0, 0.0, 0.0, None)
+        rs = [s[0] for _raw, s in pairs]
+        cs = [s[1] for _raw, s in pairs]
+        probe = _ProbeIndex(pairs) if len(pairs) > 1 else None
+        return cls(pairs, min(rs), max(rs), min(cs), max(cs), probe)
 
 
 class LocationIndex:
@@ -188,6 +378,14 @@ class StagePlan:
         self._slm_site_to_qubit = self.index.slm_site_to_qubit
         self._aod_atoms = self.index.aod_atoms
         self._lines: tuple[dict[int, _SortedLine], dict[int, _SortedLine]] = ({}, {})
+        #: per-pair requirement templates for :meth:`place_pair` — static
+        #: for the plan's lifetime (locations and toggles are fixed, and
+        #: :meth:`reset` clears maps/lines *in place* so the cached object
+        #: references stay valid across the router's scratch-plan reuse)
+        self._pair_templates: dict[tuple[int, int], tuple] = {}
+        self._atom_halves: dict[int, tuple] = {}
+        self._max_r: float = self.architecture.site_rows - 0.5
+        self._max_c: float = self.architecture.site_cols - 0.5
         #: engaged AOD atoms per interaction point (incremental occupancy)
         self._occupancy: dict[Site, list[int]] = {}
         #: interaction points currently violating C1
@@ -209,6 +407,112 @@ class StagePlan:
         if line is None:
             line = per_axis[aod] = _SortedLine()
         return line
+
+    def _atom_half(self, qubit: int) -> tuple:
+        """Cached per-atom contribution to pair templates.
+
+        ``(loc, is_aod, reqs, deduped, home)`` — an SLM atom contributes
+        its home coordinate, an AOD atom its two line requirements (map
+        dict and sorted mirror resolved up front; (axis, aod) identity ==
+        line identity) with the C1 mate lists pre-resolved.  Pair
+        templates are assembled from two halves, so the per-line lookups
+        happen once per *atom* instead of once per pair.
+        """
+        half = self._atom_halves.get(qubit)
+        if half is not None:
+            return half
+        loc = self.locations[qubit]
+        aod = loc.array
+        if aod == 0:
+            half = (loc, False, (), (), ((loc.row, loc.col),))
+        else:
+            row_map = self.row_maps[aod]
+            col_map = self.col_maps[aod]
+            row_line = self._line(_ROW, aod)
+            col_line = self._line(_COL, aod)
+            atom_index = self.index
+            reqs = (
+                (row_map, row_line, loc.row, 0, _ROW, aod),
+                (col_map, col_line, loc.col, 1, _COL, aod),
+            )
+            deduped = (
+                (
+                    row_map,
+                    row_line,
+                    loc.row,
+                    0,
+                    atom_index.atoms_by_row.get((aod, loc.row)),
+                    col_map,
+                    True,
+                    aod,
+                ),
+                (
+                    col_map,
+                    col_line,
+                    loc.col,
+                    1,
+                    atom_index.atoms_by_col.get((aod, loc.col)),
+                    row_map,
+                    False,
+                    aod,
+                ),
+            )
+            half = (loc, True, reqs, deduped, ())
+        self._atom_halves[qubit] = half
+        return half
+
+    def _pair_template(self, qubit_a: int, qubit_b: int) -> tuple:
+        """Cached per-pair requirement template for :meth:`place_pair`.
+
+        Everything about a pair that does not depend on the candidate site
+        or the plan *state*: the atom locations, the full requirement
+        list, the requirements deduped for the fast path, the SLM home
+        coordinates, whether the fast path is statically eligible (no two
+        *distinct* entries on one physical line), and whether the
+        empty-plan fast path is statically eligible (at least one AOD
+        atom, not both in the same array).  Assembled from the per-atom
+        halves: two atoms only ever share a line when they live in the
+        same AOD array — same row/col means the identical entry (deduped),
+        any other collision disqualifies the fast path exactly as the
+        historical per-requirement scan decided.
+        """
+        key = (qubit_a, qubit_b)
+        tmpl = self._pair_templates.get(key)
+        if tmpl is not None:
+            return tmpl
+        loc_a, a_aod, a_reqs, a_ded, a_home = self._atom_half(qubit_a)
+        loc_b, b_aod, b_reqs, b_ded, b_home = self._atom_half(qubit_b)
+        empty_ok = (a_aod or b_aod) and not (
+            a_aod and b_aod and loc_a.array == loc_b.array
+        )
+        reqs = a_reqs + b_reqs
+        slm_homes = a_home + b_home
+        if a_aod and b_aod and loc_a.array == loc_b.array:
+            if loc_a.row == loc_b.row and loc_a.col == loc_b.col:
+                # the same physical atom twice: identical entries dedupe
+                fast_ok = True
+                deduped = a_ded
+            else:
+                # same array, distinct atoms: the shared row or col line
+                # would carry two distinct entries — generic path only
+                fast_ok = False
+                deduped = ()
+        else:
+            fast_ok = True
+            deduped = a_ded + b_ded
+        tmpl = (
+            reqs,
+            deduped,
+            slm_homes,
+            fast_ok,
+            loc_a,
+            loc_b,
+            a_aod,
+            b_aod,
+            empty_ok,
+        )
+        self._pair_templates[key] = tmpl
+        return tmpl
 
     def reset(self) -> None:
         """Return the plan to the empty state in O(structures touched).
@@ -450,7 +754,7 @@ class StagePlan:
         busy = self.busy_qubits
         if qubit_a in busy or qubit_b in busy:
             return False
-        site = (_snap(site[0]), _snap(site[1]))
+        site = _snap_site(site[0], site[1])
         if site in self.scheduled:
             return False
         if not (
@@ -500,25 +804,36 @@ class StagePlan:
         ``is_legal`` + ``restore`` per site, with the strict and
         C3-relaxed feasibility evaluated in one pass.
         """
-        if type(candidates) is CandidateSet:
-            extremes = candidates
-            candidates = candidates.sites
-        else:
-            extremes = None
+        if type(candidates) is not CandidateSet:
+            # Direct list-of-pairs callers (tests, baselines) get extremes
+            # and the probe digest computed once at entry, so they hit the
+            # identical pruned path as router-built CandidateSets.
+            candidates = CandidateSet.from_pairs(candidates)
+        extremes = candidates
+        candidates = candidates.sites
         busy = self.busy_qubits
         if qubit_a in busy or qubit_b in busy:
             return None, False
-        loc_a = self.locations[qubit_a]
-        loc_b = self.locations[qubit_b]
-        a_aod = loc_a.array > 0
-        b_aod = loc_b.array > 0
+        tmpl = self._pair_templates.get((qubit_a, qubit_b))
+        if tmpl is None:
+            tmpl = self._pair_template(qubit_a, qubit_b)
+        (
+            reqs,
+            deduped,
+            slm_homes,
+            fast_ok,
+            loc_a,
+            loc_b,
+            a_aod,
+            b_aod,
+            empty_ok,
+        ) = tmpl
         if (
-            self._num_line_entries == 0
+            empty_ok
+            and self._num_line_entries == 0
             and not self.scheduled
             and not busy
             and candidates
-            and (a_aod or b_aod)
-            and not (a_aod and b_aod and loc_a.array == loc_b.array)
         ):
             # Empty plan, atoms in different arrays: nothing in the plan can
             # conflict, so the best-ranked *valid* candidate commits
@@ -531,8 +846,7 @@ class StagePlan:
             # be bad.
             raw, site = candidates[0]
             site_ok = (
-                -0.5 <= site[0] <= self.architecture.site_rows - 0.5
-                and -0.5 <= site[1] <= self.architecture.site_cols - 0.5
+                -0.5 <= site[0] <= self._max_r and -0.5 <= site[1] <= self._max_c
             )
             if site_ok:
                 slm_here = self._slm_site_to_qubit.get(site)
@@ -570,9 +884,7 @@ class StagePlan:
                         self._num_line_entries += 1
                         journal_append((axis, aod, idx, None))
                     engaged.append(q)
-                self._occupancy[
-                    (round(site[0] / _EPS) * _EPS, round(site[1] / _EPS) * _EPS)
-                ] = engaged
+                self._occupancy[_snap_site(site[0], site[1])] = engaged
                 self.scheduled[site] = (qubit_a, qubit_b)
                 journal_append((_SCHED, site))
                 busy.add(qubit_a)
@@ -581,93 +893,77 @@ class StagePlan:
                 journal_append((_BUSY, qubit_b))
                 return raw, False
             # fall through: validate every candidate via the general loop
-        # Requirement template: everything about the pair that does not
-        # depend on the candidate site, with the line map dict and sorted
-        # mirror resolved up front.  (axis, aod) identity == line identity.
-        reqs: list[tuple[dict, _SortedLine, int, int, int, int]] = []
-        slm_homes: list[tuple[int, int]] = []
-        for loc in (loc_a, loc_b):
-            aod = loc.array
-            if aod == 0:
-                slm_homes.append((loc.row, loc.col))
-            else:
-                reqs.append(
-                    (self.row_maps[aod], self._line(_ROW, aod), loc.row, 0, _ROW, aod)
-                )
-                reqs.append(
-                    (self.col_maps[aod], self._line(_COL, aod), loc.col, 1, _COL, aod)
-                )
         toggles = self.toggles
         check_c1 = toggles.no_unintended_interaction
         no_overlap = toggles.no_overlap
         preserve_order = toggles.preserve_order
-        max_r = self.architecture.site_rows - 0.5
-        max_c = self.architecture.site_cols - 0.5
+        max_r = self._max_r
+        max_c = self._max_c
         scheduled = self.scheduled
         slm_lookup = self._slm_site_to_qubit
         overlap_blocked = False
 
         # Fast path: default toggles, weakly monotone committed lines, and
-        # no two requirements on the same physical line (after deduping the
-        # identical ones).  The plan is frozen for the whole probe loop, so
-        # each requirement's committed bound and its idx-space neighbours
-        # are computed once and *combined per axis*: committed bounds on an
-        # axis must all pin the same coordinate, and C2 windows intersect to
-        # (max of predecessors, min of successors).  The committed value
-        # nearest the target in value space is always one of those extremes
+        # no two requirements on the same physical line (statically decided
+        # in the template after deduping the identical ones).  The plan is
+        # frozen for the whole probe loop, so each requirement's committed
+        # bound and its idx-space neighbours are computed once and
+        # *combined per axis*: committed bounds on an axis must all pin the
+        # same coordinate, and C2 windows intersect to (max of
+        # predecessors, min of successors).  The committed value nearest
+        # the target in value space is always one of those extremes
         # whenever the C2 window admits it, so the C3 probe needs no
         # per-candidate bisect.  Every candidate then costs a handful of
         # float compares against the two axis summaries.
-        if no_overlap and preserve_order:
+        if no_overlap and preserve_order and fast_ok:
             ok = True
-            seen_pairs: set[tuple[int, int]] = set()
-            line_ids: set[int] = set()
             inf = float("inf")
-            bounds: list[float | None] = [None, None]  # per-axis pinned coord
-            pred_max = [-inf, -inf]
-            succ_min = [inf, inf]
+            rbound: float | None = None  # per-axis pinned coord
+            cbound: float | None = None
+            rpred = cpred = -inf
+            rsucc = csucc = inf
             #: (mates, committed other-axis map, is_row) per *new* line entry —
             #: the atoms that entry could newly engage (C1 pre-check)
             scan_specs: list[tuple[list, dict, bool]] = []
-            atom_index = self.index
-            for m, line, idx, coord, axis, aod in reqs:
-                if not line.monotone:
+            for m, line, idx, coord, mates, other_map, is_row, _aod in deduped:
+                # Untouched lines (the common case mid-sweep) contribute no
+                # bound and an infinite window; only their mates matter.
+                if line.idx:
+                    if not line.monotone:
+                        ok = False
+                        break
+                    bound = m.get(idx)
+                    if bound is not None:
+                        if coord:
+                            if cbound is not None and cbound != bound:
+                                # two committed lines pinned to different
+                                # coords: no site can satisfy both, with or
+                                # without C3
+                                return None, False
+                            cbound = bound
+                        else:
+                            if rbound is not None and rbound != bound:
+                                return None, False
+                            rbound = bound
+                        continue
+                    p = bisect_left(line.idx, idx)
+                    tgt = line.tgt
+                    if coord:
+                        if p > 0 and tgt[p - 1] > cpred:
+                            cpred = tgt[p - 1]
+                        if p < len(tgt) and tgt[p] < csucc:
+                            csucc = tgt[p]
+                    else:
+                        if p > 0 and tgt[p - 1] > rpred:
+                            rpred = tgt[p - 1]
+                        if p < len(tgt) and tgt[p] < rsucc:
+                            rsucc = tgt[p]
+                elif not line.monotone:
                     ok = False
                     break
-                key = (id(line), idx)
-                if key in seen_pairs:
-                    continue  # both atoms need the identical entry
-                if id(line) in line_ids:
-                    ok = False  # distinct entries on one line: generic path
-                    break
-                seen_pairs.add(key)
-                line_ids.add(id(line))
-                bound = m.get(idx)
-                if bound is not None:
-                    prev = bounds[coord]
-                    if prev is not None and prev != bound:
-                        # two committed lines pinned to different coords:
-                        # no site can satisfy both, with or without C3
-                        return None, False
-                    bounds[coord] = bound
-                    continue
-                p = bisect_left(line.idx, idx)
-                if p > 0 and line.tgt[p - 1] > pred_max[coord]:
-                    pred_max[coord] = line.tgt[p - 1]
-                if p < len(line.tgt) and line.tgt[p] < succ_min[coord]:
-                    succ_min[coord] = line.tgt[p]
-                if axis == _ROW:
-                    mates = atom_index.atoms_by_row.get((aod, idx))
-                    if mates:
-                        scan_specs.append((mates, self.col_maps[aod], True))
-                else:
-                    mates = atom_index.atoms_by_col.get((aod, idx))
-                    if mates:
-                        scan_specs.append((mates, self.row_maps[aod], False))
+                if mates:
+                    scan_specs.append((mates, other_map, is_row))
             if ok:
-                rbound, cbound = bounds
-                rpred, cpred = pred_max
-                rsucc, csucc = succ_min
                 # Whole-gate shortcuts: if the combined C2 window on either
                 # axis is empty, or contradicts a pinned coordinate, no
                 # candidate can pass even with C3 relaxed — the entire scan
@@ -686,7 +982,7 @@ class StagePlan:
                     )
                 ):
                     return None, False
-                if extremes is not None and (
+                if (
                     rpred > extremes.max_r + _EPS
                     or rsucc < extremes.min_r - _EPS
                     or cpred > extremes.max_c + _EPS
@@ -710,7 +1006,41 @@ class StagePlan:
                     # every probe would fail C2 (or the pinned coordinate),
                     # strict and relaxed alike.
                     return None, False
-                for raw, site in candidates:
+                # Index-side candidate pruning: select a sound superset of
+                # the candidates that can survive the *silent* pinned /
+                # C2-window / bounds rejects below, so the best-first loop
+                # skips runs of doomed candidates.  Anything that could
+                # reach the C3 equality test (Fig. 24 ``overlap_blocked``)
+                # or a commit attempt always survives selection, and the
+                # scalar body re-applies every exact check, so results are
+                # bit-identical to the full scan.
+                n = len(candidates)
+                probe = extremes.probe
+                order = range(n)
+                if probe is not None:
+                    if rbound is not None:
+                        order = probe.pin_run(0, rbound)
+                    elif cbound is not None:
+                        order = probe.pin_run(1, cbound)
+                    else:
+                        sel = probe.window_run(rpred, rsucc, cpred, csucc)
+                        if sel is not None:
+                            order = sel
+                        elif n >= _VEC_MIN and (
+                            rpred != -inf
+                            or rsucc != inf
+                            or cpred != -inf
+                            or csucc != inf
+                        ):
+                            order = probe.vec_run(
+                                rpred, rsucc, cpred, csucc, max_r, max_c
+                            )
+                    if not len(order):
+                        return None, False
+                occupancy = self._occupancy
+                eng_mates: list[tuple[bool, float]] | None = None
+                for i in order:
+                    raw, site = candidates[i]
                     if site in scheduled:
                         continue
                     r, c = site
@@ -758,10 +1088,8 @@ class StagePlan:
                         # or the same point as another newly engaged atom.
                         # Skipping the doomed commit+rollback here is what
                         # the old code did via add()/is_legal()/restore().
-                        occupancy = self._occupancy
-                        eng_r = round(r / _EPS) * _EPS
-                        eng_c = round(c / _EPS) * _EPS
-                        eng_site = (eng_r, eng_c)
+                        eng_site = _snap_site(r, c)
+                        eng_r, eng_c = eng_site
                         viol = False
                         pre = occupancy.get(eng_site)
                         if pre:
@@ -770,15 +1098,31 @@ class StagePlan:
                                     viol = True
                                     break
                         if not viol and scan_specs:
-                            landings: list[Site] = []
-                            for mates, other_map, is_row in scan_specs:
-                                for q, other_idx in mates:
-                                    if q == qubit_a or q == qubit_b:
-                                        continue
-                                    other_t = other_map.get(other_idx)
-                                    if other_t is None:
-                                        continue
-                                    other_t = round(other_t / _EPS) * _EPS
+                            if eng_mates is None:
+                                # A mate's landing depends on the candidate
+                                # only through eng_r/eng_c; its committed
+                                # other-axis coordinate is frozen for the
+                                # whole probe loop (commit attempts either
+                                # return or roll back), so resolve and snap
+                                # each engaged mate once per call instead
+                                # of once per candidate.
+                                eng_mates = []
+                                for mates, other_map, is_row in scan_specs:
+                                    for q, other_idx in mates:
+                                        if q == qubit_a or q == qubit_b:
+                                            continue
+                                        other_t = other_map.get(other_idx)
+                                        if other_t is None:
+                                            continue
+                                        eng_mates.append(
+                                            (
+                                                is_row,
+                                                round(other_t / _EPS) * _EPS,
+                                            )
+                                        )
+                            if eng_mates:
+                                landings: list[Site] = []
+                                for is_row, other_t in eng_mates:
                                     landing = (
                                         (eng_r, other_t)
                                         if is_row
@@ -793,21 +1137,61 @@ class StagePlan:
                                         viol = True
                                         break
                                     landings.append(landing)
-                                if viol:
-                                    break
                         if viol:
                             continue
-                    token = len(self._journal)
-                    for _m, _line, idx, coord, axis, aod in reqs:
-                        self._map_set(axis, aod, idx, site[coord])
+                    # Commit: :meth:`_map_set` + the ``add=True`` arm of
+                    # :meth:`_engage` inlined over the deduped requirements
+                    # (identical to looping ``_map_set`` over ``reqs`` — the
+                    # only entries ``deduped`` drops are exact duplicates,
+                    # which ``_map_set`` would no-op without journaling).
+                    journal = self._journal
+                    journal_append = journal.append
+                    token = len(journal)
+                    for m, line, idx, coord, mates, other_map, is_row, aod in (
+                        deduped
+                    ):
+                        target = site[coord]
+                        old = m.get(idx)
+                        if old is not None and old == target:
+                            continue
+                        axis = _ROW if is_row else _COL
+                        if old is not None:
+                            self._engage(axis, aod, idx, old, add=False)
+                            line.remove(idx, old)
+                        else:
+                            self._num_line_entries += 1
+                        m[idx] = target
+                        line.insert(idx, target)
+                        if mates and other_map:
+                            snapped = round(target / _EPS) * _EPS
+                            for q2, other_idx in mates:
+                                other_t = other_map.get(other_idx)
+                                if other_t is None:
+                                    continue
+                                other_snapped = round(other_t / _EPS) * _EPS
+                                if is_row:
+                                    esite = (snapped, other_snapped)
+                                else:
+                                    esite = (other_snapped, snapped)
+                                atoms = occupancy.get(esite)
+                                if atoms is None:
+                                    occupancy[esite] = [q2]
+                                    # a lone engaged atom only matters on an
+                                    # SLM trap
+                                    if esite in slm_lookup:
+                                        self._refresh_site(esite)
+                                else:
+                                    atoms.append(q2)
+                                    self._refresh_site(esite)
+                        journal_append((axis, aod, idx, old))
                     pair = (qubit_a, qubit_b)
                     scheduled[site] = pair
-                    self._journal.append((_SCHED, site))
+                    journal_append((_SCHED, site))
                     self._refresh_site(site)
                     for q in pair:
                         if q not in busy:
                             busy.add(q)
-                            self._journal.append((_BUSY, q))
+                            journal_append((_BUSY, q))
                     if not (check_c1 and self._bad_sites):
                         return raw, overlap_blocked
                     self.restore(token)
@@ -923,7 +1307,7 @@ class StagePlan:
 
     def add(self, qubit_a: int, qubit_b: int, site: Site) -> None:
         """Commit the pair at *site* (must have passed :meth:`can_add`)."""
-        site = (_snap(site[0]), _snap(site[1]))
+        site = _snap_site(site[0], site[1])
         for q in (qubit_a, qubit_b):
             for axis, aod, idx, target in self.line_requirements(q, site):
                 self._map_set(_ROW if axis == "row" else _COL, aod, idx, target)
@@ -969,7 +1353,7 @@ class StagePlan:
                 r = rmap.get(loc.row)
                 c = cmap.get(loc.col)
                 if r is not None and c is not None:
-                    out.append((q, (_snap(r), _snap(c))))
+                    out.append((q, _snap_site(r, c)))
         return out
 
     def violates_c1(self) -> bool:

@@ -251,6 +251,11 @@ class ProgramStore:
     #: record-keeping blocks, excluding constraint search) — the quantity
     #: ``repro bench --perf`` tracks as ``emit_seconds``
     emit_seconds: float = 0.0
+    #: wall-clock spent in the router's constraint-probing phase (the
+    #: per-stage ``_select_gates`` window: scratch-plan reset, candidate
+    #: lookup, and ``place_pair`` probing over the 2Q front) — the
+    #: quantity ``repro bench --perf`` tracks as ``probe_seconds``
+    probe_seconds: float = 0.0
 
     # -- columns (one python list of scalars per field) ------------------------
     raman_qubit: list[int] = field(default_factory=list)

@@ -117,3 +117,35 @@ def inter_array_circuits(draw, min_qubits=4, max_qubits=10, max_gates=20):
     for a, b in pairs:
         circ.cz(a, b)
     return circ, assignment
+
+
+@st.composite
+def one_q_heavy_inter_array_circuits(
+    draw, min_qubits=4, max_qubits=10, max_gates=16
+):
+    """Like :func:`inter_array_circuits` but every cross-array CZ drags
+    a burst of 1Q gates behind it — worklist stress inputs: the router's
+    incremental 1Q frontier must drain and re-sort these exactly like a
+    per-sweep ``front_indices()`` rescan would."""
+    n = draw(st.integers(min_qubits, max_qubits))
+    assignment = [i % 3 for i in range(n)]
+    cross_pairs = [
+        (a, b)
+        for a in range(n)
+        for b in range(n)
+        if a != b and assignment[a] != assignment[b]
+    ]
+    pairs = draw(
+        st.lists(st.sampled_from(cross_pairs), min_size=1, max_size=max_gates)
+    )
+    circ = QuantumCircuit(n)
+    for a, b in pairs:
+        circ.cz(a, b)
+        for _ in range(draw(st.integers(0, 4))):
+            name = draw(st.sampled_from(ONE_QUBIT_GATES))
+            # biased toward the CZ operands so 1Q gates unlock mid-route
+            target = draw(
+                st.sampled_from([a, b, draw(st.integers(0, n - 1))])
+            )
+            circ.add(name, [target], [])
+    return circ, assignment

@@ -10,12 +10,20 @@ bench     print Table II statistics for the built-in benchmark suites;
           generator suite and write ``BENCH_router.json``
 serve     run the compile-service daemon (async job queue over
           ``compile_many`` with sharded workers and on-disk caches);
-          ``--faults`` arms a chaos fault-injection plan
+          ``--faults`` arms a chaos fault-injection plan; ``--farm``
+          joins a multi-daemon compile farm on a shared ``--spool``
+          (shard leases, takeover, work-stealing)
+gateway   run the HTTP/REST front door for a daemon (stdlib server;
+          token auth + submit quotas via ``--auth-file``)
 submit    send a QASM file to a running daemon, optionally waiting for
           and printing the resulting metrics; ``--timeout`` and
-          ``--max-retries`` bound the daemon-side attempts
+          ``--max-retries`` bound the daemon-side attempts;
+          ``--priority``/``--deadline`` shape queue order and
+          ``--fetch-program`` saves the compiled stage program
 jobs      list a daemon's jobs; ``--failed`` shows only dead-letter
-          entries with their attempt counts and last errors
+          entries with their attempt counts and last errors; ``--stats``
+          appends the robustness counters (quarantined spool files,
+          dead letters, per-shard lease owners, steals)
 cache     inspect or garbage-collect an on-disk cache directory
           (pipeline prefix caches and result caches share one layout)
 """
@@ -112,6 +120,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         inline=args.inline,
         lease_seconds=args.lease,
         fault_spec=fault_spec,
+        farm=args.farm,
+        node=args.node,
+        workers=args.workers,
+        shard_lease_seconds=args.shard_lease,
+    )
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    from .service import serve_gateway
+
+    return serve_gateway(
+        socket_path=args.daemon_socket,
+        daemon_host=args.daemon_host,
+        daemon_port=args.daemon_port,
+        host=args.host,
+        port=args.port,
+        auth_file=args.auth_file,
+        anonymous_quota=args.anonymous_quota,
     )
 
 
@@ -121,25 +147,45 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from .experiments import CompileJob, raa_for
     from .service import ServiceClient
 
+    backends = args.backend or ["Atomique"]
+    if args.fetch_program and backends != ["Atomique"]:
+        print(
+            "--fetch-program captures Atomique stage programs only "
+            "(submit exactly one Atomique job)",
+            file=sys.stderr,
+        )
+        return 2
     circuit = _load_circuit(args.qasm)
     client = ServiceClient(
         socket_path=args.socket, host=args.host, port=args.port
     )
     job_ids: list[str] = []
-    for backend in args.backend or ["Atomique"]:
+    for backend in backends:
         raa = raa_for(circuit) if backend == "Atomique" else None
         job = CompileJob(
             backend, circuit, CompileOptions(raa=raa, seed=args.seed)
         )
         key = f"{args.key}:{backend}" if args.key else None
         job_id = client.submit(
-            job, timeout=args.timeout, max_retries=args.max_retries, key=key
+            job,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            key=key,
+            priority=args.priority,
+            deadline=args.deadline,
+            keep_program=bool(args.fetch_program),
         )
         job_ids.append(job_id)
         print(f"submitted {job_id} ({backend})")
-    if args.wait:
+    if args.wait or args.fetch_program:
         rows = [m.row() for m in client.results(job_ids)]
         print(format_table(rows))
+    if args.fetch_program:
+        from .core.serialize import dumps
+
+        program = client.program(job_ids[0])
+        Path(args.fetch_program).write_text(dumps(program, indent=2))
+        print(f"stage program written to {args.fetch_program}")
     return 0
 
 
@@ -154,7 +200,6 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         records = [r for r in records if r.get("state") == "failed"]
     if not records:
         print("no failed jobs" if args.failed else "no jobs")
-        return 0
     for record in records:
         line = (
             f"{record['id']}  {record['state']:<9s} "
@@ -169,6 +214,30 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             # dead-letter detail: the last error, indented under the row
             for errline in str(error).strip().splitlines():
                 print(f"    {errline}")
+    if args.stats:
+        stats = client.stats()
+        print("-- robustness --")
+        print(f"node               : {stats.get('node', '?')}")
+        print(f"quarantined spool  : {stats.get('quarantined_spool_files', 0)}")
+        print(f"dead-lettered      : {stats.get('dead_lettered', 0)}")
+        print(f"retried jobs       : {stats.get('retried_jobs', 0)}")
+        print(f"steals             : {stats.get('steals', 0)}")
+        print(
+            f"shards claimed/lost: {stats.get('shards_claimed', 0)}"
+            f"/{stats.get('shards_lost', 0)}"
+        )
+        leases = stats.get("shard_leases")
+        if leases:
+            for row in leases:
+                owner = row.get("owner") or "-"
+                age = row.get("lease_age")
+                flag = " EXPIRED" if row.get("expired") else ""
+                print(
+                    f"  shard {row['shard']:>3d}: owner={owner} "
+                    f"epoch={row.get('epoch', 0)} "
+                    f"lease_age={age if age is None else f'{age:.1f}s'}"
+                    f"{flag}"
+                )
     return 0
 
 
@@ -299,7 +368,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos testing: a JSON fault-plan spec (or @file), see "
         "repro.service.faults",
     )
+    p_serve.add_argument(
+        "--farm",
+        action="store_true",
+        help="join a multi-daemon compile farm on the shared --spool "
+        "(shard-ownership leases, dead-daemon takeover, work-stealing)",
+    )
+    p_serve.add_argument(
+        "--node",
+        help="farm node name (must be unique per daemon; default: "
+        "daemon-<pid>)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per daemon (default: --shards, or 2 in "
+        "--farm mode where shards outnumber daemons)",
+    )
+    p_serve.add_argument(
+        "--shard-lease",
+        type=float,
+        default=10.0,
+        help="farm shard-lease duration in seconds (a daemon that stops "
+        "renewing loses its shards to peers)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway", help="run the HTTP/REST front door for a daemon"
+    )
+    p_gateway.add_argument(
+        "--daemon-socket", help="daemon Unix socket path (default: TCP)"
+    )
+    p_gateway.add_argument(
+        "--daemon-host", default="127.0.0.1", help="daemon TCP host"
+    )
+    p_gateway.add_argument(
+        "--daemon-port", type=int, default=None, help="daemon TCP port"
+    )
+    p_gateway.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind host"
+    )
+    p_gateway.add_argument(
+        "--port", type=int, default=0, help="HTTP port (0 picks a free one)"
+    )
+    p_gateway.add_argument(
+        "--auth-file",
+        help='token table JSON: {"tokens": [{"token", "name", "quota"}]}; '
+        "without it the gateway is open",
+    )
+    p_gateway.add_argument(
+        "--anonymous-quota",
+        type=int,
+        default=None,
+        help="submit cap for unauthenticated clients on an open gateway",
+    )
+    p_gateway.set_defaults(func=cmd_gateway)
 
     p_submit = sub.add_parser(
         "submit", help="submit a QASM file to a running daemon"
@@ -341,6 +466,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="idempotency key prefix: resubmitting with the same key "
         "returns the existing job instead of enqueuing a duplicate",
     )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        help="queue priority (higher dispatches first; default 0)",
+    )
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="seconds from now the job must *dispatch* by, or it fails "
+        "with a deadline error; also breaks priority ties (EDF)",
+    )
+    p_submit.add_argument(
+        "--fetch-program",
+        metavar="PATH",
+        help="submit with keep_program, wait, and write the compiled "
+        "Atomique stage program JSON here (single Atomique job only)",
+    )
     p_submit.set_defaults(func=cmd_submit)
 
     p_jobs = sub.add_parser(
@@ -355,6 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--failed",
         action="store_true",
         help="show only dead-lettered jobs (attempt counts + last errors)",
+    )
+    p_jobs.add_argument(
+        "--stats",
+        action="store_true",
+        help="append the robustness counters: quarantined spool files, "
+        "dead letters, retries, steals, per-shard lease owners + ages",
     )
     p_jobs.set_defaults(func=cmd_jobs)
 

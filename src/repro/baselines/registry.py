@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.metrics import CompiledMetrics
 from ..circuits.circuit import QuantumCircuit
-from ..core.compiler import AtomiqueConfig
+from ..core.compiler import AtomiqueCompiler, AtomiqueConfig, CompileResult
 from ..core.pipeline import PipelineCache
 from ..core.router import RouterConfig
 from ..hardware.parameters import HardwareParams
@@ -127,9 +127,10 @@ def available_backends() -> list[str]:
 # Built-in backends (Fig. 13 names, plus the Fig. 19 / Table III compilers).
 
 
-@register_backend("Atomique")
-def _atomique(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetrics:
-    """Full Fig. 3 pass pipeline on a reconfigurable atom array.
+def _atomique_setup(
+    options: CompileOptions,
+) -> tuple[RAAArchitecture | None, AtomiqueConfig]:
+    """Resolve the effective (architecture, config) for an Atomique run.
 
     A ``params`` override (the Fig. 18 sensitivity knob) rebuilds the RAA
     with those parameters and, unless a config is given, aligns the
@@ -151,10 +152,38 @@ def _atomique(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetri
                     cooling_threshold=options.params.n_vib_cooling_threshold
                 ),
             )
+    return raa, config or AtomiqueConfig(seed=options.seed)
+
+
+def atomique_result(
+    circuit: QuantumCircuit, options: CompileOptions
+) -> CompileResult:
+    """The full :class:`CompileResult` (program included) for *options*.
+
+    Same setup path as the registered ``Atomique`` backend, so
+    ``metrics_from_result`` on this result is bit-identical to what the
+    backend returns — the service's ``keep_program`` jobs compile through
+    here to capture the program without perturbing the metrics.
+    """
+    raa, config = _atomique_setup(options)
+    arch = raa or RAAArchitecture.default()
+    compiler = AtomiqueCompiler(arch, config, cache=options.pipeline_cache)
+    return compiler.compile(circuit)
+
+
+@register_backend("Atomique")
+def _atomique(circuit: QuantumCircuit, options: CompileOptions) -> CompiledMetrics:
+    """Full Fig. 3 pass pipeline on a reconfigurable atom array.
+
+    A ``params`` override (the Fig. 18 sensitivity knob) rebuilds the RAA
+    with those parameters and, unless a config is given, aligns the
+    router's cooling threshold with them (see :func:`_atomique_setup`).
+    """
+    raa, config = _atomique_setup(options)
     return compile_on_atomique(
         circuit,
         raa,
-        config or AtomiqueConfig(seed=options.seed),
+        config,
         label=options.label or "Atomique",
         cache=options.pipeline_cache,
     )

@@ -9,6 +9,7 @@ fault-injection layer behind the chaos tests.
 
 from .client import RemoteError, ServiceClient, ServiceUnavailable
 from .faults import FAULTS_ENV, FaultPlan, FaultRule, InjectedFault
+from .http import GatewayAuth, HttpGateway, TokenPolicy, serve_gateway
 from .queue import (
     DEFAULT_MAX_RETRIES,
     JobQueue,
@@ -17,6 +18,13 @@ from .queue import (
     QueueError,
 )
 from .server import CompileService, ServiceError, ServiceServer, serve_forever
+from .shards import (
+    DEFAULT_SHARD_LEASE_SECONDS,
+    JobClaims,
+    ShardBoard,
+    ShardBoardError,
+    ShardLease,
+)
 from .wire import (
     JobControl,
     WireError,
@@ -31,10 +39,14 @@ from .wire import (
 __all__ = [
     "CompileService",
     "DEFAULT_MAX_RETRIES",
+    "DEFAULT_SHARD_LEASE_SECONDS",
     "FAULTS_ENV",
     "FaultPlan",
     "FaultRule",
+    "GatewayAuth",
+    "HttpGateway",
     "InjectedFault",
+    "JobClaims",
     "JobControl",
     "JobQueue",
     "JobRecord",
@@ -45,6 +57,10 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "ServiceUnavailable",
+    "ShardBoard",
+    "ShardBoardError",
+    "ShardLease",
+    "TokenPolicy",
     "WireError",
     "decode_job",
     "decode_job_control",
@@ -53,4 +69,5 @@ __all__ = [
     "encode_job_control",
     "encode_metrics",
     "serve_forever",
+    "serve_gateway",
 ]

@@ -39,6 +39,7 @@ from .wire import (
     compress_line,
     decode_line,
     decode_metrics,
+    decode_program,
     encode_job,
     encode_job_control,
     encode_line,
@@ -48,7 +49,8 @@ from .wire import (
 #: been processed.  ``submit`` joins this set only when it carries an
 #: idempotency key.
 _IDEMPOTENT_OPS = frozenset(
-    {"ping", "backends", "status", "result", "cancel", "jobs", "stats"}
+    {"ping", "backends", "status", "result", "program", "cancel", "jobs",
+     "stats"}
 )
 
 
@@ -240,18 +242,31 @@ class ServiceClient:
         timeout: float | None = None,
         max_retries: int | None = None,
         key: str | None = None,
+        priority: int | None = None,
+        deadline: float | None = None,
+        keep_program: bool = False,
     ) -> str:
         """Submit one job; returns its id.
 
         *timeout* and *max_retries* bound the daemon-side attempts; *key*
         makes the submission idempotent (and thereby retryable across a
         dropped socket): the daemon returns the existing job's id for a
-        key it has already accepted."""
+        key it has already accepted.  *priority* (higher dispatches
+        first) and *deadline* (seconds from now the job must dispatch by)
+        shape queue ordering; *keep_program* captures the compiled
+        program for :meth:`program` (Atomique jobs only)."""
         payload = encode_job(job) if isinstance(job, CompileJob) else job
         request: dict[str, Any] = {"op": "submit", "job": payload}
         request.update(
             encode_job_control(
-                JobControl(timeout=timeout, max_retries=max_retries, key=key)
+                JobControl(
+                    timeout=timeout,
+                    max_retries=max_retries,
+                    key=key,
+                    priority=priority,
+                    deadline=deadline,
+                    keep_program=keep_program,
+                )
             )
         )
         return str(self.request(request)["id"])
@@ -290,6 +305,13 @@ class ServiceClient:
     def results(self, job_ids: list[str]) -> list[CompiledMetrics]:
         """Results in the given (submission) order, waiting for each."""
         return [self.result(job_id, wait=True) for job_id in job_ids]
+
+    def program(self, job_id: str):
+        """The compiled program of a DONE job submitted with
+        ``keep_program=True``, decoded to a
+        :class:`~repro.core.program_store.ProgramStore`."""
+        response = self.request({"op": "program", "id": job_id})
+        return decode_program(response["program"])
 
     def cancel(self, job_id: str) -> bool:
         return bool(self.request({"op": "cancel", "id": job_id})["cancelled"])

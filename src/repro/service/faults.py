@@ -31,6 +31,17 @@ site                    effect when a rule fires
 ``spool.result``        a result spool write raises :class:`InjectedFault`
 ``daemon.exit``         the daemon hard-exits right after a job completes
                         (the deterministic stand-in for SIGKILL mid-run)
+``lease.write``         a shard-board or job-claim file write raises
+                        :class:`InjectedFault` (lease churn under disk
+                        trouble)
+``daemon.partition``    a farm daemon's lease renewal silently writes
+                        nothing while still reporting success — the lease
+                        ages out and a peer takes the shard over while the
+                        "partitioned" daemon believes it still owns it
+``steal.race``          sleep ``seconds`` between picking a steal victim
+                        and claiming it — widens the window two daemons
+                        contend for one job (the claim file picks the
+                        single winner)
 ======================  =====================================================
 
 Plans cross process boundaries as JSON (:meth:`FaultPlan.to_spec` /

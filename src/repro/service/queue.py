@@ -22,11 +22,27 @@ Layout of a spool directory::
       jobs/<job_id>.json      one record per job, rewritten atomically on
                               every state transition
       results/<job_id>.json   wire-encoded CompiledMetrics of DONE jobs
+      programs/<job_id>.json  wire-encoded compiled programs of DONE jobs
+                              submitted with ``keep_program``
       quarantine/<name>       spool files that failed to decode at boot,
                               moved aside (never deleted, never fatal)
 
 Ordering is submission order (FIFO): records carry a monotonically
 increasing ``seq`` assigned at submission, which survives restarts.
+Jobs may carry a ``priority`` (higher dispatches first) and a dispatch
+``deadline``; :meth:`JobQueue.pending_for` yields a shard's backlog in
+``(-priority, deadline, seq)`` order, so default submissions (priority 0,
+no deadline) keep exact FIFO behaviour.
+
+**Shared spools** (the compile farm): with ``shared=True`` several
+daemons mount one spool directory.  The queue then (a) suffixes job ids
+with a per-daemon ``node_id`` so concurrent submissions on different
+daemons can never collide, (b) leaves RUNNING records alone at boot —
+they belong to live peers; shard-lease expiry, not boot, decides they are
+orphaned — and (c) ingests peers' record writes through :meth:`sync` /
+:meth:`refresh_from_disk`, tracking an ``(mtime_ns, size)`` fingerprint
+per spool file so its own atomic writes are never re-ingested.  Disk is
+authoritative on every conflict.
 """
 
 from __future__ import annotations
@@ -89,6 +105,12 @@ class JobRecord:
     owner: str | None = None
     #: wall-clock time the current lease expires (RUNNING only)
     lease_deadline: float | None = None
+    #: dispatch priority — higher runs first within a shard
+    priority: int = 0
+    #: absolute wall-clock time the job must *dispatch* by (None = never)
+    deadline: float | None = None
+    #: capture the compiled program alongside the metrics
+    keep_program: bool = False
 
     def summary(self) -> dict[str, Any]:
         """The status-API view of this record (no circuit body)."""
@@ -104,7 +126,23 @@ class JobRecord:
             "max_retries": self.max_retries,
             "timeout": self.timeout,
             "key": self.job_key,
+            "owner": self.owner,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "keep_program": self.keep_program,
         }
+
+
+def dispatch_order(record: JobRecord) -> tuple[int, float, int, str]:
+    """Sort key for a shard's backlog: priority first (higher wins), then
+    earliest deadline, then submission order.  All-default submissions
+    therefore dispatch in exact FIFO order."""
+    return (
+        -record.priority,
+        record.deadline if record.deadline is not None else float("inf"),
+        record.seq,
+        record.job_id,
+    )
 
 
 def _atomic_write_text(path: Path, text: str, site: str) -> None:
@@ -131,14 +169,27 @@ class JobQueue:
         self,
         spool_dir: str | Path | None = None,
         clock: Callable[[], float] = time.time,
+        node_id: str | None = None,
+        shared: bool = False,
     ) -> None:
         self._records: dict[str, JobRecord] = {}
         self._memory_results: dict[str, dict[str, Any]] = {}
+        self._memory_programs: dict[str, dict[str, Any]] = {}
         self._by_key: dict[str, str] = {}
         self._seq = 0
         self.clock = clock
+        #: per-daemon suffix appended to job ids (farm collision guard)
+        self.node_id = node_id
+        #: several daemons share this spool: boot must not demote peers'
+        #: RUNNING jobs, and :meth:`sync` ingests their record writes
+        self.shared = shared
+        if shared and spool_dir is None:
+            raise ValueError("a shared queue needs a spool_dir")
         #: spool filenames quarantined at boot (undecodable records)
         self.quarantined: list[str] = []
+        #: (mtime_ns, size) per spool job file, as of our last read/write —
+        #: sync() skips unchanged files and our own writes
+        self._file_state: dict[str, tuple[int, int]] = {}
         self.spool_dir = Path(spool_dir) if spool_dir is not None else None
         if self.spool_dir is not None:
             (self.spool_dir / "jobs").mkdir(parents=True, exist_ok=True)
@@ -154,6 +205,9 @@ class JobQueue:
         job_key: str | None = None,
         timeout: float | None = None,
         max_retries: int | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
+        keep_program: bool = False,
     ) -> JobRecord:
         """Register a wire-encoded job; returns its record (PENDING).
 
@@ -161,6 +215,10 @@ class JobQueue:
         has already seen returns the existing record unchanged — the
         retry path of a client whose submit response was lost resubmits
         safely instead of duplicating the job.
+
+        *deadline* is an **absolute** clock time (the server converts a
+        client's seconds-from-now); *priority* orders dispatch within a
+        shard (higher first).
         """
         if job_key is not None:
             existing = self.by_key(job_key)
@@ -170,8 +228,13 @@ class JobQueue:
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()
         ).hexdigest()
+        job_id = f"job-{self._seq:06d}-{digest[:10]}"
+        if self.node_id is not None:
+            # Two farm daemons can hand out the same seq concurrently;
+            # the node suffix keeps their ids (and spool files) distinct.
+            job_id = f"{job_id}-{self.node_id}"
         record = JobRecord(
-            job_id=f"job-{self._seq:06d}-{digest[:10]}",
+            job_id=job_id,
             seq=self._seq,
             shard=shard,
             payload=payload,
@@ -180,6 +243,9 @@ class JobQueue:
                 max_retries if max_retries is not None else DEFAULT_MAX_RETRIES
             ),
             job_key=job_key,
+            priority=priority,
+            deadline=deadline,
+            keep_program=keep_program,
         )
         self._records[record.job_id] = record
         if job_key is not None:
@@ -199,12 +265,30 @@ class JobQueue:
         return self._records.get(job_id) if job_id is not None else None
 
     def jobs(self) -> list[JobRecord]:
-        """All records in submission order."""
-        return sorted(self._records.values(), key=lambda r: r.seq)
+        """All records in submission order (job id breaks cross-daemon
+        seq ties deterministically on a shared spool)."""
+        return sorted(self._records.values(), key=lambda r: (r.seq, r.job_id))
 
     def pending(self) -> list[JobRecord]:
         """PENDING records in submission order (restart re-dispatch)."""
         return [r for r in self.jobs() if r.state is JobState.PENDING]
+
+    def pending_for(self, shard: int, modulo: int | None = None) -> list[JobRecord]:
+        """A shard's dispatchable backlog in dispatch order.
+
+        *modulo* maps recorded shard numbers onto the caller's shard
+        count (a spool may carry records from a run with more shards).
+        Order is :func:`dispatch_order`: priority desc, deadline asc,
+        then FIFO.
+        """
+        records = [
+            r
+            for r in self._records.values()
+            if r.state is JobState.PENDING
+            and (r.shard % modulo if modulo else r.shard) == shard
+        ]
+        records.sort(key=dispatch_order)
+        return records
 
     def failed(self) -> list[JobRecord]:
         """Dead-lettered records in submission order."""
@@ -241,10 +325,18 @@ class JobQueue:
         """Back-compat shorthand for :meth:`acquire` without a lease."""
         self.acquire(job_id)
 
-    def heartbeat(self, job_id: str, lease_seconds: float) -> bool:
-        """Extend a RUNNING job's lease; returns whether it still held."""
+    def heartbeat(
+        self, job_id: str, lease_seconds: float, owner: str | None = None
+    ) -> bool:
+        """Extend a RUNNING job's lease; returns whether it still held.
+
+        With *owner*, the heartbeat only counts while the lease is still
+        ours: a farm daemon whose job was reaped and re-leased by a peer
+        must not stamp its deadline over the new owner's."""
         record = self.get(job_id)
         if record.state is not JobState.RUNNING:
+            return False
+        if owner is not None and record.owner != owner:
             return False
         record.lease_deadline = self.clock() + lease_seconds
         self._persist(record)
@@ -367,6 +459,29 @@ class JobQueue:
         path = self.spool_dir / "results" / f"{job_id}.json"
         _atomic_write_text(path, json.dumps(payload), site="spool.result")
 
+    def store_program(self, job_id: str, payload: dict[str, Any]) -> None:
+        """Persist the wire-encoded program of a ``keep_program`` job."""
+        if self.spool_dir is None:
+            self._memory_programs[job_id] = payload
+            return
+        programs = self.spool_dir / "programs"
+        programs.mkdir(parents=True, exist_ok=True)
+        path = programs / f"{job_id}.json"
+        _atomic_write_text(path, json.dumps(payload), site="spool.result")
+
+    def load_program(self, job_id: str) -> dict[str, Any] | None:
+        """The wire-encoded program of a DONE ``keep_program`` job."""
+        record = self.get(job_id)
+        if record.state is not JobState.DONE:
+            return None
+        if self.spool_dir is None:
+            return self._memory_programs.get(job_id)
+        path = self.spool_dir / "programs" / f"{job_id}.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
     # -- persistence ---------------------------------------------------------
 
     def _persist(self, record: JobRecord) -> None:
@@ -388,11 +503,96 @@ class JobQueue:
                     "job_key": record.job_key,
                     "owner": record.owner,
                     "lease_deadline": record.lease_deadline,
+                    "priority": record.priority,
+                    "deadline": record.deadline,
+                    "keep_program": record.keep_program,
                     "payload": record.payload,
                 }
             ),
             site="spool.write",
         )
+        self._fingerprint(path)
+
+    def _fingerprint(self, path: Path) -> None:
+        """Remember a job file's (mtime_ns, size) so sync() skips it."""
+        try:
+            stat = path.stat()
+        except OSError:
+            self._file_state.pop(path.name, None)
+            return
+        self._file_state[path.name] = (stat.st_mtime_ns, stat.st_size)
+
+    def _adopt(self, record: JobRecord) -> None:
+        """Install a record read from disk, disk being authoritative."""
+        self._records[record.job_id] = record
+        if record.job_key is not None:
+            self._by_key[record.job_key] = record.job_id
+        self._seq = max(self._seq, record.seq)
+
+    def refresh_from_disk(self, job_id: str) -> JobRecord | None:
+        """Re-read one record from the spool, replacing the in-memory copy.
+
+        Returns the fresh record, the unchanged in-memory one when the
+        spool file is unreadable mid-rewrite, or None for a job this
+        spool has never seen.  No-op without a spool."""
+        if self.spool_dir is None:
+            return self._records.get(job_id)
+        path = self.spool_dir / "jobs" / f"{job_id}.json"
+        record = self._decode_record_file(path)
+        if record is None:
+            return self._records.get(job_id)
+        self._adopt(record)
+        self._fingerprint(path)
+        return record
+
+    def sync(self) -> list[JobRecord]:
+        """Ingest records (re)written by peer daemons on a shared spool.
+
+        Scans ``jobs/`` and re-reads every file whose fingerprint moved
+        since we last read or wrote it — our own atomic writes update the
+        fingerprint at persist time, so only *foreign* changes surface.
+        Returns the changed records.  No-op without a spool."""
+        if self.spool_dir is None:
+            return []
+        changed: list[JobRecord] = []
+        for path in (self.spool_dir / "jobs").glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # vanished between glob and stat
+            mark = (stat.st_mtime_ns, stat.st_size)
+            if self._file_state.get(path.name) == mark:
+                continue
+            record = self._decode_record_file(path)
+            if record is None:
+                continue  # mid-rewrite or corrupt: next sync retries
+            self._file_state[path.name] = mark
+            self._adopt(record)
+            changed.append(record)
+        return changed
+
+    def _decode_record_file(self, path: Path) -> JobRecord | None:
+        try:
+            data = json.loads(path.read_text())
+            return JobRecord(
+                job_id=data["job_id"],
+                seq=int(data["seq"]),
+                shard=int(data["shard"]),
+                payload=data["payload"],
+                state=JobState(data["state"]),
+                error=data.get("error"),
+                attempts=int(data.get("attempts", 0)),
+                max_retries=int(data.get("max_retries", DEFAULT_MAX_RETRIES)),
+                timeout=data.get("timeout"),
+                job_key=data.get("job_key"),
+                owner=data.get("owner"),
+                lease_deadline=data.get("lease_deadline"),
+                priority=int(data.get("priority", 0)),
+                deadline=data.get("deadline"),
+                keep_program=bool(data.get("keep_program", False)),
+            )
+        except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+            return None
 
     def _quarantine(self, path: Path) -> None:
         """Move an undecodable spool file aside instead of refusing to boot."""
@@ -409,33 +609,18 @@ class JobQueue:
     def _load(self) -> None:
         assert self.spool_dir is not None
         for path in sorted((self.spool_dir / "jobs").glob("*.json")):
-            try:
-                data = json.loads(path.read_text())
-                state = JobState(data["state"])
-                record = JobRecord(
-                    job_id=data["job_id"],
-                    seq=int(data["seq"]),
-                    shard=int(data["shard"]),
-                    payload=data["payload"],
-                    state=state,
-                    error=data.get("error"),
-                    attempts=int(data.get("attempts", 0)),
-                    max_retries=int(
-                        data.get("max_retries", DEFAULT_MAX_RETRIES)
-                    ),
-                    timeout=data.get("timeout"),
-                    job_key=data.get("job_key"),
-                    owner=data.get("owner"),
-                    lease_deadline=data.get("lease_deadline"),
-                )
-            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+            record = self._decode_record_file(path)
+            if record is None:
                 self._quarantine(path)
                 continue
             # A job RUNNING at crash time lost its worker: requeue it,
             # keeping the attempt charge — unless its attempts are already
             # exhausted, in which case it dead-letters (a poison job that
             # takes the whole daemon down must not crash-loop forever).
-            if record.state is JobState.RUNNING:
+            # On a *shared* spool the RUNNING job may belong to a live
+            # peer, so boot must leave it alone — lease expiry, observed
+            # by whichever daemon owns the shard, decides it is orphaned.
+            if record.state is JobState.RUNNING and not self.shared:
                 record.owner = None
                 record.lease_deadline = None
                 if record.attempts >= record.max_retries:
@@ -447,7 +632,6 @@ class JobQueue:
                 else:
                     record.state = JobState.PENDING
                 self._persist(record)
-            self._records[record.job_id] = record
-            if record.job_key is not None:
-                self._by_key[record.job_key] = record.job_id
-            self._seq = max(self._seq, record.seq)
+            else:
+                self._fingerprint(path)
+            self._adopt(record)

@@ -324,6 +324,13 @@ class JobControl:
     timeout: float | None = None
     max_retries: int | None = None
     key: str | None = None
+    #: dispatch priority — higher runs first within a shard (default 0)
+    priority: int | None = None
+    #: seconds from submission the job must *dispatch* by; expired
+    #: undispatched jobs fail with a clear error instead of running late
+    deadline: float | None = None
+    #: capture the compiled program alongside the metrics (Atomique only)
+    keep_program: bool = False
 
 
 def encode_job_control(control: JobControl) -> dict[str, Any]:
@@ -336,6 +343,12 @@ def encode_job_control(control: JobControl) -> dict[str, Any]:
         fields["max_retries"] = control.max_retries
     if control.key is not None:
         fields["key"] = control.key
+    if control.priority is not None:
+        fields["priority"] = control.priority
+    if control.deadline is not None:
+        fields["deadline"] = control.deadline
+    if control.keep_program:
+        fields["keep_program"] = True
     return fields
 
 
@@ -357,9 +370,25 @@ def decode_job_control(request: dict[str, Any]) -> JobControl:
         key = request.get("key")
         if key is not None:
             key = str(key)
+        priority = request.get("priority")
+        if priority is not None:
+            priority = int(priority)
+        deadline = request.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ValueError(f"deadline must be > 0, got {deadline}")
+        keep_program = bool(request.get("keep_program", False))
     except (TypeError, ValueError) as exc:
         raise WireError(f"bad job control fields: {exc}") from exc
-    return JobControl(timeout=timeout, max_retries=max_retries, key=key)
+    return JobControl(
+        timeout=timeout,
+        max_retries=max_retries,
+        key=key,
+        priority=priority,
+        deadline=deadline,
+        keep_program=keep_program,
+    )
 
 
 # -- programs ----------------------------------------------------------------
@@ -369,9 +398,9 @@ def encode_program(program: Program) -> dict[str, Any]:
     """Columnar wire form of a compiled program.
 
     Always the v2 structure-of-arrays document: flat arrays of numbers
-    with ``repr``-exact floats, no per-gate dict overhead — the form a
-    program-shipping service op should use (none exists yet; see the
-    ROADMAP architecture items).
+    with ``repr``-exact floats, no per-gate dict overhead — the form the
+    service's ``program`` op ships (submit with ``keep_program`` and
+    fetch via :meth:`~repro.service.client.ServiceClient.program`).
     """
     return program_to_dict(program, columnar=True)
 

@@ -1,0 +1,275 @@
+"""HTTP/REST gateway (tier 1): auth, quotas, and byte-for-byte fidelity
+with the socket protocol.
+
+The daemon runs in a background thread on a Unix socket; the gateway
+serves real HTTP on a loopback port; the tests speak stdlib
+``urllib``.  The load-bearing assertion is that a result fetched over
+REST is the *same JSON payload* the socket client receives — the
+gateway relays, it does not re-encode.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.baselines.registry import CompileOptions
+from repro.experiments import compile_on, raa_for
+from repro.experiments.batch import CompileJob
+from repro.generators import qaoa_regular
+from repro.service import (
+    CompileService,
+    GatewayAuth,
+    HttpGateway,
+    ServiceClient,
+    ServiceServer,
+    TokenPolicy,
+)
+from repro.service.wire import decode_metrics, encode_job
+
+
+class DaemonThread:
+    """An in-process daemon on a Unix socket, served off-thread so the
+    gateway's blocking per-request clients have something to talk to."""
+
+    def __init__(self, socket_path):
+        self.socket_path = socket_path
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        service = CompileService(inline=True, shards=1)
+        server = ServiceServer(service, socket_path=self.socket_path)
+        await server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await server.aclose()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=30.0), "daemon thread never came up"
+        ServiceClient(socket_path=self.socket_path).wait_ready(timeout=10.0)
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+
+def http(method, url, body=None, token=None, timeout=60.0):
+    """One stdlib HTTP request; returns (status, decoded JSON body)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def farm_front(tmp_path):
+    """A daemon + gateway pair with one quota-limited token."""
+    with DaemonThread(tmp_path / "repro.sock") as daemon:
+        auth = GatewayAuth(
+            [TokenPolicy(token="s3cret", name="alice", submit_quota=3)]
+        )
+        gateway = HttpGateway(socket_path=daemon.socket_path, auth=auth)
+        gateway.start()
+        try:
+            yield daemon, gateway
+        finally:
+            gateway.close()
+
+
+def atomique_job(seed=1):
+    circuit = qaoa_regular(8, 3, seed=seed)
+    return circuit, CompileJob(
+        "Atomique", circuit, CompileOptions(raa=raa_for(circuit))
+    )
+
+
+class TestAuthAndQuota:
+    def test_healthz_needs_no_token(self, farm_front):
+        _, gateway = farm_front
+        status, body = http("GET", f"{gateway.url}/healthz")
+        assert status == 200 and body["ok"] is True
+
+    def test_missing_and_unknown_tokens_are_401(self, farm_front):
+        _, gateway = farm_front
+        _, job = atomique_job()
+        status, body = http(
+            "POST", f"{gateway.url}/v1/jobs", body={"job": encode_job(job)}
+        )
+        assert status == 401
+        assert "credentials" in body["error"]
+        status, body = http(
+            "GET", f"{gateway.url}/v1/jobs", token="wrong-token"
+        )
+        assert status == 401
+        assert body["error"] == "unknown token"
+
+    def test_submit_quota_is_429_and_counted(self, farm_front):
+        _, gateway = farm_front
+        _, job = atomique_job()
+        payload = {"job": encode_job(job), "key": "quota-test"}
+        for _ in range(3):  # idempotent key: one real job, three charges
+            status, _body = http(
+                "POST", f"{gateway.url}/v1/jobs", body=payload,
+                token="s3cret",
+            )
+            assert status == 202
+        status, body = http(
+            "POST", f"{gateway.url}/v1/jobs", body=payload, token="s3cret"
+        )
+        assert status == 429
+        assert "quota exhausted" in body["error"]
+        assert "alice" in body["error"]
+        status, body = http(
+            "GET", f"{gateway.url}/v1/stats", token="s3cret"
+        )
+        assert status == 200
+        assert body["gateway"]["submits_per_client"] == {"alice": 3}
+        assert body["gateway"]["rejected_submits"] == 1
+
+    def test_rejected_submit_enqueues_nothing(self, tmp_path):
+        with DaemonThread(tmp_path / "repro.sock") as daemon:
+            auth = GatewayAuth(
+                [TokenPolicy(token="t", name="bob", submit_quota=0)]
+            )
+            gateway = HttpGateway(socket_path=daemon.socket_path, auth=auth)
+            gateway.start()
+            try:
+                _, job = atomique_job()
+                status, _body = http(
+                    "POST",
+                    f"{gateway.url}/v1/jobs",
+                    body={"job": encode_job(job)},
+                    token="t",
+                )
+                assert status == 429
+                assert (
+                    ServiceClient(socket_path=daemon.socket_path).jobs() == []
+                )
+            finally:
+                gateway.close()
+
+
+class TestRestRoundTrip:
+    def test_result_matches_the_socket_client_byte_for_byte(
+        self, farm_front
+    ):
+        daemon, gateway = farm_front
+        circuit, job = atomique_job()
+        status, body = http(
+            "POST",
+            f"{gateway.url}/v1/jobs",
+            body={"job": encode_job(job)},
+            token="s3cret",
+        )
+        assert status == 202
+        job_id = body["id"]
+        status, rest = http(
+            "GET",
+            f"{gateway.url}/v1/jobs/{job_id}/result?wait=1&timeout=120",
+            token="s3cret",
+        )
+        assert status == 200
+        # The same payload the socket protocol hands out, not a re-encode.
+        socket_raw = ServiceClient(socket_path=daemon.socket_path).request(
+            {"op": "result", "id": job_id, "wait": False}
+        )["metrics"]
+        assert rest["metrics"] == socket_raw
+        direct = compile_on("Atomique", circuit, raa=raa_for(circuit))
+        assert (
+            decode_metrics(rest["metrics"]).num_2q_gates
+            == direct.num_2q_gates
+        )
+
+    def test_status_jobs_program_cancel_and_errors(self, farm_front):
+        daemon, gateway = farm_front
+        url, token = gateway.url, "s3cret"
+        _circuit, job = atomique_job(seed=2)
+        status, body = http(
+            "POST",
+            f"{url}/v1/jobs",
+            body={"job": encode_job(job), "keep_program": True,
+                  "priority": 2},
+            token=token,
+        )
+        assert status == 202
+        job_id = body["id"]
+        status, result = http(
+            "GET",
+            f"{url}/v1/jobs/{job_id}/result?wait=1&timeout=120",
+            token=token,
+        )
+        assert status == 200 and "metrics" in result
+
+        status, body = http("GET", f"{url}/v1/jobs/{job_id}", token=token)
+        assert status == 200
+        assert body["job"]["state"] == "done"
+        assert body["job"]["priority"] == 2
+
+        status, body = http("GET", f"{url}/v1/jobs", token=token)
+        assert status == 200
+        assert any(j["id"] == job_id for j in body["jobs"])
+
+        status, body = http(
+            "GET", f"{url}/v1/jobs/{job_id}/program", token=token
+        )
+        assert status == 200
+        socket_program = ServiceClient(
+            socket_path=daemon.socket_path
+        ).request({"op": "program", "id": job_id})["program"]
+        assert body["program"] == socket_program
+
+        # A finished job can no longer be cancelled.
+        status, body = http(
+            "DELETE", f"{url}/v1/jobs/{job_id}", token=token
+        )
+        assert status == 200 and body["cancelled"] is False
+
+        status, body = http(
+            "GET", f"{url}/v1/jobs/job-000099-nothere", token=token
+        )
+        assert status == 404
+        status, body = http("GET", f"{url}/v1/nowhere", token=token)
+        assert status == 404
+        status, body = http(
+            "POST", f"{url}/v1/jobs", body={"nope": 1}, token=token
+        )
+        assert status == 400
+
+    def test_backends_listed(self, farm_front):
+        _, gateway = farm_front
+        status, body = http(
+            "GET", f"{gateway.url}/v1/backends", token="s3cret"
+        )
+        assert status == 200
+        assert "Atomique" in body["backends"]
+
+    def test_daemon_down_maps_to_503(self, tmp_path):
+        gateway = HttpGateway(socket_path=tmp_path / "nobody-home.sock")
+        gateway.start()
+        try:
+            status, body = http("GET", f"{gateway.url}/healthz")
+            assert status == 503 and body["ok"] is False
+            status, body = http("GET", f"{gateway.url}/v1/jobs")
+            assert status == 503
+            assert "unreachable" in body["error"]
+        finally:
+            gateway.close()

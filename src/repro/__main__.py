@@ -177,6 +177,32 @@ def cmd_submit(args: argparse.Namespace) -> int:
         )
         job_ids.append(job_id)
         print(f"submitted {job_id} ({backend})")
+    if args.stream:
+        # One streaming connection per job: per-pass progress lines as the
+        # daemon reports them, then metrics (and the program, chunked over
+        # binary frames, when --fetch-program asked for it).
+        def show(event: dict) -> None:
+            print(
+                f"  [{event.get('index')}/{event.get('total')}] "
+                f"{event.get('pass')} ({event.get('seconds', 0.0):.3f}s)"
+            )
+
+        rows = []
+        program = None
+        for job_id in job_ids:
+            metrics, store = client.result_stream(job_id, on_event=show)
+            rows.append(metrics.row())
+            if program is None and store is not None:
+                program = store
+        print(format_table(rows))
+        if args.fetch_program:
+            from .core.serialize import dumps
+
+            if program is None:  # pre-streaming daemon: classic fetch
+                program = client.program(job_ids[0])
+            Path(args.fetch_program).write_text(dumps(program, indent=2))
+            print(f"stage program written to {args.fetch_program}")
+        return 0
     if args.wait or args.fetch_program:
         rows = [m.row() for m in client.results(job_ids)]
         print(format_table(rows))
@@ -484,6 +510,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="submit with keep_program, wait, and write the compiled "
         "Atomique stage program JSON here (single Atomique job only)",
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="wait over a streaming connection: per-pass progress lines "
+        "as the daemon compiles, and (with --fetch-program) the program "
+        "fetched in chunks over binary frames",
     )
     p_submit.set_defaults(func=cmd_submit)
 

@@ -566,6 +566,27 @@ def default_passes() -> list[Pass]:
     ]
 
 
+#: Optional per-pass progress callback ``(name, index, total, seconds)``,
+#: invoked after each pass completes.  Process-global because service
+#: workers run one compile at a time; the service points it at the job's
+#: spooled progress file so ``status``/streaming ``result`` can report
+#: per-pass completion while the compile is still running.
+_PROGRESS_SINK = None
+
+
+def set_pass_progress_sink(sink):
+    """Install (or clear, with ``None``) the per-pass progress callback.
+
+    Returns the previous sink so callers can restore it in a ``finally``.
+    Sink exceptions are swallowed — progress is best-effort and must never
+    fail a compile.
+    """
+    global _PROGRESS_SINK
+    previous = _PROGRESS_SINK
+    _PROGRESS_SINK = sink
+    return previous
+
+
 class PassPipeline:
     """Execute a declared pass list and assemble a ``CompileResult``."""
 
@@ -594,7 +615,9 @@ class PassPipeline:
         context = CompilationContext(
             circuit=circuit, architecture=arch, config=self.config, cache=self.cache
         )
-        for p in self.passes:
+        sink = _PROGRESS_SINK
+        total = len(self.passes)
+        for index, p in enumerate(self.passes):
             t0 = time.perf_counter()
             p.run(context)
             elapsed = time.perf_counter() - t0
@@ -602,6 +625,11 @@ class PassPipeline:
             context.pass_seconds[p.name] = (
                 context.pass_seconds.get(p.name, 0.0) + elapsed
             )
+            if sink is not None:
+                try:
+                    sink(p.name, index + 1, total, elapsed)
+                except Exception:  # progress must never fail a compile
+                    pass
         return context
 
     def compile(self, circuit: QuantumCircuit) -> "CompileResult":

@@ -31,6 +31,9 @@ walked the object lists, with the same accumulation order.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -48,6 +51,61 @@ from .instructions import (
 #: ``Move.axis`` values in column encoding order (the columnar JSON codec
 #: stores axes as indices into this tuple).
 AXES = ("row", "col")
+
+#: Chunk-document column layout: ``(family key, column key, store attribute,
+#: encode, decode)``.  ``encode`` lowers a column slice to JSON primitives
+#: (``None`` when the scalars already are); ``decode`` is its exact inverse.
+#: Family and column keys match the ``columns`` table of the v2 columnar
+#: document (:mod:`repro.core.serialize`), so a chunk is a stage-range slice
+#: of that document with offsets rebased to 0.
+_COLUMN_SPEC: tuple = (
+    ("raman", "qubit", "raman_qubit", None, None),
+    ("raman", "name", "raman_name", None, None),
+    (
+        "raman",
+        "params",
+        "raman_params",
+        lambda vs: [list(p) for p in vs],
+        lambda vs: [tuple(p) for p in vs],
+    ),
+    ("moves", "aod", "move_aod", None, None),
+    (
+        "moves",
+        "axis",
+        "move_axis",
+        lambda vs: [AXES.index(a) for a in vs],
+        lambda vs: [AXES[a] for a in vs],
+    ),
+    ("moves", "index", "move_index", None, None),
+    ("moves", "start", "move_start", None, None),
+    ("moves", "end", "move_end", None, None),
+    ("gates", "a", "gate_a", None, None),
+    ("gates", "b", "gate_b", None, None),
+    ("gates", "site_r", "gate_site_r", None, None),
+    ("gates", "site_c", "gate_site_c", None, None),
+    ("gates", "n_vib", "gate_n_vib", None, None),
+    ("gates", "name", "gate_name", None, None),
+    (
+        "gates",
+        "params",
+        "gate_params",
+        lambda vs: [list(p) for p in vs],
+        lambda vs: [tuple(p) for p in vs],
+    ),
+    ("cooling", "aod", "cool_aod", None, None),
+    ("cooling", "num_atoms", "cool_atoms", None, None),
+    ("amd", "qubit", "amd_qubit", None, None),
+    ("amd", "dist", "amd_dist", None, None),
+)
+
+#: family key -> CSR offset-table attribute, in document order
+_OFFSET_SPEC: tuple = (
+    ("raman", "off_raman"),
+    ("moves", "off_move"),
+    ("gates", "off_gate"),
+    ("cooling", "off_cool"),
+    ("amd", "off_amd"),
+)
 
 
 class StageView:
@@ -401,6 +459,61 @@ class ProgramStore:
         """All executed 2Q pairs in order (for equivalence checks)."""
         return list(zip(self.gate_a, self.gate_b))
 
+    def iter_gate_n_vib(self) -> Iterator[float]:
+        """``n_vib`` per executed 2Q gate, in execution order.
+
+        Fidelity scoring consumes this instead of the raw column so a
+        :class:`SpillingProgramStore` can stream flushed segments from disk.
+        """
+        return iter(self.gate_n_vib)
+
+    # -- stage-range chunks ----------------------------------------------------
+
+    def chunk_doc(self, lo: int, hi: int) -> dict:
+        """JSON-ready slice of the in-memory closed stages ``[lo, hi)``.
+
+        The document mirrors the v2 columnar format's ``columns`` /
+        ``stage_offsets`` tables for just that stage range, with the
+        offsets rebased to start at 0 — so chunks are self-contained and
+        concatenate by :meth:`extend_from_chunk`.  Indices address this
+        store's offset tables directly (for a plain store that is the full
+        program; a spilling store's tables only cover the in-memory tail).
+        """
+        closed = len(self.off_gate) - 1
+        if not 0 <= lo <= hi <= closed:
+            raise ValueError(f"stage range [{lo}, {hi}) outside 0..{closed}")
+        bases: dict[str, tuple[int, int]] = {}
+        offsets: dict[str, list[int]] = {}
+        for fam, off_attr in _OFFSET_SPEC:
+            off = getattr(self, off_attr)
+            base = off[lo]
+            bases[fam] = (base, off[hi])
+            offsets[fam] = [o - base for o in off[lo : hi + 1]]
+        columns: dict[str, dict[str, list]] = {fam: {} for fam, _ in _OFFSET_SPEC}
+        for fam, key, attr, enc, _dec in _COLUMN_SPEC:
+            base, top = bases[fam]
+            sliced = getattr(self, attr)[base:top]
+            columns[fam][key] = enc(sliced) if enc is not None else sliced
+        return {"stages": hi - lo, "columns": columns, "stage_offsets": offsets}
+
+    def extend_from_chunk(self, chunk: dict) -> None:
+        """Append a :meth:`chunk_doc` stage range after this store's stages.
+
+        The columnar equivalent of replaying the chunk's stages through
+        :meth:`append_stage` — column concatenation plus an offset splice —
+        and the assembly primitive for streamed program transfers and
+        spilled segment files.
+        """
+        cols = chunk["columns"]
+        for fam, key, attr, _enc, dec in _COLUMN_SPEC:
+            values = cols[fam][key]
+            getattr(self, attr).extend(dec(values) if dec is not None else values)
+        offs = chunk["stage_offsets"]
+        for fam, off_attr in _OFFSET_SPEC:
+            mine = getattr(self, off_attr)
+            base = mine[-1]
+            mine.extend(base + o for o in offs[fam][1:])
+
     # -- conversions -----------------------------------------------------------
 
     def append_stage(self, stage: Stage | StageView) -> None:
@@ -496,6 +609,284 @@ class ProgramStore:
             overlap_rejections=self.overlap_rejections,
             compile_seconds=self.compile_seconds,
         )
+
+
+#: environment switch: set to a directory path to make the router emit into
+#: a :class:`SpillingProgramStore` whose segment file lives there
+SPILL_ENV = "REPRO_PROGRAM_SPILL"
+#: environment override for the per-segment stage count
+SPILL_STAGES_ENV = "REPRO_PROGRAM_SPILL_STAGES"
+DEFAULT_SEGMENT_STAGES = 512
+
+
+class SpillingProgramStore(ProgramStore):
+    """Bounded-memory :class:`ProgramStore`: closed stages spill to disk.
+
+    Every ``segment_stages`` closed stages, the in-memory columns are
+    written to a JSONL segment file (one :meth:`ProgramStore.chunk_doc`
+    per line), truncated in place, and the offset tables rebased in place
+    — *in place* because the router binds ``end_stage`` and the column
+    ``.append`` methods to the concrete list objects before emission
+    starts.  Emission RSS is therefore bounded by the segment size, not
+    the circuit size.
+
+    Aggregates stay bit-identical to a dense store: counting reductions
+    come from running counters accumulated at flush time in stage order,
+    and float reductions (:meth:`execution_time`,
+    :meth:`total_move_distance`, :meth:`iter_gate_n_vib`) replay the
+    flushed segments then the in-memory tail with the exact accumulation
+    order of the dense loops.  Random access (``stages``, ``to_program``)
+    transparently materializes a dense copy via :meth:`collect`.
+
+    Only closed stages are covered by segments; rows appended after the
+    last ``end_stage`` live in the in-memory tail (same as a dense store).
+    The segment file is not reference-counted — call :meth:`discard` when
+    the program is no longer needed.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int = 0,
+        *,
+        spill_dir: str | None = None,
+        segment_stages: int = DEFAULT_SEGMENT_STAGES,
+    ) -> None:
+        super().__init__(num_qubits=num_qubits)
+        self.spill_dir = spill_dir
+        self.segment_stages = max(1, int(segment_stages))
+        self.segment_path: str | None = None
+        self._flushed_stages = 0
+        self._f_1q = 0
+        self._f_2q = 0
+        self._f_moves = 0
+        self._f_cool_events = 0
+        self._f_cool_cz = 0
+        self._f_2q_depth = 0
+        self._f_moving_stages = 0
+        self._f_1q_stages = 0
+        self._collected: ProgramStore | None = None
+
+    # -- building --------------------------------------------------------------
+
+    def end_stage(self) -> None:
+        super().end_stage()
+        self._collected = None
+        if len(self.off_gate) - 1 >= self.segment_stages:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Spill every closed in-memory stage to the segment file."""
+        k = len(self.off_gate) - 1
+        if k <= 0:
+            return
+        doc = self.chunk_doc(0, k)
+        off_r, off_m = self.off_raman, self.off_move
+        off_g, off_c = self.off_gate, self.off_cool
+        self._f_1q += off_r[k]
+        self._f_2q += off_g[k]
+        self._f_moves += off_m[k]
+        self._f_cool_events += off_c[k]
+        self._f_cool_cz += sum(2 * n for n in self.cool_atoms[: off_c[k]])
+        self._f_2q_depth += sum(1 for i in range(k) if off_g[i + 1] > off_g[i])
+        self._f_moving_stages += sum(
+            1 for i in range(k) if off_m[i + 1] > off_m[i]
+        )
+        self._f_1q_stages += sum(1 for i in range(k) if off_r[i + 1] > off_r[i])
+        if self.segment_path is None:
+            fd, self.segment_path = tempfile.mkstemp(
+                prefix="program-", suffix=".segs", dir=self.spill_dir
+            )
+            os.close(fd)
+        with open(self.segment_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc))
+            fh.write("\n")
+        cuts = {fam: getattr(self, off_attr)[k] for fam, off_attr in _OFFSET_SPEC}
+        for fam, _key, attr, _enc, _dec in _COLUMN_SPEC:
+            del getattr(self, attr)[: cuts[fam]]
+        for fam, off_attr in _OFFSET_SPEC:
+            off = getattr(self, off_attr)
+            base = off[k]
+            off[:] = [o - base for o in off[k:]]
+        self._flushed_stages += k
+
+    def discard(self) -> None:
+        """Delete the segment file (the store must not be read afterwards)."""
+        if self.segment_path is not None:
+            try:
+                os.unlink(self.segment_path)
+            except OSError:
+                pass
+            self.segment_path = None
+
+    # -- segment iteration -----------------------------------------------------
+
+    def _iter_flushed_docs(self) -> Iterator[dict]:
+        if self.segment_path is None:
+            return
+        with open(self.segment_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip():
+                    yield json.loads(line)
+
+    def iter_segment_docs(self) -> Iterator[dict]:
+        """All closed stages as chunk docs: flushed segments, then the tail."""
+        yield from self._iter_flushed_docs()
+        k = len(self.off_gate) - 1
+        if k > 0:
+            yield self.chunk_doc(0, k)
+
+    def collect(self) -> ProgramStore:
+        """Materialize a dense :class:`ProgramStore` (segments + tail)."""
+        full = ProgramStore(
+            num_qubits=self.num_qubits,
+            qubit_locations=dict(self.qubit_locations),
+            n_vib_final=dict(self.n_vib_final),
+            atom_loss_log=list(self.atom_loss_log),
+            num_transfers=self.num_transfers,
+            overlap_rejections=self.overlap_rejections,
+            compile_seconds=self.compile_seconds,
+            emit_seconds=self.emit_seconds,
+            probe_seconds=self.probe_seconds,
+        )
+        for doc in self.iter_segment_docs():
+            full.extend_from_chunk(doc)
+        # rows appended since the last end_stage ride along outside the
+        # offset tables, exactly as in the dense representation
+        cuts = {fam: getattr(self, off_attr)[-1] for fam, off_attr in _OFFSET_SPEC}
+        for fam, _key, attr, _enc, _dec in _COLUMN_SPEC:
+            getattr(full, attr).extend(getattr(self, attr)[cuts[fam] :])
+        return full
+
+    # -- stages ----------------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        return self._flushed_stages + len(self.off_gate) - 1
+
+    @property
+    def stages(self) -> StageList:
+        if self._flushed_stages == 0:
+            return StageList(self)
+        if self._collected is None:
+            self._collected = self.collect()
+        return self._collected.stages
+
+    # -- headline metrics (flushed counters + in-memory tail) ------------------
+
+    @property
+    def num_2q_gates(self) -> int:
+        return self._f_2q + len(self.gate_a)
+
+    @property
+    def num_cooling_cz(self) -> int:
+        return self._f_cool_cz + sum(2 * n for n in self.cool_atoms)
+
+    @property
+    def num_1q_gates(self) -> int:
+        return self._f_1q + len(self.raman_qubit)
+
+    @property
+    def two_qubit_depth(self) -> int:
+        off = self.off_gate
+        tail = sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+        return self._f_2q_depth + tail
+
+    @property
+    def num_moves(self) -> int:
+        return self._f_moves + len(self.move_aod)
+
+    @property
+    def num_moving_stages(self) -> int:
+        off = self.off_move
+        tail = sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+        return self._f_moving_stages + tail
+
+    @property
+    def num_1q_stages(self) -> int:
+        off = self.off_raman
+        tail = sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+        return self._f_1q_stages + tail
+
+    @property
+    def num_cooling_events(self) -> int:
+        return self._f_cool_events + len(self.cool_aod)
+
+    def total_move_distance(self, params: HardwareParams) -> float:
+        # same left-to-right accumulation as the dense sum(): flushed rows
+        # in segment order, then the in-memory tail
+        pitch = params.atom_distance
+        total = 0
+        for doc in self._iter_flushed_docs():
+            mv = doc["columns"]["moves"]
+            for s, e in zip(mv["start"], mv["end"]):
+                total += abs(e - s) * pitch
+        for s, e in zip(self.move_start, self.move_end):
+            total += abs(e - s) * pitch
+        return float(total)
+
+    def execution_time(self, params: HardwareParams) -> float:
+        t_1q = params.t_1q
+        t_move = params.t_per_move
+        t_2q = params.t_2q
+        t_cool = params.t_per_move + 2 * params.t_2q
+        total = 0.0
+
+        def accumulate(off_r, off_m, off_g, off_c, acc: float) -> float:
+            for i in range(len(off_g) - 1):
+                t = 0.0
+                if off_r[i + 1] > off_r[i]:
+                    t += t_1q
+                if off_m[i + 1] > off_m[i]:
+                    t += t_move
+                if off_g[i + 1] > off_g[i]:
+                    t += t_2q
+                if off_c[i + 1] > off_c[i]:
+                    t += t_cool
+                acc += t
+            return acc
+
+        for doc in self._iter_flushed_docs():
+            offs = doc["stage_offsets"]
+            total = accumulate(
+                offs["raman"], offs["moves"], offs["gates"], offs["cooling"], total
+            )
+        return accumulate(
+            self.off_raman, self.off_move, self.off_gate, self.off_cool, total
+        )
+
+    def gate_pairs(self) -> list[tuple[int, int]]:
+        pairs: list[tuple[int, int]] = []
+        for doc in self._iter_flushed_docs():
+            g = doc["columns"]["gates"]
+            pairs.extend(zip(g["a"], g["b"]))
+        pairs.extend(zip(self.gate_a, self.gate_b))
+        return pairs
+
+    def iter_gate_n_vib(self) -> Iterator[float]:
+        for doc in self._iter_flushed_docs():
+            yield from doc["columns"]["gates"]["n_vib"]
+        yield from self.gate_n_vib
+
+    def to_program(self) -> RAAProgram:
+        return self.collect().to_program()
+
+
+def emission_store(num_qubits: int) -> ProgramStore:
+    """The store the router emits into.
+
+    A plain :class:`ProgramStore` by default; a
+    :class:`SpillingProgramStore` when ``REPRO_PROGRAM_SPILL`` names a
+    directory (``REPRO_PROGRAM_SPILL_STAGES`` overrides the segment size).
+    """
+    spill_dir = os.environ.get(SPILL_ENV)
+    if not spill_dir:
+        return ProgramStore(num_qubits=num_qubits)
+    segment_stages = int(os.environ.get(SPILL_STAGES_ENV, DEFAULT_SEGMENT_STAGES))
+    return SpillingProgramStore(
+        num_qubits=num_qubits,
+        spill_dir=spill_dir,
+        segment_stages=segment_stages,
+    )
 
 
 #: Any compiled-program representation a consumer may receive.

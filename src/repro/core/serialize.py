@@ -23,7 +23,7 @@ on ``format_version``.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Iterator
 
 from ..hardware.raa import AtomLocation
 from .instructions import (
@@ -34,10 +34,21 @@ from .instructions import (
     RydbergGate,
     Stage,
 )
-from .program import AXES, Program, ProgramStore
+from .program import AXES, Program, ProgramStore, SpillingProgramStore
 
 FORMAT_VERSION = 1
 COLUMNAR_FORMAT_VERSION = 2
+
+#: ``columns`` table layout of the v2 document: family key -> column keys.
+#: Shared by the whole-document codec below and the stage-range chunk
+#: slicing used for streamed program transfers.
+DOC_FAMILIES: dict[str, tuple[str, ...]] = {
+    "raman": ("qubit", "name", "params"),
+    "moves": ("aod", "axis", "index", "start", "end"),
+    "gates": ("a", "b", "site_r", "site_c", "n_vib", "name", "params"),
+    "cooling": ("aod", "num_atoms"),
+    "amd": ("qubit", "dist"),
+}
 
 
 def _common_header(program: Program) -> dict[str, Any]:
@@ -68,11 +79,14 @@ def program_to_dict(
     if columnar is None:
         columnar = isinstance(program, ProgramStore)
     if columnar:
-        store = (
-            program
-            if isinstance(program, ProgramStore)
-            else ProgramStore.from_program(program)
-        )
+        if isinstance(program, SpillingProgramStore):
+            # densify: whole-document serialization needs every column,
+            # and the spilled columns only hold the in-memory tail
+            store = program.collect()
+        elif isinstance(program, ProgramStore):
+            store = program
+        else:
+            store = ProgramStore.from_program(program)
         # every column is snapshotted (like the v1 path) so the document
         # neither tracks later store mutations nor exposes the store to
         # callers editing the payload
@@ -253,6 +267,79 @@ def program_from_dict(doc: dict[str, Any]) -> Program:
     if version == COLUMNAR_FORMAT_VERSION:
         return _decode_v2(doc)
     raise ValueError(f"unsupported program format version {version!r}")
+
+
+def program_doc_header(doc: dict[str, Any]) -> dict[str, Any]:
+    """The v2 document minus its column payload (streamed first, alone).
+
+    Carries everything :func:`store_from_program_header` needs to seed an
+    empty :class:`ProgramStore` that the stage-range chunks then extend.
+    """
+    if doc.get("format_version") != COLUMNAR_FORMAT_VERSION:
+        raise ValueError(
+            "streaming requires a v2 columnar document, got format_version "
+            f"{doc.get('format_version')!r}"
+        )
+    return {
+        k: v for k, v in doc.items() if k not in ("columns", "stage_offsets")
+    }
+
+
+def program_doc_stages(doc: dict[str, Any]) -> int:
+    """Number of closed stages in a v2 columnar document."""
+    return len(doc["stage_offsets"]["gates"]) - 1
+
+
+def iter_program_doc_chunks(
+    doc: dict[str, Any], stages_per_chunk: int
+) -> "Iterator[dict[str, Any]]":
+    """Slice a v2 columnar document into self-contained stage-range chunks.
+
+    Operates on the raw document (no :class:`ProgramStore` is built), so a
+    server can stream a spooled program without decoding it.  Each chunk
+    has the :meth:`ProgramStore.chunk_doc` shape: ``stages``, ``columns``,
+    and ``stage_offsets`` rebased to 0.
+    """
+    if doc.get("format_version") != COLUMNAR_FORMAT_VERSION:
+        raise ValueError(
+            "streaming requires a v2 columnar document, got format_version "
+            f"{doc.get('format_version')!r}"
+        )
+    step = max(1, int(stages_per_chunk))
+    total = program_doc_stages(doc)
+    all_offs = doc["stage_offsets"]
+    all_cols = doc["columns"]
+    for lo in range(0, total, step):
+        hi = min(lo + step, total)
+        offsets: dict[str, list[int]] = {}
+        columns: dict[str, dict[str, list]] = {}
+        for fam, keys in DOC_FAMILIES.items():
+            off = all_offs[fam]
+            base, top = off[lo], off[hi]
+            offsets[fam] = [o - base for o in off[lo : hi + 1]]
+            columns[fam] = {k: all_cols[fam][k][base:top] for k in keys}
+        yield {"stages": hi - lo, "columns": columns, "stage_offsets": offsets}
+
+
+def store_from_program_header(header: dict[str, Any]) -> ProgramStore:
+    """An empty :class:`ProgramStore` seeded from :func:`program_doc_header`.
+
+    Feed the streamed chunks to :meth:`ProgramStore.extend_from_chunk`; the
+    assembled store is bit-identical to decoding the whole v2 document.
+    """
+    return ProgramStore(
+        num_qubits=header["num_qubits"],
+        qubit_locations={
+            int(q): AtomLocation(*loc)
+            for q, loc in header["qubit_locations"].items()
+        },
+        n_vib_final={int(q): v for q, v in header["n_vib_final"].items()},
+        atom_loss_log=list(header["atom_loss_log"]),
+        num_transfers=header["num_transfers"],
+        overlap_rejections=header["overlap_rejections"],
+        compile_seconds=header["compile_seconds"],
+        emit_seconds=header.get("emit_seconds", 0.0),
+    )
 
 
 def dumps(

@@ -100,7 +100,9 @@ def estimate_raa_fidelity(
     if isinstance(program, ProgramStore):
         num_1q_layers = program.num_1q_stages
         num_moving = program.num_moving_stages
-        gate_n_vibs = program.gate_n_vib
+        # iterator, not the raw column: a SpillingProgramStore streams
+        # flushed segments from disk in the same gate order
+        gate_n_vibs = program.iter_gate_n_vib()
     else:
         num_1q_layers = sum(1 for s in program.stages if s.one_qubit_gates)
         num_moving = sum(1 for s in program.stages if s.moves)

@@ -30,19 +30,25 @@ from pathlib import Path
 from typing import Any
 
 from ..analysis.metrics import CompiledMetrics
+from ..core.serialize import store_from_program_header
 from ..experiments.batch import CompileJob
 from .wire import (
+    FRAME_HEADER_LEN,
+    FRAME_MAGIC,
     WIRE_COMPRESS_THRESHOLD,
     WIRE_GZIP_ENCODING,
     JobControl,
     WireError,
     compress_line,
+    decode_frame_payload,
     decode_line,
     decode_metrics,
     decode_program,
+    encode_frame,
     encode_job,
     encode_job_control,
     encode_line,
+    parse_frame_header,
 )
 
 #: Ops that are safe to repeat verbatim even when the first copy may have
@@ -101,6 +107,10 @@ class ServiceClient:
         #: whether the daemon unwraps gzip+b64 requests (None = unknown;
         #: probed via ping before the first large request)
         self._server_gzip: bool | None = None
+        #: whether the daemon speaks length-prefixed binary frames (None =
+        #: unknown; set by any ping's capability advert — requests upgrade
+        #: to frames only once a ping has confirmed the daemon is new)
+        self._server_frame: bool | None = None
 
     # -- transport -----------------------------------------------------------
 
@@ -160,6 +170,51 @@ class ServiceClient:
                 )
                 time.sleep(delay * (0.5 + self._jitter.random()))
 
+    def _read_message(self, stream) -> dict[str, Any] | None:
+        """One response message off *stream*: binary frame or JSON line.
+
+        Dispatches on the first byte (the frame magic can never begin a
+        JSON line), so the client accepts either framing regardless of
+        what it sent.  Returns ``None`` on a cleanly closed stream; raises
+        :class:`~repro.service.wire.WireError` on truncated or corrupt
+        frames — a bad length prefix fails here instead of hanging."""
+        first = stream.read(1)
+        if not first:
+            return None
+        if first == FRAME_MAGIC[:1]:
+            rest = stream.read(FRAME_HEADER_LEN - 1)
+            if len(rest) != FRAME_HEADER_LEN - 1:
+                raise WireError("frame truncated: incomplete header")
+            flags, length = parse_frame_header(first + rest)
+            body = stream.read(length)
+            if len(body) != length:
+                raise WireError(
+                    f"frame truncated: header says {length} bytes, "
+                    f"got {len(body)}"
+                )
+            return decode_frame_payload(flags, body)
+        line = first + stream.readline()
+        payload, _compressed = decode_line(line)
+        return payload
+
+    def _encode_request(self, payload: dict[str, Any]) -> bytes:
+        """Wire bytes for *payload* in the best negotiated format.
+
+        Binary frames once a ping confirmed the daemon speaks them;
+        otherwise a JSON line, gzip-wrapped past the threshold when the
+        daemon advertised the encoding (probing via ping first if needed).
+        An un-pinged daemon gets plain JSON — byte-identical to the
+        pre-frame client, so old daemons never see an unknown format."""
+        line_out = encode_line(payload)
+        if len(line_out) - 1 > WIRE_COMPRESS_THRESHOLD:
+            if self._server_gzip is None and payload.get("op") != "ping":
+                self.ping()  # sets capability flags from the advert
+        if self._server_frame:
+            return encode_frame(payload)
+        if len(line_out) - 1 > WIRE_COMPRESS_THRESHOLD and self._server_gzip:
+            return compress_line(line_out)
+        return line_out
+
     def _request_once(
         self, payload: dict[str, Any], timeout: float | None = None
     ) -> dict[str, Any]:
@@ -170,23 +225,22 @@ class ServiceClient:
         large responses back.  Requests over 64 KiB are themselves
         gzip-compressed, but only after a one-time ping confirms the
         daemon advertises the encoding — an old daemon cannot unwrap the
-        envelope, so large submissions to it stay plain JSON."""
+        envelope, so large submissions to it stay plain JSON.  Once any
+        ping shows the daemon speaks binary frames, requests (and so
+        responses) switch to frames wholesale."""
         if "enc" not in payload:
             payload = {**payload, "enc": WIRE_GZIP_ENCODING}
-        line_out = encode_line(payload)
-        if len(line_out) - 1 > WIRE_COMPRESS_THRESHOLD:
-            if self._server_gzip is None and payload.get("op") != "ping":
-                self.ping()  # sets _server_gzip from the capability advert
-            if self._server_gzip:
-                line_out = compress_line(line_out)
+        data_out = self._encode_request(payload)
         sock = self._connect(timeout if timeout is not None else self.timeout)
         sent = False
         try:
             with sock.makefile("rwb") as stream:
-                stream.write(line_out)
+                stream.write(data_out)
                 stream.flush()
                 sent = True
-                line = stream.readline()
+                response = self._read_message(stream)
+        except WireError as exc:
+            raise RemoteError(f"undecodable service response: {exc}") from exc
         except OSError as exc:  # read timeout / reset mid-request
             failure = ServiceUnavailable(
                 f"no response from compile service: {exc}"
@@ -195,18 +249,15 @@ class ServiceClient:
             raise failure from exc
         finally:
             sock.close()
-        if not line:
+        if response is None:
             # The daemon closed without answering — it may or may not have
             # processed the request (this is exactly a dropped socket).
             failure = ServiceUnavailable("connection closed before a response")
             failure.request_sent = True
             raise failure
-        try:
-            response, _compressed = decode_line(line)
-        except WireError as exc:
-            raise RemoteError(f"undecodable service response: {exc}") from exc
         if response.get("op") == "ping" and response.get("ok"):
             self._server_gzip = response.get("enc") == WIRE_GZIP_ENCODING
+            self._server_frame = bool(response.get("frame"))
         if not response.get("ok"):
             raise RemoteError(response.get("error", "unknown service error"))
         return response
@@ -305,6 +356,96 @@ class ServiceClient:
     def results(self, job_ids: list[str]) -> list[CompiledMetrics]:
         """Results in the given (submission) order, waiting for each."""
         return [self.result(job_id, wait=True) for job_id in job_ids]
+
+    def result_stream(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        on_event: Any = None,
+        chunk_stages: int | None = None,
+    ):
+        """Streaming :meth:`result`: per-pass progress plus the compiled
+        program in stage-range chunks, over one connection.
+
+        Returns ``(metrics, store)`` where *store* is an assembled
+        :class:`~repro.core.program.ProgramStore` when the job was
+        submitted with ``keep_program=True`` (else ``None``).  *on_event*
+        — if given — is called with each raw ``progress`` message as it
+        arrives (keys ``pass``, ``index``, ``total``, ``seconds``,
+        ``attempt``); *chunk_stages* overrides the server's chunk size.
+
+        Against a pre-streaming daemon the ``"stream"`` flag is ignored
+        and a single classic response comes back; it is recognised by its
+        missing ``"event"`` key and treated as the terminal message, so
+        callers degrade to plain :meth:`result` behaviour (no program)."""
+        server_timeout = timeout if timeout is not None else self.timeout
+        if self._server_frame is None:
+            try:
+                self.ping()
+            except (ServiceUnavailable, RemoteError):
+                pass  # the request below surfaces a real outage itself
+        payload: dict[str, Any] = {
+            "op": "result",
+            "id": job_id,
+            "wait": True,
+            "stream": True,
+            "timeout": server_timeout,
+            "enc": WIRE_GZIP_ENCODING,
+        }
+        if chunk_stages is not None:
+            payload["chunk_stages"] = int(chunk_stages)
+        data_out = self._encode_request(payload)
+        # Server enforces the deadline; give the socket slack (see result).
+        sock = self._connect(server_timeout + 30.0)
+        metrics_payload: dict[str, Any] | None = None
+        store = None
+        try:
+            with sock.makefile("rwb") as stream:
+                stream.write(data_out)
+                stream.flush()
+                while True:
+                    message = self._read_message(stream)
+                    if message is None:
+                        failure = ServiceUnavailable(
+                            "connection closed mid-stream"
+                        )
+                        failure.request_sent = True
+                        raise failure
+                    if not message.get("ok"):
+                        raise RemoteError(
+                            message.get("error", "unknown service error")
+                        )
+                    event = message.get("event")
+                    if event is None:
+                        # Old daemon: classic single result response.
+                        metrics_payload = message["metrics"]
+                        break
+                    if event == "progress":
+                        if on_event is not None:
+                            on_event(dict(message))
+                    elif event == "program_header":
+                        store = store_from_program_header(message["header"])
+                    elif event == "program_chunk":
+                        if store is None:
+                            raise RemoteError(
+                                "program_chunk before program_header"
+                            )
+                        store.extend_from_chunk(message["chunk"])
+                    elif event == "done":
+                        metrics_payload = message["metrics"]
+                        break
+                    # Unknown events from a newer daemon are skipped.
+        except WireError as exc:
+            raise RemoteError(f"undecodable service response: {exc}") from exc
+        except OSError as exc:
+            failure = ServiceUnavailable(
+                f"no response from compile service: {exc}"
+            )
+            failure.request_sent = True
+            raise failure from exc
+        finally:
+            sock.close()
+        return decode_metrics(metrics_payload), store
 
     def program(self, job_id: str):
         """The compiled program of a DONE job submitted with

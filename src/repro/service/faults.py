@@ -27,6 +27,10 @@ site                    effect when a rule fires
                         (drives the per-job timeout path)
 ``socket.drop``         the server closes the connection after processing
                         a request, before the response line is written
+``frame.corrupt``       the last byte of an outbound binary frame is
+                        flipped before the write — the client must raise
+                        :class:`~repro.service.wire.WireError`, not hang
+                        or accept garbage
 ``spool.write``         a job-record spool write raises :class:`InjectedFault`
 ``spool.result``        a result spool write raises :class:`InjectedFault`
 ``daemon.exit``         the daemon hard-exits right after a job completes

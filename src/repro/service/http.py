@@ -199,10 +199,28 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         return self.headers.get("X-Repro-Token")
 
     def _body(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        header = self.headers.get("Content-Length")
+        try:
+            length = int(header) if header else 0
+        except (TypeError, ValueError):
+            # A malformed header is the client's fault: 400, not a 500
+            # from the int() blowing up mid-dispatch.
+            raise GatewayError(400, f"bad Content-Length: {header!r}")
+        if length < 0:
+            raise GatewayError(400, f"bad Content-Length: {header!r}")
         if length > MAX_BODY_BYTES:
             raise GatewayError(413, f"request body over {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length) if length else b""
+        # rfile.read(n) may return short on a socket stream; loop until the
+        # declared length arrives or the client hangs up early.
+        chunks: list[bytes] = []
+        got = 0
+        while got < length:
+            chunk = self.rfile.read(length - got)
+            if not chunk:
+                raise GatewayError(400, "request body truncated")
+            chunks.append(chunk)
+            got += len(chunk)
+        raw = b"".join(chunks)
         if not raw:
             return {}
         try:

@@ -24,6 +24,10 @@ Layout of a spool directory::
       results/<job_id>.json   wire-encoded CompiledMetrics of DONE jobs
       programs/<job_id>.json  wire-encoded compiled programs of DONE jobs
                               submitted with ``keep_program``
+      progress/<job_id>.jsonl per-pass progress events appended by the
+                              worker mid-compile (one JSON object per
+                              line), surfaced by ``status`` and the
+                              streaming ``result`` op
       quarantine/<name>       spool files that failed to decode at boot,
                               moved aside (never deleted, never fatal)
 
@@ -175,6 +179,7 @@ class JobQueue:
         self._records: dict[str, JobRecord] = {}
         self._memory_results: dict[str, dict[str, Any]] = {}
         self._memory_programs: dict[str, dict[str, Any]] = {}
+        self._memory_progress: dict[str, list[dict[str, Any]]] = {}
         self._by_key: dict[str, str] = {}
         self._seq = 0
         self.clock = clock
@@ -481,6 +486,48 @@ class JobQueue:
             return json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             return None
+
+    # -- per-pass progress ----------------------------------------------------
+
+    def progress_path(self, job_id: str) -> Path | None:
+        """Where a worker appends per-pass progress events (JSONL), or
+        ``None`` for a memory-only queue (inline mode records directly)."""
+        if self.spool_dir is None:
+            return None
+        progress = self.spool_dir / "progress"
+        progress.mkdir(parents=True, exist_ok=True)
+        return progress / f"{job_id}.jsonl"
+
+    def record_progress(self, job_id: str, event: dict[str, Any]) -> None:
+        """Append one progress event (memory-queue / inline-mode path)."""
+        self._memory_progress.setdefault(job_id, []).append(event)
+
+    def load_progress(self, job_id: str) -> list[dict[str, Any]]:
+        """All per-pass progress events recorded for *job_id*, in order.
+
+        Reads the spooled JSONL file when there is a spool (so farm peers
+        see each other's progress), skipping torn trailing lines; events
+        carry the attempt number, so retries append rather than reset.
+        """
+        if self.spool_dir is None:
+            return list(self._memory_progress.get(job_id, []))
+        path = self.spool_dir / "progress" / f"{job_id}.jsonl"
+        events: list[dict[str, Any]] = []
+        try:
+            text = path.read_text()
+        except OSError:
+            return events
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+        return events
 
     # -- persistence ---------------------------------------------------------
 

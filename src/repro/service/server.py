@@ -81,6 +81,12 @@ from ..core.pipeline import (
     PipelineCache,
     _architecture_fingerprint,
     _circuit_fingerprint,
+    set_pass_progress_sink,
+)
+from ..core.serialize import (
+    iter_program_doc_chunks,
+    program_doc_header,
+    program_doc_stages,
 )
 from ..experiments import batch
 from ..experiments.batch import CompileJob, ResultCache
@@ -89,15 +95,21 @@ from . import faults
 from .queue import JobQueue, JobRecord, JobState, QueueError
 from .shards import DEFAULT_SHARD_LEASE_SECONDS, JobClaims, ShardBoard
 from .wire import (
+    FRAME_HEADER_LEN,
+    FRAME_MAGIC,
+    FRAME_VERSION,
     WIRE_GZIP_ENCODING,
     WireError,
+    decode_frame_payload,
     decode_job,
     decode_job_control,
     decode_line,
     decode_metrics,
+    encode_frame,
     encode_line,
     encode_metrics,
     encode_program,
+    parse_frame_header,
 )
 
 log = logging.getLogger("repro.service")
@@ -105,6 +117,10 @@ log = logging.getLogger("repro.service")
 #: Default lease duration; heartbeats land every third of this, so a
 #: healthy attempt can miss two heartbeats before the reaper acts.
 DEFAULT_LEASE_SECONDS = 30.0
+
+#: Stages per program chunk on the streaming ``result`` path (callers can
+#: override per-request with ``chunk_stages``).
+DEFAULT_STREAM_CHUNK_STAGES = 2048
 
 
 class ServiceError(RuntimeError):
@@ -151,8 +167,33 @@ def _capture_envelope(job: CompileJob) -> dict[str, Any]:
     }
 
 
+def _progress_file_sink(progress_path: str, attempt: int):
+    """A pass-progress sink appending JSONL events to the job's spool file.
+
+    One small append per pass — the write is the worker's only mid-compile
+    channel back to the daemon(s), and every ``status``/streaming
+    ``result`` reader tails the same file (farm peers included).
+    """
+
+    def sink(name: str, index: int, total: int, seconds: float) -> None:
+        event = {
+            "pass": name,
+            "index": index,
+            "total": total,
+            "seconds": seconds,
+            "attempt": attempt,
+        }
+        with open(progress_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(event) + "\n")
+
+    return sink
+
+
 def _execute_wire_job(
-    payload: dict[str, Any], attempt: int = 0, keep_program: bool = False
+    payload: dict[str, Any],
+    attempt: int = 0,
+    keep_program: bool = False,
+    progress_path: str | None = None,
 ) -> dict[str, Any]:
     """Decode, compile, and re-encode one job (runs inside a shard worker).
 
@@ -162,6 +203,9 @@ def _execute_wire_job(
     ``batch._run_job``.  The fault-injection context includes the attempt
     number so chaos plans can target "only the first attempt of job X".
 
+    ``progress_path`` arms the per-pass progress sink: the pipeline
+    appends one JSONL event there as each pass completes.
+
     Returns an envelope ``{"metrics": ..., "program": ...}``; the program
     slot is filled only for ``keep_program`` jobs.
     """
@@ -169,9 +213,18 @@ def _execute_wire_job(
     context = f"{job.backend}:{job.circuit.name}#a{attempt}"
     faults.maybe_exit("worker.crash", context)
     faults.maybe_sleep("job.slow", context)
-    if keep_program:
-        return _capture_envelope(batch.with_worker_prefix_cache(job))
-    return {"metrics": encode_metrics(batch._run_job(job)), "program": None}
+    previous = (
+        set_pass_progress_sink(_progress_file_sink(progress_path, attempt))
+        if progress_path is not None
+        else None
+    )
+    try:
+        if keep_program:
+            return _capture_envelope(batch.with_worker_prefix_cache(job))
+        return {"metrics": encode_metrics(batch._run_job(job)), "program": None}
+    finally:
+        if progress_path is not None:
+            set_pass_progress_sink(previous)
 
 
 class CompileService:
@@ -499,7 +552,15 @@ class CompileService:
             raise ServiceError(str(exc)) from exc
 
     def status(self, job_id: str) -> dict[str, Any]:
-        return self._lookup(job_id).summary()
+        summary = self._lookup(job_id).summary()
+        # per-pass progress rides along so pollers (socket status op, REST
+        # gateway) see how far a RUNNING compile has come
+        summary["progress"] = self.progress(job_id)
+        return summary
+
+    def progress(self, job_id: str) -> list[dict[str, Any]]:
+        """Per-pass progress events of *job_id*, in completion order."""
+        return self.queue.load_progress(job_id)
 
     async def result(
         self, job_id: str, wait: bool = False, timeout: float | None = None
@@ -991,13 +1052,34 @@ class CompileService:
         :class:`_RetryableJobError` for the retry path.  Returns the
         ``{"metrics", "program"}`` envelope of :func:`_execute_wire_job`."""
         slot = self._slot(shard)
+        progress_path = self.queue.progress_path(record.job_id)
         if self.inline:
             job = decode_job(record.payload)
             context = f"{job.backend}:{job.circuit.name}#a{record.attempts}"
             faults.maybe_sleep("job.slow", context)
-            if record.keep_program:
-                return self._execute_inline(record.payload, slot, True)
-            return self._execute_inline(record.payload, slot)
+            if progress_path is not None:
+                sink = _progress_file_sink(str(progress_path), record.attempts)
+            else:
+                # memory-only queue: record events directly
+                def sink(name, index, total, seconds):
+                    self.queue.record_progress(
+                        record.job_id,
+                        {
+                            "pass": name,
+                            "index": index,
+                            "total": total,
+                            "seconds": seconds,
+                            "attempt": record.attempts,
+                        },
+                    )
+
+            previous = set_pass_progress_sink(sink)
+            try:
+                if record.keep_program:
+                    return self._execute_inline(record.payload, slot, True)
+                return self._execute_inline(record.payload, slot)
+            finally:
+                set_pass_progress_sink(previous)
         loop = asyncio.get_running_loop()
         future = loop.run_in_executor(
             self._pools[slot],
@@ -1005,6 +1087,7 @@ class CompileService:
             record.payload,
             record.attempts,
             record.keep_program,
+            str(progress_path) if progress_path is not None else None,
         )
         self._inflight[record.job_id] = future
         try:
@@ -1176,14 +1259,19 @@ class CompileService:
 
 
 class ServiceServer:
-    """JSON-lines socket server exposing a :class:`CompileService`.
+    """Dual-format socket server exposing a :class:`CompileService`.
 
-    One request object per line; every response is a single line with an
-    ``ok`` flag.  Supported ops: ``ping``, ``backends``, ``submit``
-    (optional ``timeout``/``max_retries``/``key``/``priority``/
-    ``deadline``/``keep_program``), ``status``, ``result`` (optional
-    ``wait``/``timeout``), ``program``, ``cancel``, ``jobs``, ``stats``,
-    ``drain``.
+    Each message is either a JSON line or a length-prefixed binary frame
+    (first-byte dispatch — see :mod:`repro.service.wire`); the server
+    answers every request in the framing it arrived in, so JSON-only and
+    frame-capable clients coexist on one daemon.  Supported ops: ``ping``,
+    ``backends``, ``submit`` (optional ``timeout``/``max_retries``/
+    ``key``/``priority``/``deadline``/``keep_program``), ``status``,
+    ``result`` (optional ``wait``/``timeout``; with ``stream`` the
+    response is a message sequence — per-pass ``progress`` events, then
+    ``program_header``/``program_chunk`` messages for ``keep_program``
+    jobs, then a terminal ``done`` with the metrics), ``program``,
+    ``cancel``, ``jobs``, ``stats``, ``drain``.
 
     Requests may arrive gzip-wrapped (``{"enc": "gzip+b64", "data": ...}``)
     — large submissions cross the socket compressed.  Responses are
@@ -1257,15 +1345,54 @@ class ServiceServer:
     ) -> None:
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                # First-byte dispatch between the two wire formats: the
+                # frame magic can never begin a JSON line, so each message
+                # independently declares its framing and the response goes
+                # back the same way.
+                first = await reader.read(1)
+                if not first:
                     break
-                try:
-                    request, wrapped = decode_line(line)
-                except WireError as exc:
-                    request, wrapped = None, False
-                    response = {"ok": False, "error": str(exc)}
+                framed = first == FRAME_MAGIC[:1]
+                request: dict[str, Any] | None = None
+                wrapped = False
+                error: str | None = None
+                if framed:
+                    try:
+                        rest = await reader.readexactly(FRAME_HEADER_LEN - 1)
+                        flags, length = parse_frame_header(first + rest)
+                        body = await reader.readexactly(length)
+                    except asyncio.IncompleteReadError:
+                        break  # peer vanished mid-frame: nothing to answer
+                    try:
+                        request = decode_frame_payload(flags, body)
+                    except WireError as exc:
+                        error = str(exc)
+                elif first == b"\n":
+                    error = "bad request: empty line"
                 else:
+                    line = first + await reader.readline()
+                    try:
+                        request, wrapped = decode_line(line)
+                    except WireError as exc:
+                        error = str(exc)
+                accepts_gzip = wrapped or (
+                    request is not None
+                    and request.get("enc") == WIRE_GZIP_ENCODING
+                )
+                if (
+                    error is None
+                    and request is not None
+                    and request.get("op") == "result"
+                    and request.get("stream")
+                ):
+                    await self._stream_result(
+                        request, writer, framed, accepts_gzip
+                    )
+                    continue
+                if error is not None:
+                    response = {"ok": False, "error": error}
+                else:
+                    assert request is not None
                     response = await self._respond(request)
                 # Chaos hook: drop the connection after the request was
                 # processed but before the response line leaves — the
@@ -1275,11 +1402,7 @@ class ServiceServer:
                     "socket.drop", str((request or {}).get("op", ""))
                 ):
                     break
-                accepts_gzip = wrapped or (
-                    request is not None
-                    and request.get("enc") == WIRE_GZIP_ENCODING
-                )
-                writer.write(encode_line(response, compress=accepts_gzip))
+                self._write_message(writer, response, framed, accepts_gzip)
                 await writer.drain()
                 if response.get("op") == "drain" and response.get("ok"):
                     self._drained.set()
@@ -1293,6 +1416,122 @@ class ServiceServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def _write_message(
+        self,
+        writer: asyncio.StreamWriter,
+        message: dict[str, Any],
+        framed: bool,
+        accepts_gzip: bool,
+    ) -> None:
+        """Queue one response message in the framing the request used."""
+        if framed:
+            data = encode_frame(message)
+            # Chaos hook: flip the last payload byte of an outbound frame
+            # so clients must fail fast with WireError, never hang.
+            if faults.fires("frame.corrupt", str(message.get("op", ""))):
+                data = data[:-1] + bytes((data[-1] ^ 0xFF,))
+            writer.write(data)
+        else:
+            writer.write(encode_line(message, compress=accepts_gzip))
+
+    async def _stream_result(
+        self,
+        request: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        framed: bool,
+        accepts_gzip: bool,
+    ) -> None:
+        """The streaming ``result`` path: progress events while the job
+        runs, then the program as stage-range chunks (``keep_program``
+        jobs), then a terminal ``done`` message carrying the metrics.
+
+        Every message is a standalone wire message in the request's
+        framing, with an ``event`` discriminator — so an upgraded client
+        reads until ``done`` (or ``ok: false``), while old daemons that
+        ignore ``stream`` simply answer with the single classic response
+        (no ``event`` key), which streaming clients accept as terminal.
+        """
+        service = self.service
+        op = "result"
+
+        async def send(message: dict[str, Any]) -> None:
+            self._write_message(writer, message, framed, accepts_gzip)
+            await writer.drain()
+
+        try:
+            job_id = request["id"]
+            wait = bool(request.get("wait", True))
+            timeout = request.get("timeout")
+            loop = asyncio.get_running_loop()
+            deadline = (
+                loop.time() + float(timeout) if timeout is not None else None
+            )
+            sent = 0
+            while True:
+                record = service._lookup(job_id)
+                events = service.progress(job_id)
+                for event in events[sent:]:
+                    await send(
+                        {"ok": True, "op": op, "event": "progress", **event}
+                    )
+                sent = len(events)
+                if record.state.terminal:
+                    break
+                if not wait:
+                    raise ServiceError(
+                        f"job {job_id} is not finished "
+                        f"(state={record.state.value})"
+                    )
+                if deadline is not None and loop.time() >= deadline:
+                    raise ServiceError(
+                        f"timed out waiting for {job_id} "
+                        f"(state={record.state.value})"
+                    )
+                # Tail progress while waiting: wake on job completion or
+                # every poll slice, whichever comes first.
+                event = service._events.setdefault(job_id, asyncio.Event())
+                poll = 0.05
+                if deadline is not None:
+                    poll = min(poll, max(deadline - loop.time(), 0.01))
+                try:
+                    await asyncio.wait_for(event.wait(), poll)
+                except asyncio.TimeoutError:
+                    pass
+            metrics = await service.result(job_id)
+            record = service._lookup(job_id)
+            if record.keep_program:
+                doc = service.queue.load_program(job_id)
+                if doc is not None:
+                    chunk_stages = int(
+                        request.get("chunk_stages") or DEFAULT_STREAM_CHUNK_STAGES
+                    )
+                    await send(
+                        {
+                            "ok": True,
+                            "op": op,
+                            "event": "program_header",
+                            "header": program_doc_header(doc),
+                            "stages": program_doc_stages(doc),
+                        }
+                    )
+                    for seq, chunk in enumerate(
+                        iter_program_doc_chunks(doc, chunk_stages)
+                    ):
+                        await send(
+                            {
+                                "ok": True,
+                                "op": op,
+                                "event": "program_chunk",
+                                "seq": seq,
+                                "chunk": chunk,
+                            }
+                        )
+            await send({"ok": True, "op": op, "event": "done", "metrics": metrics})
+        except (ServiceError, WireError, ValueError) as exc:
+            await send({"ok": False, "op": op, "error": str(exc)})
+        except KeyError as exc:
+            await send({"ok": False, "op": op, "error": f"missing field {exc}"})
+
     async def _respond(self, request: dict[str, Any]) -> dict[str, Any]:
         try:
             op = request["op"]
@@ -1301,10 +1540,16 @@ class ServiceServer:
         service = self.service
         try:
             if op == "ping":
-                # the "enc" field doubles as a capability advert: clients
-                # only gzip-compress their requests to daemons that answer
-                # with it (an old daemon's ping lacks the field)
-                return {"ok": True, "op": op, "enc": WIRE_GZIP_ENCODING}
+                # the "enc"/"frame" fields double as capability adverts:
+                # clients only gzip-compress requests, or switch to binary
+                # frames, after a ping shows the daemon supports it (an
+                # old daemon's ping lacks the fields)
+                return {
+                    "ok": True,
+                    "op": op,
+                    "enc": WIRE_GZIP_ENCODING,
+                    "frame": FRAME_VERSION,
+                }
             if op == "backends":
                 return {"ok": True, "op": op, "backends": available_backends()}
             if op == "submit":

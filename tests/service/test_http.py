@@ -273,3 +273,94 @@ class TestRestRoundTrip:
             assert "unreachable" in body["error"]
         finally:
             gateway.close()
+
+
+class TestRequestBodyHandling:
+    """The gateway's body reader: hostile or broken HTTP clients get a
+    4xx JSON error, never a 500 from an exception mid-parse."""
+
+    def _raw(self, gateway, request_bytes, timeout=10.0):
+        """Send raw bytes over a fresh TCP connection; return the status
+        line and decoded JSON body of the response."""
+        import socket as socketlib
+
+        with socketlib.create_connection(
+            (gateway.host, gateway.port), timeout=timeout
+        ) as sock:
+            sock.sendall(request_bytes)
+            sock.shutdown(socketlib.SHUT_WR)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(b" ")[1])
+        return status, json.loads(body) if body else {}
+
+    def test_malformed_content_length_is_400_not_500(self, farm_front):
+        _, gateway = farm_front
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Authorization: Bearer s3cret\r\n"
+            b"Content-Length: banana\r\n"
+            b"\r\n"
+        )
+        status, body = self._raw(gateway, request)
+        assert status == 400
+        assert "Content-Length" in body["error"]
+
+    def test_negative_content_length_is_400(self, farm_front):
+        _, gateway = farm_front
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Authorization: Bearer s3cret\r\n"
+            b"Content-Length: -5\r\n"
+            b"\r\n"
+        )
+        status, body = self._raw(gateway, request)
+        assert status == 400
+        assert "Content-Length" in body["error"]
+
+    def test_oversized_body_is_413(self, farm_front):
+        _, gateway = farm_front
+        from repro.service.http import MAX_BODY_BYTES
+
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Authorization: Bearer s3cret\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        status, body = self._raw(gateway, request)
+        assert status == 413
+
+    def test_truncated_body_is_400(self, farm_front):
+        # Declares 1000 bytes, sends 10, hangs up: the reader must not
+        # hand a partial document to json.loads as if it were complete.
+        _, gateway = farm_front
+        request = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Authorization: Bearer s3cret\r\n"
+            b"Content-Length: 1000\r\n"
+            b"\r\n"
+            b'{"job": "x"'
+        )
+        status, body = self._raw(gateway, request)
+        assert status == 400
+        assert "truncated" in body["error"]
+
+    def test_wellformed_posts_still_work(self, farm_front):
+        daemon, gateway = farm_front
+        _, job = atomique_job()
+        status, body = http(
+            "POST",
+            f"{gateway.url}/v1/jobs",
+            body={"job": encode_job(job)},
+            token="s3cret",
+        )
+        assert status == 202 and body["id"]

@@ -1,0 +1,183 @@
+"""Streaming result path: per-pass progress events, chunked program
+transfer, graceful fallbacks, and the frame.corrupt chaos site —
+exercised in-process against an inline daemon on a Unix socket."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.baselines.registry import CompileOptions
+from repro.circuits.random_circuits import random_circuit
+from repro.core.serialize import dumps
+from repro.experiments import raa_for
+from repro.experiments.batch import CompileJob
+from repro.service import CompileService, ServiceClient, ServiceServer
+from repro.service import faults
+from repro.service.client import RemoteError
+
+
+class ServerThread:
+    """An inline daemon served off-thread so the blocking client can
+    stream against it from the test thread."""
+
+    def __init__(self, socket_path, **service_kwargs):
+        self.socket_path = socket_path
+        self.service_kwargs = service_kwargs
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        service = CompileService(
+            inline=True, shards=1, **self.service_kwargs
+        )
+        server = ServiceServer(service, socket_path=self.socket_path)
+        await server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await server.aclose()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=30.0), "server thread never came up"
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with ServerThread(tmp_path / "repro.sock") as srv:
+        client = ServiceClient(socket_path=srv.socket_path, timeout=120.0)
+        client.wait_ready(timeout=10.0)
+        yield client
+
+
+def atomique_job(seed=3):
+    circuit = random_circuit(12, 10, 3, seed=seed)
+    return CompileJob(
+        "Atomique", circuit, CompileOptions(raa=raa_for(circuit))
+    )
+
+
+class TestStreamingResult:
+    def test_stream_delivers_progress_and_a_bit_exact_program(self, server):
+        job_id = server.submit(atomique_job(), keep_program=True)
+        events = []
+        metrics, store = server.result_stream(
+            job_id, on_event=events.append, chunk_stages=8
+        )
+        # Per-pass progress: one event per pipeline pass, in order.
+        assert events, "no progress events arrived"
+        assert [e["index"] for e in events] == list(
+            range(1, len(events) + 1)
+        )
+        assert all(e["total"] == len(events) for e in events)
+        assert all(
+            isinstance(e["pass"], str) and e["seconds"] >= 0.0
+            for e in events
+        )
+        # The chunk-assembled program matches the classic single-shot
+        # fetch byte for byte, and metrics match the classic result.
+        assert store is not None
+        assert dumps(store) == dumps(server.program(job_id))
+        assert metrics == server.result(job_id)
+
+    def test_stream_without_keep_program_returns_no_store(self, server):
+        job_id = server.submit(atomique_job())
+        metrics, store = server.result_stream(job_id)
+        assert store is None
+        assert metrics == server.result(job_id)
+
+    def test_status_surfaces_progress(self, server):
+        job_id = server.submit(atomique_job())
+        server.result(job_id)
+        progress = server.status(job_id)["progress"]
+        assert progress and progress[-1]["index"] == progress[-1]["total"]
+
+    def test_unknown_job_is_a_clean_remote_error(self, server):
+        with pytest.raises(RemoteError, match="unknown job"):
+            server.result_stream("job-000099-nothere")
+
+    def test_frame_corrupt_fault_raises_wire_error_not_garbage(
+        self, tmp_path
+    ):
+        with ServerThread(tmp_path / "chaos.sock") as srv:
+            client = ServiceClient(
+                socket_path=srv.socket_path, timeout=30.0, retries=0
+            )
+            client.wait_ready(timeout=10.0)
+            assert client.ping() and client._server_frame
+            faults.install(
+                {"rules": [{"site": "frame.corrupt", "at": [1]}]}
+            )
+            try:
+                with pytest.raises(RemoteError, match="undecodable"):
+                    client.backends()
+            finally:
+                faults.reset()
+            # The next (uncorrupted) frame works on a fresh connection.
+            assert "Atomique" in client.backends()
+
+
+class TestOldDaemonFallback:
+    def test_stream_against_a_pre_streaming_daemon(self, tmp_path):
+        """An old daemon ignores the ``stream`` flag and sends one classic
+        response; ``result_stream`` must degrade to plain result()."""
+        from repro.experiments import compile_on
+        from repro.generators import qaoa_regular
+        from repro.service.wire import encode_metrics
+
+        direct = compile_on("Atomique", qaoa_regular(8, 3, seed=1))
+        metrics_payload = encode_metrics(direct)
+        seen = []
+
+        async def run():
+            async def handle(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    seen.append(request)
+                    op = request["op"]
+                    response = {"ok": True, "op": op}
+                    if op == "result":
+                        response["metrics"] = metrics_payload
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_unix_server(
+                handle, path=str(tmp_path / "old.sock")
+            )
+            client = ServiceClient(
+                socket_path=tmp_path / "old.sock", retries=0
+            )
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(
+                    None,
+                    lambda: client.result_stream("job-000001-abcdef"),
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        metrics, store = asyncio.run(run())
+        # The client accepted the classic single response as terminal —
+        # no hang waiting for a "done" event — and got real metrics, but
+        # no program (old daemons cannot stream one).
+        assert any(r.get("op") == "result" for r in seen)
+        assert metrics == direct
+        assert store is None

@@ -101,3 +101,38 @@ class TestMetricsCodec:
         metrics = compile_on("Atomique", qaoa_regular(8, 3, seed=1))
         decoded = wire.decode_metrics(json_round_trip(wire.encode_metrics(metrics)))
         assert decoded == metrics  # dataclass equality: every float exact
+
+    def test_container_extras_come_back_frozen(self):
+        # Regression: decode_metrics used to copy extras values straight
+        # from the JSON payload, so a tuple-valued extra came back as a
+        # mutable (unhashable) list and broke downstream cache keys.
+        metrics = compile_on("Atomique", qaoa_regular(8, 3, seed=1))
+        metrics.extras["shape"] = (4, 6)
+        metrics.extras["depths"] = ((1, 2), (3, 4))
+        decoded = wire.decode_metrics(json_round_trip(wire.encode_metrics(metrics)))
+        assert decoded.extras["shape"] == (4, 6)
+        assert isinstance(decoded.extras["shape"], tuple)
+        hash(decoded.extras["shape"])  # a list would raise
+        assert decoded.extras["depths"] == ((1, 2), (3, 4))
+        assert isinstance(decoded.extras["depths"][0], tuple)
+
+
+class TestConfigCodec:
+    def test_integer_cooling_threshold_comes_back_float(self):
+        # Regression: a JSON round trip preserves int-ness, so a config
+        # built with cooling_threshold=12 used to decode with an int in a
+        # float field — breaking frozen-dataclass equality against the
+        # original and any cache key derived from it.
+        config = AtomiqueConfig(
+            router=RouterConfig(cooling_threshold=12), seed=3
+        )
+        decoded = wire.decode_config(json_round_trip(wire.encode_config(config)))
+        assert isinstance(decoded.router.cooling_threshold, float)
+        assert decoded.router.cooling_threshold == 12.0
+
+    def test_none_cooling_threshold_survives(self):
+        config = AtomiqueConfig(
+            router=RouterConfig(cooling_threshold=None), seed=3
+        )
+        decoded = wire.decode_config(json_round_trip(wire.encode_config(config)))
+        assert decoded.router.cooling_threshold is None

@@ -9,11 +9,15 @@ from repro.core.program import ProgramStore
 from repro.generators import qaoa_random, qsim_random
 from repro.hardware import RAAArchitecture
 from repro.service.wire import (
+    FRAME_HEADER_LEN,
+    FRAME_MAGIC,
     WIRE_COMPRESS_THRESHOLD,
     WIRE_GZIP_ENCODING,
     WireError,
+    decode_frame,
     decode_line,
     decode_program,
+    encode_frame,
     encode_line,
     encode_program,
 )
@@ -102,6 +106,97 @@ class TestProgramCodec:
             decode_program({"format_version": 99})
 
 
+class TestLineFramingEdges:
+    def test_line_at_exactly_the_threshold_stays_plain(self):
+        # The compression rule is strictly greater-than: a line whose
+        # body is exactly WIRE_COMPRESS_THRESHOLD bytes stays plain JSON.
+        base = len(encode_line({"op": "x", "pad": ""}, compress=True)) - 1
+        pad = "a" * (WIRE_COMPRESS_THRESHOLD - base)
+        line = encode_line({"op": "x", "pad": pad}, compress=True)
+        assert len(line) - 1 == WIRE_COMPRESS_THRESHOLD
+        assert json.loads(line)["op"] == "x"  # no envelope
+        line2 = encode_line({"op": "x", "pad": pad + "a"}, compress=True)
+        assert json.loads(line2).keys() == {"enc", "data"}  # one byte over
+
+    def test_nested_enc_data_keys_are_not_an_envelope(self):
+        # Only the *top-level* two-key {"enc", "data"} shape is an
+        # envelope; the same shape nested one level down must survive
+        # the round trip untouched.
+        payload = {"op": "x", "inner": {"enc": WIRE_GZIP_ENCODING, "data": "zz"}}
+        decoded, was_compressed = decode_line(encode_line(payload))
+        assert not was_compressed
+        assert decoded == payload
+
+
+class TestBinaryFrames:
+    def test_small_frame_roundtrip_uncompressed(self):
+        payload = {"op": "ping", "n": 7}
+        data = encode_frame(payload)
+        assert data[:2] == FRAME_MAGIC
+        assert data[3] == 0  # flags: no deflate below the threshold
+        assert decode_frame(data) == payload
+
+    def test_large_frame_roundtrip_deflated(self):
+        payload = {"op": "submit", "blob": "x" * (WIRE_COMPRESS_THRESHOLD + 1)}
+        data = encode_frame(payload)
+        assert data[3] == 1  # FRAME_FLAG_DEFLATE
+        assert len(data) < WIRE_COMPRESS_THRESHOLD  # x*N deflates well
+        assert decode_frame(data) == payload
+
+    def test_frame_magic_cannot_begin_a_json_line(self):
+        # First-byte dispatch relies on this: 0xAB is not valid UTF-8
+        # ASCII and can never start a JSON document.
+        assert FRAME_MAGIC[0] > 0x7F
+
+    def test_truncated_header_rejected(self):
+        data = encode_frame({"op": "ping"})
+        with pytest.raises(WireError, match="frame"):
+            decode_frame(data[: FRAME_HEADER_LEN - 2])
+
+    def test_truncated_body_rejected(self):
+        data = encode_frame({"op": "ping"})
+        with pytest.raises(WireError, match="truncat"):
+            decode_frame(data[:-1])
+
+    def test_corrupt_payload_rejected(self):
+        # The frame.corrupt chaos site flips the last byte; the decoder
+        # must raise, never hand back garbage.
+        payload = {"op": "submit", "blob": "x" * (WIRE_COMPRESS_THRESHOLD + 1)}
+        data = encode_frame(payload)
+        corrupt = data[:-1] + bytes((data[-1] ^ 0xFF,))
+        with pytest.raises(WireError):
+            decode_frame(corrupt)
+
+    def test_wrong_magic_rejected(self):
+        data = encode_frame({"op": "ping"})
+        with pytest.raises(WireError, match="frame header"):
+            decode_frame(b"\x00" + data[1:])
+
+    def test_unknown_version_rejected(self):
+        data = encode_frame({"op": "ping"})
+        with pytest.raises(WireError, match="version"):
+            decode_frame(data[:2] + b"\x63" + data[3:])
+
+    def test_unknown_flags_rejected(self):
+        data = encode_frame({"op": "ping"})
+        with pytest.raises(WireError, match="flag"):
+            decode_frame(data[:3] + b"\x80" + data[4:])
+
+    def test_oversized_length_rejected(self):
+        from repro.service.wire import MAX_FRAME_BYTES
+
+        header = FRAME_MAGIC + bytes((1, 0))
+        header += (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(WireError, match="exceeds"):
+            decode_frame(header + b"x")
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1, 2, 3]"
+        header = FRAME_MAGIC + bytes((1, 0)) + len(body).to_bytes(4, "big")
+        with pytest.raises(WireError, match="object"):
+            decode_frame(header + body)
+
+
 class TestOldServerCompat:
     """A pre-gzip daemon (plain ``json.loads``, no envelope unwrapping,
     no ping capability advert) must keep working with the new client,
@@ -145,10 +240,123 @@ class TestOldServerCompat:
             return client, response
 
         client, response = asyncio.run(run())
-        # the probe saw no advert, so the big request went out plain
+        # the probe saw no advert, so the big request went out plain —
+        # and with no frame capability either, the client never sends a
+        # binary frame an old daemon could not parse
         assert client._server_gzip is False
+        assert client._server_frame is False
         assert response["size"] == WIRE_COMPRESS_THRESHOLD + 1
         assert all(b'"enc": "gzip+b64", "data"' not in ln for ln in seen_lines)
+        assert all(not ln.startswith(FRAME_MAGIC[:1]) for ln in seen_lines)
+
+
+class TestFrameNegotiation:
+    """Cross-version matrix: frames flow only when both ends are new."""
+
+    def _serve(self, tmp_path, body):
+        import asyncio
+
+        from repro.service.client import ServiceClient
+        from repro.service.server import CompileService, ServiceServer
+
+        async def run():
+            service = CompileService(inline=True, shards=1)
+            server = ServiceServer(service, socket_path=tmp_path / "sock")
+            await server.start()
+            client = ServiceClient(socket_path=tmp_path / "sock")
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(None, body, client)
+            finally:
+                await server.aclose()
+
+        return asyncio.run(run())
+
+    def test_new_client_upgrades_to_frames_after_ping(self, tmp_path):
+        def body(client):
+            assert client._server_frame is None  # unknown before any ping
+            client.ping()
+            assert client._server_frame is True
+            # subsequent requests are encoded as binary frames...
+            data = client._encode_request({"op": "backends"})
+            assert data.startswith(FRAME_MAGIC)
+            # ...and the framed round trip works against the live server
+            return client.backends()
+
+        backends = self._serve(tmp_path, body)
+        assert "Atomique" in backends
+
+    def test_unpinged_client_speaks_plain_json_lines(self, tmp_path):
+        def body(client):
+            # No ping yet: the first (small) request must be a plain JSON
+            # line, byte-compatible with an old client.
+            data = client._encode_request({"op": "backends", "enc": "x"})
+            assert data.endswith(b"\n") and not data.startswith(FRAME_MAGIC)
+            return client.backends()
+
+        backends = self._serve(tmp_path, body)
+        assert "Atomique" in backends
+
+    def test_old_json_client_against_new_server(self, tmp_path):
+        # A legacy client that only ever writes JSON lines must get JSON
+        # lines back, even though the server also speaks frames.
+        import asyncio
+        import json as _json
+
+        from repro.service.server import CompileService, ServiceServer
+
+        async def run():
+            service = CompileService(inline=True, shards=1)
+            server = ServiceServer(service, socket_path=tmp_path / "sock")
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(
+                str(tmp_path / "sock")
+            )
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            raw = await reader.readline()
+            writer.close()
+            await server.aclose()
+            return raw
+
+        raw = asyncio.run(run())
+        assert raw.endswith(b"\n") and not raw.startswith(FRAME_MAGIC)
+        response = _json.loads(raw)
+        assert response["ok"] is True and response["frame"] == 1
+
+    def test_truncated_frame_from_server_raises_not_hangs(self, tmp_path):
+        # A server that dies mid-frame must produce a clean error: the
+        # client sees EOF before the declared length and raises.
+        import asyncio
+
+        from repro.service.client import RemoteError, ServiceClient
+
+        async def run():
+            async def handle(reader, writer):
+                await reader.readline()
+                data = encode_frame({"ok": True, "op": "ping", "frame": 1})
+                writer.write(data[:-3])  # drop the tail, then hang up
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_unix_server(
+                handle, path=str(tmp_path / "t.sock")
+            )
+            client = ServiceClient(socket_path=tmp_path / "t.sock", retries=0)
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(
+                    None, lambda: client.request({"op": "ping"})
+                )
+            except RemoteError as exc:
+                return str(exc)
+            finally:
+                server.close()
+                await server.wait_closed()
+            return None
+
+        message = asyncio.run(run())
+        assert message is not None and "truncated" in message
 
 
 class TestClientServerCompression(object):

@@ -61,10 +61,14 @@ def program_aggregates(
     """The program-level numbers every scoring adapter reads, in one place.
 
     For a columnar :class:`~repro.core.program.ProgramStore` each entry is
-    a column reduction (column lengths, offset-table occupancy counts, and
-    in-order column sums) — no stage objects are materialized.  The legacy
-    object representation computes the same values through its property
-    walk, so adapters need not care which they were handed.
+    a column reduction over the store's cached numpy column views
+    (occupancy counts via vectorized offset-table compares, distance and
+    duration sums computed elementwise then accumulated in stage order, so
+    the floats stay bit-identical to the scalar walk) — no stage objects
+    are materialized, and a spilling store seek-reads just the columns it
+    needs from its binary segments.  The legacy object representation
+    computes the same values through its property walk, so adapters need
+    not care which they were handed.
     """
     return {
         "num_2q_gates": program.num_2q_gates,

@@ -18,14 +18,23 @@ re-baseline by rerunning the seed commit with this same protocol.
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
 import statistics
+import subprocess
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 
 DEFAULT_OUTPUT = "BENCH_router.json"
+
+#: Every ``--perf`` run appends one timestamped record here (commit,
+#: machine fingerprint, per-workload timings) — the snapshot view in
+#: ``BENCH_router.json`` keeps only the latest run, the trajectory file
+#: accumulates the history.  Resolved relative to the report's directory.
+TRAJECTORY_RELPATH = Path("benchmarks") / "results" / "trajectory.jsonl"
 
 #: Seed-router wall-clock (seconds, min-of-9) measured at the seed commit
 #: with this file's protocol on the reference dev machine.
@@ -108,6 +117,100 @@ PR5_ROUTER_SECONDS: dict[str, float] = {
 }
 
 
+def codec_timings(program, repeats: int = 3) -> dict:
+    """Min-of-N encode+decode wall-clock of both program codecs.
+
+    ``v2`` is the JSON text round trip (``program_to_dict`` → ``dumps`` →
+    ``loads`` → ``program_from_dict``); ``v3`` the binary columnar round
+    trip (:func:`repro.core.binformat.encode_program` / ``decode_program``).
+    Both sides decode all the way back to a live store, so the ratio is
+    the end-to-end result-path cost a service transfer pays.
+    """
+    from .core import binformat
+    from .core.serialize import program_from_dict, program_to_dict
+
+    best_v2 = best_v3 = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        text = json.dumps(program_to_dict(program, columnar=True))
+        program_from_dict(json.loads(text))
+        best_v2 = min(best_v2, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        binformat.decode_program(binformat.encode_program(program))
+        best_v3 = min(best_v3, time.perf_counter() - t0)
+    return {
+        "v2": round(best_v2, 6),
+        "v3": round(best_v3, 6),
+        "speedup": round(best_v2 / best_v3, 3) if best_v3 else None,
+    }
+
+
+def _machine_fingerprint() -> dict:
+    import platform
+
+    return {
+        "host": platform.node(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _git_commit() -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def append_trajectory(report: dict, output: Path) -> Path | None:
+    """Append one timestamped record of *report* to the trajectory file.
+
+    The record carries the commit, a machine fingerprint, the report's
+    median speedups, and the per-workload timing columns — enough to
+    reconstruct every trajectory plot without keeping old snapshots.
+    Returns the path written, or None when the append failed (a perf run
+    must not die on a read-only checkout)."""
+    path = output.resolve().parent / TRAJECTORY_RELPATH
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": _git_commit(),
+        "machine": _machine_fingerprint(),
+        "medians": {
+            key: value
+            for key, value in report.items()
+            if key.startswith("median_")
+        },
+        "workloads": {
+            row["name"]: {
+                "router_seconds": row["router_seconds"],
+                "emit_seconds": row["emit_seconds"],
+                "probe_seconds": row["probe_seconds"],
+                "sabre_seconds": row["sabre_seconds"],
+                "codec_seconds": row["codec_seconds"],
+            }
+            for row in report["results"]
+        },
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+    except OSError:
+        return None
+    return path
+
+
 @dataclass(frozen=True)
 class BenchSpec:
     """One benchmark entry: display name and a circuit factory."""
@@ -178,6 +281,7 @@ def bench_router(
             best = min(best, time.perf_counter() - t0)
             best_emit = min(best_emit, program.emit_seconds)
             best_probe = min(best_probe, program.probe_seconds)
+        codec = codec_timings(program)
         seed_s = SEED_ROUTER_SECONDS.get(spec.name)
         pr5_router = PR5_ROUTER_SECONDS.get(spec.name)
         sabre_s = result.pass_seconds.get("sabre_swap")
@@ -218,6 +322,10 @@ def bench_router(
                 "sabre_speedup_vs_pr2": (
                     round(pr2_sabre / sabre_s, 3) if sabre_s and pr2_sabre else None
                 ),
+                # program-codec trajectory: min-of-N encode+decode round
+                # trip of this workload's compiled program, JSON v2 vs
+                # binary columnar v3 (both back to a live store)
+                "codec_seconds": codec,
                 # one full-pipeline compile, per-pass (pipeline instrumentation)
                 "pass_seconds": {
                     name: round(seconds, 6)
@@ -235,6 +343,11 @@ def bench_router(
     probe_speedups = [
         r["probe_speedup_vs_pr5"] for r in rows if r["probe_speedup_vs_pr5"]
     ]
+    codec_speedups = [
+        r["codec_seconds"]["speedup"]
+        for r in rows
+        if r["codec_seconds"]["speedup"]
+    ]
     report = {
         "protocol": "min wall-clock over N repeats of cold router "
         "construction + route() on the pre-transpiled circuit (a fresh "
@@ -248,7 +361,11 @@ def bench_router(
         "object-graph emitter measured with the same window at PR 4; "
         "probe_seconds is the candidate-probe window (the _select_gates "
         "place_pair scan) and probe_speedup_vs_pr5 the whole-router-pass "
-        "speedup over the pre-pruning PR 5/6 recording",
+        "speedup over the pre-pruning PR 5/6 recording; codec_seconds is "
+        "the min-of-N encode+decode round trip of the compiled program, "
+        "JSON v2 (dumps+loads via program_to_dict/from_dict) vs binary "
+        "columnar v3 (binformat.encode_program/decode_program), both "
+        "decoding back to a live store",
         "median_speedup_vs_seed": (
             round(statistics.median(speedups), 3) if speedups else None
         ),
@@ -261,10 +378,14 @@ def bench_router(
         "median_probe_speedup_vs_pr5": (
             round(statistics.median(probe_speedups), 3) if probe_speedups else None
         ),
+        "median_codec_speedup": (
+            round(statistics.median(codec_speedups), 3) if codec_speedups else None
+        ),
         "results": rows,
     }
     if output is not None:
         Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        append_trajectory(report, Path(output))
     return report
 
 
@@ -329,5 +450,9 @@ def format_report(report: dict) -> str:
     lines.append(
         "median router speedup vs PR5: "
         f"{report['median_probe_speedup_vs_pr5']}x"
+    )
+    lines.append(
+        "median codec speedup (binary v3 vs JSON v2): "
+        f"{report['median_codec_speedup']}x"
     )
     return "\n".join(lines)

@@ -31,11 +31,12 @@ walked the object lists, with the same accumulation order.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 from dataclasses import dataclass, field
 from typing import Iterator
+
+import numpy as np
 
 from ..hardware.parameters import HardwareParams
 from ..hardware.raa import AtomLocation
@@ -106,6 +107,54 @@ _OFFSET_SPEC: tuple = (
     ("cooling", "off_cool"),
     ("amd", "off_amd"),
 )
+
+
+def _duration_lut(params: HardwareParams) -> list[float]:
+    """Stage duration for every (raman, move, gate, cool) activity combo.
+
+    Term order matches ``Stage.duration`` exactly (t_1q, then t_per_move,
+    then t_2q, then the cooling term), so ``lut[combo]`` is bit-identical
+    to the scalar if-chain for that stage.
+    """
+    t_1q = params.t_1q
+    t_move = params.t_per_move
+    t_2q = params.t_2q
+    t_cool = params.t_per_move + 2 * params.t_2q
+    lut = []
+    for bits in range(16):
+        t = 0.0
+        if bits & 1:
+            t += t_1q
+        if bits & 2:
+            t += t_move
+        if bits & 4:
+            t += t_2q
+        if bits & 8:
+            t += t_cool
+        lut.append(t)
+    return lut
+
+
+def _stage_times(
+    off_r: np.ndarray,
+    off_m: np.ndarray,
+    off_g: np.ndarray,
+    off_c: np.ndarray,
+    lut: np.ndarray,
+) -> list[float]:
+    """Per-stage durations via the activity-combo LUT (vectorized).
+
+    Each stage's 4-bit combo index is computed elementwise from the CSR
+    offset deltas; the caller accumulates the returned python floats
+    sequentially so the summation order matches the scalar loop.
+    """
+    combo = (
+        (off_r[1:] > off_r[:-1]).astype(np.int8)
+        + 2 * (off_m[1:] > off_m[:-1]).astype(np.int8)
+        + 4 * (off_g[1:] > off_g[:-1]).astype(np.int8)
+        + 8 * (off_c[1:] > off_c[:-1]).astype(np.int8)
+    )
+    return lut[combo].tolist()
 
 
 class StageView:
@@ -375,6 +424,40 @@ class ProgramStore:
     def stages(self) -> StageList:
         return StageList(self)
 
+    # -- cached numpy column views ---------------------------------------------
+
+    def column_array(self, attr: str, dtype) -> np.ndarray:
+        """Cached numpy view of a column (shared by the binary codec's
+        ``tobytes`` packing and the vectorized reductions below).
+
+        Entries are keyed by ``(attr, dtype)`` and validated against the
+        column length, so router appends (which always grow the list)
+        invalidate them naturally.  The cache lives in ``__dict__`` rather
+        than a dataclass field: it is derived state, invisible to
+        ``__eq__``/``__repr__``.  Code that mutates a column in place
+        without changing its length must call :meth:`drop_column_arrays`.
+        """
+        cache = self.__dict__.setdefault("_np_views", {})
+        column = getattr(self, attr)
+        key = (attr, np.dtype(dtype).str)
+        hit = cache.get(key)
+        if hit is not None and hit[0] == len(column):
+            return hit[1]
+        arr = np.asarray(column, dtype=dtype)
+        cache[key] = (len(column), arr)
+        return arr
+
+    def drop_column_arrays(self) -> None:
+        """Invalidate every cached column view (after in-place rewrites)."""
+        self.__dict__.pop("_np_views", None)
+
+    def _active_stage_count(self, off_attr: str) -> int:
+        """Stages whose family slice is non-empty (exact: integer compare)."""
+        off = self.column_array(off_attr, np.int64)
+        if off.size <= 1:
+            return 0
+        return int(np.count_nonzero(off[1:] > off[:-1]))
+
     # -- headline metrics (column reductions) ----------------------------------
 
     @property
@@ -385,7 +468,8 @@ class ProgramStore:
     @property
     def num_cooling_cz(self) -> int:
         """CZ gates spent on cooling swaps."""
-        return sum(2 * n for n in self.cool_atoms)
+        # integer sum: any order is exact, so the vectorized form is safe
+        return 2 * int(self.column_array("cool_atoms", np.int64).sum())
 
     @property
     def num_1q_gates(self) -> int:
@@ -394,8 +478,7 @@ class ProgramStore:
     @property
     def two_qubit_depth(self) -> int:
         """Number of stages whose Rydberg pulse executes at least one gate."""
-        off = self.off_gate
-        return sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+        return self._active_stage_count("off_gate")
 
     @property
     def num_moves(self) -> int:
@@ -404,22 +487,24 @@ class ProgramStore:
     @property
     def num_moving_stages(self) -> int:
         """Stages that move at least one AOD line."""
-        off = self.off_move
-        return sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+        return self._active_stage_count("off_move")
 
     @property
     def num_1q_stages(self) -> int:
         """Stages that flush at least one Raman pulse."""
-        off = self.off_raman
-        return sum(1 for i in range(len(off) - 1) if off[i + 1] > off[i])
+        return self._active_stage_count("off_raman")
 
     def total_move_distance(self, params: HardwareParams) -> float:
         """Total AOD line travel in metres (same summation order as the
-        object walk: moves in stage order)."""
-        pitch = params.atom_distance
-        return sum(
-            abs(e - s) * pitch for s, e in zip(self.move_start, self.move_end)
-        )
+        object walk: moves in stage order).
+
+        Per-move distances are computed elementwise in float64 (bit-equal
+        to the scalar ``abs(e - s) * pitch``); only the accumulation stays
+        sequential, preserving the dense sum's left-to-right order.
+        """
+        start = self.column_array("move_start", np.float64)
+        end = self.column_array("move_end", np.float64)
+        return sum((np.abs(end - start) * params.atom_distance).tolist())
 
     def avg_move_distance(self, params: HardwareParams) -> float:
         """Mean per-stage line travel (metres); Fig. 20's 'Avg. Moving Distance'."""
@@ -430,26 +515,20 @@ class ProgramStore:
 
     def execution_time(self, params: HardwareParams) -> float:
         """Wall-clock execution time in seconds (term and stage order
-        identical to ``sum(Stage.duration)``)."""
-        t_1q = params.t_1q
-        t_move = params.t_per_move
-        t_2q = params.t_2q
-        t_cool = params.t_per_move + 2 * params.t_2q
-        off_r, off_m = self.off_raman, self.off_move
-        off_g, off_c = self.off_gate, self.off_cool
-        total = 0.0
-        for i in range(len(off_g) - 1):
-            t = 0.0
-            if off_r[i + 1] > off_r[i]:
-                t += t_1q
-            if off_m[i + 1] > off_m[i]:
-                t += t_move
-            if off_g[i + 1] > off_g[i]:
-                t += t_2q
-            if off_c[i + 1] > off_c[i]:
-                t += t_cool
-            total += t
-        return total
+        identical to ``sum(Stage.duration)``).
+
+        Vectorized via the 16-entry activity-combo LUT: per-stage durations
+        come from :func:`_stage_times` (each LUT entry built with the exact
+        scalar term order), then accumulate sequentially in stage order.
+        """
+        times = _stage_times(
+            self.column_array("off_raman", np.int64),
+            self.column_array("off_move", np.int64),
+            self.column_array("off_gate", np.int64),
+            self.column_array("off_cool", np.int64),
+            np.asarray(_duration_lut(params), dtype=np.float64),
+        )
+        return sum(times, 0.0)
 
     @property
     def num_cooling_events(self) -> int:
@@ -466,6 +545,15 @@ class ProgramStore:
         :class:`SpillingProgramStore` can stream flushed segments from disk.
         """
         return iter(self.gate_n_vib)
+
+    def gate_n_vib_arrays(self) -> Iterator[np.ndarray]:
+        """``n_vib`` as float64 array chunks, in execution order.
+
+        The vectorized form of :meth:`iter_gate_n_vib`: one cached view for
+        a dense store, one array per flushed binary segment (plus the
+        in-memory tail) for a spilling store.
+        """
+        yield self.column_array("gate_n_vib", np.float64)
 
     # -- stage-range chunks ----------------------------------------------------
 
@@ -623,20 +711,23 @@ class SpillingProgramStore(ProgramStore):
     """Bounded-memory :class:`ProgramStore`: closed stages spill to disk.
 
     Every ``segment_stages`` closed stages, the in-memory columns are
-    written to a JSONL segment file (one :meth:`ProgramStore.chunk_doc`
-    per line), truncated in place, and the offset tables rebased in place
-    — *in place* because the router binds ``end_stage`` and the column
-    ``.append`` methods to the concrete list objects before emission
-    starts.  Emission RSS is therefore bounded by the segment size, not
-    the circuit size.
+    written to the segment file as one length-prefixed v3 binary chunk
+    record (:mod:`repro.core.binformat`), truncated in place, and the
+    offset tables rebased in place — *in place* because the router binds
+    ``end_stage`` and the column ``.append`` methods to the concrete list
+    objects before emission starts.  Emission RSS is therefore bounded by
+    the segment size, not the circuit size.
 
     Aggregates stay bit-identical to a dense store: counting reductions
     come from running counters accumulated at flush time in stage order,
     and float reductions (:meth:`execution_time`,
-    :meth:`total_move_distance`, :meth:`iter_gate_n_vib`) replay the
-    flushed segments then the in-memory tail with the exact accumulation
-    order of the dense loops.  Random access (``stages``, ``to_program``)
-    transparently materializes a dense copy via :meth:`collect`.
+    :meth:`total_move_distance`, :meth:`iter_gate_n_vib`) *seek-read* just
+    the columns they need from each flushed segment (the per-segment
+    section index captured at flush time maps a column name to its byte
+    range), then walk the in-memory tail — per-element arithmetic is
+    vectorized, accumulation order matches the dense loops exactly.
+    Random access (``stages``, ``to_program``) transparently materializes
+    a dense copy via :meth:`collect`.
 
     Only closed stages are covered by segments; rows appended after the
     last ``end_stage`` live in the in-memory tail (same as a dense store).
@@ -656,6 +747,9 @@ class SpillingProgramStore(ProgramStore):
         self.segment_stages = max(1, int(segment_stages))
         self.segment_path: str | None = None
         self._flushed_stages = 0
+        #: per-flushed-segment section indexes: name -> (descriptor, lo, hi)
+        #: byte ranges into the segment file, captured at flush time
+        self._segments: list[dict] = []
         self._f_1q = 0
         self._f_2q = 0
         self._f_moves = 0
@@ -679,27 +773,45 @@ class SpillingProgramStore(ProgramStore):
         k = len(self.off_gate) - 1
         if k <= 0:
             return
+        from . import binformat  # deferred: binformat imports this module
+
         doc = self.chunk_doc(0, k)
-        off_r, off_m = self.off_raman, self.off_move
-        off_g, off_c = self.off_gate, self.off_cool
-        self._f_1q += off_r[k]
-        self._f_2q += off_g[k]
-        self._f_moves += off_m[k]
-        self._f_cool_events += off_c[k]
-        self._f_cool_cz += sum(2 * n for n in self.cool_atoms[: off_c[k]])
-        self._f_2q_depth += sum(1 for i in range(k) if off_g[i + 1] > off_g[i])
-        self._f_moving_stages += sum(
-            1 for i in range(k) if off_m[i + 1] > off_m[i]
+        off_r = self.column_array("off_raman", np.int64)
+        off_m = self.column_array("off_move", np.int64)
+        off_g = self.column_array("off_gate", np.int64)
+        off_c = self.column_array("off_cool", np.int64)
+        self._f_1q += int(off_r[k])
+        self._f_2q += int(off_g[k])
+        self._f_moves += int(off_m[k])
+        self._f_cool_events += int(off_c[k])
+        self._f_cool_cz += 2 * int(
+            self.column_array("cool_atoms", np.int64)[: int(off_c[k])].sum()
         )
-        self._f_1q_stages += sum(1 for i in range(k) if off_r[i + 1] > off_r[i])
+        self._f_2q_depth += int(np.count_nonzero(off_g[1:] > off_g[:-1]))
+        self._f_moving_stages += int(np.count_nonzero(off_m[1:] > off_m[:-1]))
+        self._f_1q_stages += int(np.count_nonzero(off_r[1:] > off_r[:-1]))
+        record = binformat.encode_chunk(doc)
         if self.segment_path is None:
             fd, self.segment_path = tempfile.mkstemp(
                 prefix="program-", suffix=".segs", dir=self.spill_dir
             )
             os.close(fd)
-        with open(self.segment_path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(doc))
-            fh.write("\n")
+        with open(self.segment_path, "ab") as fh:
+            pos = fh.tell()
+            fh.write(len(record).to_bytes(4, "little"))
+            fh.write(record)
+        meta, payload_off = binformat.parse_record(record)
+        start = pos + 4
+        self._segments.append(
+            {
+                "start": start,
+                "length": len(record),
+                "stages": k,
+                # section byte ranges rebased to absolute file offsets,
+                # so reductions can seek straight to one column
+                "index": binformat.section_index(meta, start + payload_off),
+            }
+        )
         cuts = {fam: getattr(self, off_attr)[k] for fam, off_attr in _OFFSET_SPEC}
         for fam, _key, attr, _enc, _dec in _COLUMN_SPEC:
             del getattr(self, attr)[: cuts[fam]]
@@ -707,6 +819,9 @@ class SpillingProgramStore(ProgramStore):
             off = getattr(self, off_attr)
             base = off[k]
             off[:] = [o - base for o in off[k:]]
+        # the in-place truncation/rebase above can leave stale same-length
+        # cached views behind — drop them all
+        self.drop_column_arrays()
         self._flushed_stages += k
 
     def discard(self) -> None:
@@ -717,16 +832,49 @@ class SpillingProgramStore(ProgramStore):
             except OSError:
                 pass
             self.segment_path = None
+            self._segments.clear()
 
     # -- segment iteration -----------------------------------------------------
 
     def _iter_flushed_docs(self) -> Iterator[dict]:
+        """Decode every flushed segment record back to its chunk doc."""
         if self.segment_path is None:
             return
-        with open(self.segment_path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                if line.strip():
-                    yield json.loads(line)
+        from . import binformat
+
+        with open(self.segment_path, "rb") as fh:
+            while True:
+                head = fh.read(4)
+                if len(head) < 4:
+                    return
+                length = int.from_bytes(head, "little")
+                yield binformat.decode_chunk(fh.read(length))
+
+    def _iter_segment_columns(
+        self, *names: str, as_array: bool = False
+    ) -> Iterator[tuple]:
+        """Seek-read the named columns from each flushed segment.
+
+        Yields one tuple of columns per segment, touching only the
+        requested byte ranges — no whole-record decode, no JSON replay.
+        """
+        if not self._segments:
+            return
+        from . import binformat
+
+        with open(self.segment_path, "rb") as fh:
+            for segment in self._segments:
+                index = segment["index"]
+                row = []
+                for name in names:
+                    sec, lo, hi = index[name]
+                    fh.seek(lo)
+                    row.append(
+                        binformat.decode_section(
+                            sec, fh.read(hi - lo), as_array=as_array
+                        )
+                    )
+                yield tuple(row)
 
     def iter_segment_docs(self) -> Iterator[dict]:
         """All closed stages as chunk docs: flushed segments, then the tail."""
@@ -813,59 +961,63 @@ class SpillingProgramStore(ProgramStore):
 
     def total_move_distance(self, params: HardwareParams) -> float:
         # same left-to-right accumulation as the dense sum(): flushed rows
-        # in segment order, then the in-memory tail
+        # in segment order, then the in-memory tail — only the per-move
+        # distances are vectorized (elementwise float64, bit-equal)
         pitch = params.atom_distance
         total = 0
-        for doc in self._iter_flushed_docs():
-            mv = doc["columns"]["moves"]
-            for s, e in zip(mv["start"], mv["end"]):
-                total += abs(e - s) * pitch
-        for s, e in zip(self.move_start, self.move_end):
-            total += abs(e - s) * pitch
-        return float(total)
+        for start, end in self._iter_segment_columns(
+            "moves.start", "moves.end", as_array=True
+        ):
+            deltas = np.abs(
+                end.astype(np.float64) - start.astype(np.float64)
+            )
+            total = sum((deltas * pitch).tolist(), total)
+        start = self.column_array("move_start", np.float64)
+        end = self.column_array("move_end", np.float64)
+        return float(sum((np.abs(end - start) * pitch).tolist(), total))
 
     def execution_time(self, params: HardwareParams) -> float:
-        t_1q = params.t_1q
-        t_move = params.t_per_move
-        t_2q = params.t_2q
-        t_cool = params.t_per_move + 2 * params.t_2q
+        lut = np.asarray(_duration_lut(params), dtype=np.float64)
         total = 0.0
-
-        def accumulate(off_r, off_m, off_g, off_c, acc: float) -> float:
-            for i in range(len(off_g) - 1):
-                t = 0.0
-                if off_r[i + 1] > off_r[i]:
-                    t += t_1q
-                if off_m[i + 1] > off_m[i]:
-                    t += t_move
-                if off_g[i + 1] > off_g[i]:
-                    t += t_2q
-                if off_c[i + 1] > off_c[i]:
-                    t += t_cool
-                acc += t
-            return acc
-
-        for doc in self._iter_flushed_docs():
-            offs = doc["stage_offsets"]
-            total = accumulate(
-                offs["raman"], offs["moves"], offs["gates"], offs["cooling"], total
+        for off_r, off_m, off_g, off_c in self._iter_segment_columns(
+            "off.raman", "off.moves", "off.gates", "off.cooling",
+            as_array=True,
+        ):
+            times = _stage_times(
+                off_r.astype(np.int64),
+                off_m.astype(np.int64),
+                off_g.astype(np.int64),
+                off_c.astype(np.int64),
+                lut,
             )
-        return accumulate(
-            self.off_raman, self.off_move, self.off_gate, self.off_cool, total
+            total = sum(times, total)
+        times = _stage_times(
+            self.column_array("off_raman", np.int64),
+            self.column_array("off_move", np.int64),
+            self.column_array("off_gate", np.int64),
+            self.column_array("off_cool", np.int64),
+            lut,
         )
+        return sum(times, total)
 
     def gate_pairs(self) -> list[tuple[int, int]]:
         pairs: list[tuple[int, int]] = []
-        for doc in self._iter_flushed_docs():
-            g = doc["columns"]["gates"]
-            pairs.extend(zip(g["a"], g["b"]))
+        for a, b in self._iter_segment_columns("gates.a", "gates.b"):
+            pairs.extend(zip(a, b))
         pairs.extend(zip(self.gate_a, self.gate_b))
         return pairs
 
     def iter_gate_n_vib(self) -> Iterator[float]:
-        for doc in self._iter_flushed_docs():
-            yield from doc["columns"]["gates"]["n_vib"]
+        for (n_vib,) in self._iter_segment_columns("gates.n_vib"):
+            yield from n_vib
         yield from self.gate_n_vib
+
+    def gate_n_vib_arrays(self) -> Iterator[np.ndarray]:
+        for (n_vib,) in self._iter_segment_columns(
+            "gates.n_vib", as_array=True
+        ):
+            yield n_vib.astype(np.float64)
+        yield self.column_array("gate_n_vib", np.float64)
 
     def to_program(self) -> RAAProgram:
         return self.collect().to_program()

@@ -1,6 +1,8 @@
 """JSON (de)serialization of compiled RAA programs.
 
-Two wire formats:
+Two JSON wire formats (a third, binary format lives in
+:mod:`repro.core.binformat` — the "v3" packed-column codec that encodes
+the same logical v2 document as typed little-endian blobs):
 
 * **v1 (object)** — the historical stage-list document: one dict per stage,
   one dict per gate.  Decodes to a legacy
@@ -319,6 +321,21 @@ def iter_program_doc_chunks(
             offsets[fam] = [o - base for o in off[lo : hi + 1]]
             columns[fam] = {k: all_cols[fam][k][base:top] for k in keys}
         yield {"stages": hi - lo, "columns": columns, "stage_offsets": offsets}
+
+
+def store_header_doc(store: ProgramStore) -> dict[str, Any]:
+    """The v2 header document for a store, without building the columns.
+
+    Byte-identical (same keys, same order) to
+    ``program_doc_header(program_to_dict(store))`` — the streaming server
+    uses it to open a stream from a binary-spooled program without ever
+    materializing the v2 column tables.
+    """
+    return {
+        "format_version": COLUMNAR_FORMAT_VERSION,
+        **_common_header(store),
+        "emit_seconds": store.emit_seconds,
+    }
 
 
 def store_from_program_header(header: dict[str, Any]) -> ProgramStore:

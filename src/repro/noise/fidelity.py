@@ -100,13 +100,19 @@ def estimate_raa_fidelity(
     if isinstance(program, ProgramStore):
         num_1q_layers = program.num_1q_stages
         num_moving = program.num_moving_stages
-        # iterator, not the raw column: a SpillingProgramStore streams
-        # flushed segments from disk in the same gate order
-        gate_n_vibs = program.iter_gate_n_vib()
+        # column arrays, not per-gate python floats: a dense store hands
+        # over one cached numpy view, a SpillingProgramStore one array
+        # per flushed binary segment (seek-read, no JSONL replay) plus
+        # the in-memory tail — same values, same gate order either way
+        f_heating = mov.movement_heating_fidelity_arrays(
+            program.gate_n_vib_arrays(), params
+        )
     else:
         num_1q_layers = sum(1 for s in program.stages if s.one_qubit_gates)
         num_moving = sum(1 for s in program.stages if s.moves)
-        gate_n_vibs = [g.n_vib for s in program.stages for g in s.gates]
+        f_heating = mov.movement_heating_fidelity(
+            [g.n_vib for s in program.stages for g in s.gates], params
+        )
 
     f_transfer = (1.0 - params.p_transfer_loss) ** program.num_transfers
     if program.num_transfers:
@@ -120,7 +126,7 @@ def estimate_raa_fidelity(
             program.num_2q_gates, program.two_qubit_depth, n, params
         ),
         f_transfer=f_transfer,
-        f_mov_heating=mov.movement_heating_fidelity(gate_n_vibs, params),
+        f_mov_heating=f_heating,
         f_mov_loss=mov.movement_loss_fidelity(program.atom_loss_log, params),
         f_mov_cooling=mov.cooling_fidelity(program.num_cooling_cz, params),
         f_mov_deco=mov.movement_decoherence_fidelity(num_moving, n, params),

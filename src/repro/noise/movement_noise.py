@@ -13,8 +13,9 @@ Four multiplicative fidelity terms characterize movement:
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
+import numpy as np
 from scipy.special import erf
 
 from ..hardware.parameters import HardwareParams
@@ -41,6 +42,29 @@ def movement_heating_fidelity(
     f = 1.0
     for nv in gate_n_vibs:
         f *= heating_gate_factor(nv, params)
+    return f
+
+
+def movement_heating_fidelity_arrays(
+    chunks: Iterable[np.ndarray], params: HardwareParams
+) -> float:
+    """Eq. 2 over ``n_vib`` column arrays (the vectorized fast path).
+
+    Bit-identical to :func:`movement_heating_fidelity` on the same values:
+    the per-gate factor ``max(1 - (lam * (1 - f2q)) * n, 0)`` is computed
+    elementwise in float64 (IEEE ops match the scalar path exactly), and
+    the running product accumulates sequentially in column order.
+    *chunks* lets a spilling store hand over one array per flushed
+    segment without concatenating.
+    """
+    coef = params.lam * (1.0 - params.f_2q)
+    f = 1.0
+    for arr in chunks:
+        factors = np.maximum(
+            1.0 - coef * np.asarray(arr, dtype=np.float64), 0.0
+        )
+        for v in factors.tolist():
+            f *= v
     return f
 
 

@@ -37,6 +37,7 @@ from .wire import (
     FRAME_MAGIC,
     WIRE_COMPRESS_THRESHOLD,
     WIRE_GZIP_ENCODING,
+    BinaryDoc,
     JobControl,
     WireError,
     compress_line,
@@ -111,6 +112,13 @@ class ServiceClient:
         #: unknown; set by any ping's capability advert — requests upgrade
         #: to frames only once a ping has confirmed the daemon is new)
         self._server_frame: bool | None = None
+        #: whether the daemon ships binary columnar program documents
+        #: (same advert discipline as the frame flag; only asked for on
+        #: the program-bearing ops, and only over frames)
+        self._server_bindoc: bool | None = None
+        #: chunk-transfer accounting of the last :meth:`result_stream`
+        #: call — ``{"binary_chunks": n, "json_chunks": m}``
+        self.last_stream_stats: dict[str, int] | None = None
 
     # -- transport -----------------------------------------------------------
 
@@ -258,6 +266,7 @@ class ServiceClient:
         if response.get("op") == "ping" and response.get("ok"):
             self._server_gzip = response.get("enc") == WIRE_GZIP_ENCODING
             self._server_frame = bool(response.get("frame"))
+            self._server_bindoc = bool(response.get("bindoc"))
         if not response.get("ok"):
             raise RemoteError(response.get("error", "unknown service error"))
         return response
@@ -392,6 +401,8 @@ class ServiceClient:
             "timeout": server_timeout,
             "enc": WIRE_GZIP_ENCODING,
         }
+        if self._server_frame and self._server_bindoc:
+            payload["bindoc"] = 1
         if chunk_stages is not None:
             payload["chunk_stages"] = int(chunk_stages)
         data_out = self._encode_request(payload)
@@ -399,6 +410,7 @@ class ServiceClient:
         sock = self._connect(server_timeout + 30.0)
         metrics_payload: dict[str, Any] | None = None
         store = None
+        stats = {"binary_chunks": 0, "json_chunks": 0}
         try:
             with sock.makefile("rwb") as stream:
                 stream.write(data_out)
@@ -430,7 +442,13 @@ class ServiceClient:
                             raise RemoteError(
                                 "program_chunk before program_header"
                             )
-                        store.extend_from_chunk(message["chunk"])
+                        chunk = message["chunk"]
+                        if isinstance(chunk, BinaryDoc):
+                            stats["binary_chunks"] += 1
+                            chunk = chunk.to_chunk()
+                        else:
+                            stats["json_chunks"] += 1
+                        store.extend_from_chunk(chunk)
                     elif event == "done":
                         metrics_payload = message["metrics"]
                         break
@@ -445,14 +463,40 @@ class ServiceClient:
             raise failure from exc
         finally:
             sock.close()
+        self.last_stream_stats = stats
         return decode_metrics(metrics_payload), store
+
+    def _wants_bindoc(self) -> bool:
+        """Whether to ask for binary program documents on this request.
+
+        Needs both a ping-confirmed ``bindoc`` advert and frame support —
+        the binary attachment rides inside a frame, so a line-speaking
+        peer can never carry one.  Pings once if the advert is unknown;
+        an unreachable daemon just leaves the request on the JSON path
+        (the request itself will surface the outage)."""
+        if self._server_bindoc is None:
+            try:
+                self.ping()
+            except (ServiceUnavailable, RemoteError):
+                pass
+        return bool(self._server_frame and self._server_bindoc)
 
     def program(self, job_id: str):
         """The compiled program of a DONE job submitted with
         ``keep_program=True``, decoded to a
-        :class:`~repro.core.program_store.ProgramStore`."""
-        response = self.request({"op": "program", "id": job_id})
-        return decode_program(response["program"])
+        :class:`~repro.core.program.ProgramStore`.
+
+        Fetched as a v3 binary columnar record when the daemon advertises
+        the codec; the v2 JSON document otherwise — the decoded store is
+        bit-identical either way."""
+        request: dict[str, Any] = {"op": "program", "id": job_id}
+        if self._wants_bindoc():
+            request["bindoc"] = 1
+        response = self.request(request)
+        doc = response["program"]
+        if isinstance(doc, BinaryDoc):
+            return doc.to_store()
+        return decode_program(doc)
 
     def cancel(self, job_id: str) -> bool:
         return bool(self.request({"op": "cancel", "id": job_id})["cancelled"])

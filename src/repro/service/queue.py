@@ -21,9 +21,14 @@ Layout of a spool directory::
     spool/
       jobs/<job_id>.json      one record per job, rewritten atomically on
                               every state transition
-      results/<job_id>.json   wire-encoded CompiledMetrics of DONE jobs
-      programs/<job_id>.json  wire-encoded compiled programs of DONE jobs
+      results/<job_id>.json   wire-encoded CompiledMetrics of DONE jobs;
+                              payloads over 64 KiB are zlib-deflated
+                              behind a 2-byte magic (sniffed on read, so
+                              pre-existing plain-JSON spools still load)
+      programs/<job_id>.bin   v3 binary columnar programs of DONE jobs
                               submitted with ``keep_program``
+                              (``.json`` v2 documents from older daemons
+                              are still read)
       progress/<job_id>.jsonl per-pass progress events appended by the
                               worker mid-compile (one JSON object per
                               line), surfaced by ``status`` and the
@@ -56,6 +61,7 @@ import json
 import logging
 import os
 import time
+import zlib
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
@@ -67,6 +73,14 @@ log = logging.getLogger("repro.service")
 
 #: Attempts a job may consume before it dead-letters as FAILED.
 DEFAULT_MAX_RETRIES = 3
+
+#: Two-byte prefix of a zlib-deflated result spool file.  ``0xAB`` can
+#: never begin JSON text, so a reader sniffs the first bytes to pick the
+#: decoder — pre-existing plain-JSON spool files keep loading unchanged.
+SPOOL_DEFLATE_MAGIC = b"\xabZ"
+
+#: Result payloads whose encoded JSON exceeds this are deflated on write.
+SPOOL_COMPRESS_THRESHOLD = 64 * 1024
 
 
 class JobState(str, Enum):
@@ -156,6 +170,13 @@ def _atomic_write_text(path: Path, text: str, site: str) -> None:
     os.replace(tmp, path)
 
 
+def _atomic_write_bytes(path: Path, data: bytes, site: str) -> None:
+    faults.maybe_fail(site, str(path))
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
 class JobQueue:
     """FIFO job store with optional disk persistence and job leases.
 
@@ -178,7 +199,7 @@ class JobQueue:
     ) -> None:
         self._records: dict[str, JobRecord] = {}
         self._memory_results: dict[str, dict[str, Any]] = {}
-        self._memory_programs: dict[str, dict[str, Any]] = {}
+        self._memory_programs: dict[str, dict[str, Any] | bytes] = {}
         self._memory_progress: dict[str, list[dict[str, Any]]] = {}
         self._by_key: dict[str, str] = {}
         self._seq = 0
@@ -445,7 +466,12 @@ class JobQueue:
     # -- results -------------------------------------------------------------
 
     def load_result(self, job_id: str) -> dict[str, Any] | None:
-        """The wire-encoded metrics of a DONE job, or None."""
+        """The wire-encoded metrics of a DONE job, or None.
+
+        Sniffs the spool file's first bytes: :data:`SPOOL_DEFLATE_MAGIC`
+        means a deflated payload, anything else is plain JSON text — so
+        spools written before compression existed still decode.
+        """
         record = self.get(job_id)
         if record.state is not JobState.DONE:
             return None
@@ -453,8 +479,11 @@ class JobQueue:
             return self._memory_results.get(job_id)
         path = self.spool_dir / "results" / f"{job_id}.json"
         try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            raw = path.read_bytes()
+            if raw.startswith(SPOOL_DEFLATE_MAGIC):
+                raw = zlib.decompress(raw[len(SPOOL_DEFLATE_MAGIC):])
+            return json.loads(raw)
+        except (OSError, ValueError, zlib.error):
             return None
 
     def _store_result(self, job_id: str, payload: dict[str, Any]) -> None:
@@ -462,25 +491,68 @@ class JobQueue:
             self._memory_results[job_id] = payload
             return
         path = self.spool_dir / "results" / f"{job_id}.json"
-        _atomic_write_text(path, json.dumps(payload), site="spool.result")
+        encoded = json.dumps(payload).encode()
+        if len(encoded) >= SPOOL_COMPRESS_THRESHOLD:
+            encoded = SPOOL_DEFLATE_MAGIC + zlib.compress(encoded)
+        _atomic_write_bytes(path, encoded, site="spool.result")
 
-    def store_program(self, job_id: str, payload: dict[str, Any]) -> None:
-        """Persist the wire-encoded program of a ``keep_program`` job."""
+    def store_program(
+        self, job_id: str, payload: dict[str, Any] | bytes
+    ) -> None:
+        """Persist the compiled program of a ``keep_program`` job.
+
+        ``bytes`` is a v3 binary columnar record (``programs/<id>.bin``);
+        a dict is the legacy v2 JSON document (``programs/<id>.json``).
+        """
         if self.spool_dir is None:
             self._memory_programs[job_id] = payload
             return
         programs = self.spool_dir / "programs"
         programs.mkdir(parents=True, exist_ok=True)
-        path = programs / f"{job_id}.json"
-        _atomic_write_text(path, json.dumps(payload), site="spool.result")
+        if isinstance(payload, bytes):
+            path = programs / f"{job_id}.bin"
+            _atomic_write_bytes(path, payload, site="spool.result")
+        else:
+            path = programs / f"{job_id}.json"
+            _atomic_write_text(path, json.dumps(payload), site="spool.result")
 
-    def load_program(self, job_id: str) -> dict[str, Any] | None:
-        """The wire-encoded program of a DONE ``keep_program`` job."""
+    def load_program_bytes(self, job_id: str) -> bytes | None:
+        """The v3 binary record of a DONE ``keep_program`` job, or None.
+
+        Only returns the binary form — a job spooled as legacy v2 JSON
+        (or by an unupgraded daemon) yields None here and loads through
+        :meth:`load_program` instead.
+        """
         record = self.get(job_id)
         if record.state is not JobState.DONE:
             return None
         if self.spool_dir is None:
-            return self._memory_programs.get(job_id)
+            payload = self._memory_programs.get(job_id)
+            return payload if isinstance(payload, bytes) else None
+        path = self.spool_dir / "programs" / f"{job_id}.bin"
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def load_program(self, job_id: str) -> dict[str, Any] | None:
+        """The wire-encoded (v2 dict) program of a DONE ``keep_program``
+        job, decoding a binary spool record when that is what is stored."""
+        raw = self.load_program_bytes(job_id)
+        if raw is not None:
+            from ..core import binformat, serialize
+
+            try:
+                store = binformat.decode_program(raw)
+                return serialize.program_to_dict(store, columnar=True)
+            except (ValueError, KeyError, TypeError):
+                return None
+        record = self.get(job_id)
+        if record.state is not JobState.DONE:
+            return None
+        if self.spool_dir is None:
+            payload = self._memory_programs.get(job_id)
+            return payload if isinstance(payload, dict) else None
         path = self.spool_dir / "programs" / f"{job_id}.json"
         try:
             return json.loads(path.read_text())

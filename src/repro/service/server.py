@@ -83,10 +83,12 @@ from ..core.pipeline import (
     _circuit_fingerprint,
     set_pass_progress_sink,
 )
+from ..core import binformat
 from ..core.serialize import (
     iter_program_doc_chunks,
     program_doc_header,
     program_doc_stages,
+    store_header_doc,
 )
 from ..experiments import batch
 from ..experiments.batch import CompileJob, ResultCache
@@ -105,10 +107,10 @@ from .wire import (
     decode_job_control,
     decode_line,
     decode_metrics,
+    encode_bindoc_frame,
     encode_frame,
     encode_line,
     encode_metrics,
-    encode_program,
     parse_frame_header,
 )
 
@@ -155,7 +157,9 @@ def _capture_envelope(job: CompileJob) -> dict[str, Any]:
     The metrics come out of the same :func:`metrics_from_result` scoring
     the registered backend uses on the same setup path
     (:func:`~repro.baselines.registry.atomique_result`), so capturing the
-    program never perturbs them.
+    program never perturbs them.  The program travels back to the daemon
+    (and into the spool) as a v3 binary columnar record — bytes pickle
+    across the worker pool boundary like any other payload.
     """
     result = atomique_result(job.circuit, job.options)
     metrics = metrics_from_result(
@@ -163,7 +167,7 @@ def _capture_envelope(job: CompileJob) -> dict[str, Any]:
     )
     return {
         "metrics": encode_metrics(metrics),
-        "program": encode_program(result.program),
+        "program": binformat.encode_program(result.program),
     }
 
 
@@ -647,8 +651,7 @@ class CompileService:
         tmp.write_text(json.dumps({"job_id": job_id, "by": self.node}))
         os.replace(tmp, path)
 
-    def program(self, job_id: str) -> dict[str, Any]:
-        """The wire-encoded program of a DONE ``keep_program`` job."""
+    def _check_program_available(self, job_id: str) -> None:
         record = self._lookup(job_id)
         if not record.keep_program:
             raise ServiceError(
@@ -659,10 +662,21 @@ class CompileService:
             raise ServiceError(
                 f"job {job_id} is not finished (state={record.state.value})"
             )
+
+    def program(self, job_id: str) -> dict[str, Any]:
+        """The wire-encoded (v2 dict) program of a DONE ``keep_program``
+        job — a binary spool record is decoded transparently."""
+        self._check_program_available(job_id)
         payload = self.queue.load_program(job_id)
         if payload is None:
             raise ServiceError(f"program of {job_id} is missing from spool")
         return payload
+
+    def program_bytes(self, job_id: str) -> bytes | None:
+        """The v3 binary record of a DONE ``keep_program`` job, or None
+        when the spool only holds the legacy v2 JSON document."""
+        self._check_program_available(job_id)
+        return self.queue.load_program_bytes(job_id)
 
     def jobs(self) -> list[dict[str, Any]]:
         return [r.summary() for r in self.queue.jobs()]
@@ -1393,7 +1407,13 @@ class ServiceServer:
                     response = {"ok": False, "error": error}
                 else:
                     assert request is not None
-                    response = await self._respond(request)
+                    # Binary program documents need framing (the raw
+                    # record rides after the JSON part), so the ask only
+                    # counts on a framed request.
+                    response = await self._respond(
+                        request,
+                        accepts_bindoc=framed and bool(request.get("bindoc")),
+                    )
                 # Chaos hook: drop the connection after the request was
                 # processed but before the response line leaves — the
                 # window where a client cannot know whether its submit
@@ -1423,9 +1443,19 @@ class ServiceServer:
         framed: bool,
         accepts_gzip: bool,
     ) -> None:
-        """Queue one response message in the framing the request used."""
+        """Queue one response message in the framing the request used.
+
+        A ``"_bindoc": (field, bytes)`` attachment (set only for framed
+        peers that asked for binary docs) ships as a binary-doc frame
+        instead of JSON text.
+        """
         if framed:
-            data = encode_frame(message)
+            bindoc = message.pop("_bindoc", None)
+            if bindoc is not None:
+                field, doc = bindoc
+                data = encode_bindoc_frame(message, field, doc)
+            else:
+                data = encode_frame(message)
             # Chaos hook: flip the last payload byte of an outbound frame
             # so clients must fail fast with WireError, never hang.
             if faults.fires("frame.corrupt", str(message.get("op", ""))):
@@ -1500,39 +1530,77 @@ class ServiceServer:
             metrics = await service.result(job_id)
             record = service._lookup(job_id)
             if record.keep_program:
-                doc = service.queue.load_program(job_id)
-                if doc is not None:
-                    chunk_stages = int(
-                        request.get("chunk_stages") or DEFAULT_STREAM_CHUNK_STAGES
-                    )
+                chunk_stages = int(
+                    request.get("chunk_stages") or DEFAULT_STREAM_CHUNK_STAGES
+                )
+                accepts_bindoc = framed and bool(request.get("bindoc"))
+                raw = service.queue.load_program_bytes(job_id)
+                if raw is not None:
+                    # Binary spool record: decode once, then slice.  An
+                    # upgraded peer gets each chunk as a binary-doc frame;
+                    # a JSON-only peer gets chunk dicts byte-identical to
+                    # what the v2 JSON spool used to produce.
+                    store = binformat.decode_program(raw)
+                    total = store.num_stages
                     await send(
                         {
                             "ok": True,
                             "op": op,
                             "event": "program_header",
-                            "header": program_doc_header(doc),
-                            "stages": program_doc_stages(doc),
+                            "header": store_header_doc(store),
+                            "stages": total,
                         }
                     )
-                    for seq, chunk in enumerate(
-                        iter_program_doc_chunks(doc, chunk_stages)
-                    ):
+                    step = max(1, chunk_stages)
+                    for seq, lo in enumerate(range(0, total, step)):
+                        chunk = store.chunk_doc(lo, min(lo + step, total))
+                        message: dict[str, Any] = {
+                            "ok": True,
+                            "op": op,
+                            "event": "program_chunk",
+                            "seq": seq,
+                        }
+                        if accepts_bindoc:
+                            message["_bindoc"] = (
+                                "chunk",
+                                binformat.encode_chunk(chunk),
+                            )
+                        else:
+                            message["chunk"] = chunk
+                        await send(message)
+                else:
+                    doc = service.queue.load_program(job_id)
+                    if doc is not None:
                         await send(
                             {
                                 "ok": True,
                                 "op": op,
-                                "event": "program_chunk",
-                                "seq": seq,
-                                "chunk": chunk,
+                                "event": "program_header",
+                                "header": program_doc_header(doc),
+                                "stages": program_doc_stages(doc),
                             }
                         )
+                        for seq, chunk in enumerate(
+                            iter_program_doc_chunks(doc, chunk_stages)
+                        ):
+                            await send(
+                                {
+                                    "ok": True,
+                                    "op": op,
+                                    "event": "program_chunk",
+                                    "seq": seq,
+                                    "chunk": chunk,
+                                }
+                            )
             await send({"ok": True, "op": op, "event": "done", "metrics": metrics})
         except (ServiceError, WireError, ValueError) as exc:
             await send({"ok": False, "op": op, "error": str(exc)})
         except KeyError as exc:
             await send({"ok": False, "op": op, "error": f"missing field {exc}"})
 
-    async def _respond(self, request: dict[str, Any]) -> dict[str, Any]:
+    async def _respond(
+        self, request: dict[str, Any], accepts_bindoc: bool = False
+    ) -> dict[str, Any]:
         try:
             op = request["op"]
         except (KeyError, TypeError) as exc:
@@ -1540,15 +1608,17 @@ class ServiceServer:
         service = self.service
         try:
             if op == "ping":
-                # the "enc"/"frame" fields double as capability adverts:
-                # clients only gzip-compress requests, or switch to binary
-                # frames, after a ping shows the daemon supports it (an
-                # old daemon's ping lacks the fields)
+                # the "enc"/"frame"/"bindoc" fields double as capability
+                # adverts: clients only gzip-compress requests, switch to
+                # binary frames, or ask for binary program documents after
+                # a ping shows the daemon supports it (an old daemon's
+                # ping lacks the fields)
                 return {
                     "ok": True,
                     "op": op,
                     "enc": WIRE_GZIP_ENCODING,
                     "frame": FRAME_VERSION,
+                    "bindoc": binformat.BINARY_FORMAT_VERSION,
                 }
             if op == "backends":
                 return {"ok": True, "op": op, "backends": available_backends()}
@@ -1574,6 +1644,17 @@ class ServiceServer:
                 )
                 return {"ok": True, "op": op, "metrics": payload}
             if op == "program":
+                if accepts_bindoc:
+                    raw = service.program_bytes(request["id"])
+                    if raw is not None:
+                        # _write_message turns the attachment into a
+                        # FRAME_FLAG_BINARY_DOC frame; only a legacy
+                        # v2-JSON spool falls through to the dict path.
+                        return {
+                            "ok": True,
+                            "op": op,
+                            "_bindoc": ("program", raw),
+                        }
                 return {
                     "ok": True,
                     "op": op,

@@ -38,6 +38,17 @@ formats coexist per-message on one connection: a server answers each
 request in the framing it arrived in, and a client only sends frames after
 a ping shows the daemon advertises ``"frame": 1`` — unupgraded peers on
 either side keep exchanging byte-identical JSON lines.
+
+Frames can additionally carry a **binary columnar program document**
+(:data:`FRAME_FLAG_BINARY_DOC`, :func:`encode_bindoc_frame`): the body is a
+u32 length-prefixed JSON message followed by the raw v3 record from
+:mod:`repro.core.binformat`, so million-scalar programs skip JSON text
+entirely.  The receiving side surfaces the attachment as a
+:class:`BinaryDoc` in the decoded payload.  Like compression, the bit is
+negotiated: a client only asks for binary docs (``"bindoc": 1`` in the
+request) after a ping shows the daemon advertises it, and the server only
+answers with one when the request asked — JSON-only peers keep exchanging
+byte-identical v2 documents.
 """
 
 from __future__ import annotations
@@ -152,6 +163,16 @@ FRAME_VERSION = 1
 #: no base64 — the length prefix makes both redundant).
 FRAME_FLAG_DEFLATE = 0x01
 
+#: Flags bit 1: the payload is a JSON message plus a binary columnar
+#: program document — ``u32 BE json_len | json message | v3 record``.  The
+#: JSON part carries ``"_bindoc": "<field>"`` naming where the attachment
+#: belongs; :func:`decode_frame_payload` restores it as a
+#: :class:`BinaryDoc` under that field.
+FRAME_FLAG_BINARY_DOC = 0x02
+
+#: All flag bits a receiver understands; anything else is rejected.
+_KNOWN_FRAME_FLAGS = FRAME_FLAG_DEFLATE | FRAME_FLAG_BINARY_DOC
+
 #: magic (2) + version (1) + flags (1) + payload length (u32 big-endian)
 FRAME_HEADER_LEN = 8
 
@@ -189,6 +210,83 @@ def encode_frame(
     return header + body
 
 
+class BinaryDoc:
+    """A v3 binary columnar program record riding inside a frame.
+
+    The wire layer does not decode the record — it hands the raw bytes to
+    the consumer, which picks the view it needs: :meth:`to_store` for a
+    whole program, :meth:`to_chunk` for one streamed chunk, or ``.data``
+    to forward the bytes untouched (spool writes, relays).
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryDoc({len(self.data)} bytes)"
+
+    def to_store(self) -> ProgramStore:
+        """Decode as a whole program (``kind == "program"``)."""
+        from ..core import binformat
+
+        try:
+            return binformat.decode_program(self.data)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise WireError(f"bad binary program document: {exc}") from exc
+
+    def to_chunk(self) -> dict[str, Any]:
+        """Decode as one streamed chunk (``kind == "chunk"``)."""
+        from ..core import binformat
+
+        try:
+            return binformat.decode_chunk(self.data)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise WireError(f"bad binary chunk document: {exc}") from exc
+
+
+def encode_bindoc_frame(
+    payload: dict[str, Any],
+    field: str,
+    doc: bytes,
+    *,
+    threshold: int = WIRE_COMPRESS_THRESHOLD,
+) -> bytes:
+    """One frame carrying *payload* plus a binary program document.
+
+    *payload* must not already contain *field* — the document IS that
+    field, shipped as raw bytes after the JSON part instead of as JSON
+    text.  The body is ``u32 BE json_len | json | doc`` and is deflated
+    as a whole past *threshold* (typed blobs still deflate well — runs
+    of small ints dominate).
+    """
+    if field in payload:
+        raise WireError(f"payload already has field {field!r}")
+    message = dict(payload)
+    message["_bindoc"] = field
+    head = json.dumps(message).encode()
+    body = len(head).to_bytes(4, "big") + head + doc
+    flags = FRAME_FLAG_BINARY_DOC
+    if len(body) > threshold:
+        packer = zlib.compressobj(wbits=-zlib.MAX_WBITS)
+        body = packer.compress(body) + packer.flush()
+        flags |= FRAME_FLAG_DEFLATE
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame payload {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    header = (
+        FRAME_MAGIC
+        + bytes((FRAME_VERSION, flags))
+        + len(body).to_bytes(4, "big")
+    )
+    return header + body
+
+
 def parse_frame_header(header: bytes) -> tuple[int, int]:
     """Validate a frame header; returns ``(flags, payload_length)``.
 
@@ -200,7 +298,7 @@ def parse_frame_header(header: bytes) -> tuple[int, int]:
     version, flags = header[2], header[3]
     if version != FRAME_VERSION:
         raise WireError(f"unsupported frame version {version}")
-    if flags & ~FRAME_FLAG_DEFLATE:
+    if flags & ~_KNOWN_FRAME_FLAGS:
         raise WireError(f"unknown frame flags 0x{flags:02x}")
     length = int.from_bytes(header[4:8], "big")
     if length > MAX_FRAME_BYTES:
@@ -211,13 +309,41 @@ def parse_frame_header(header: bytes) -> tuple[int, int]:
 
 
 def decode_frame_payload(flags: int, body: bytes) -> dict[str, Any]:
-    """Decode a frame body (already read to its prefixed length)."""
+    """Decode a frame body (already read to its prefixed length).
+
+    A :data:`FRAME_FLAG_BINARY_DOC` body decodes to the JSON message with
+    its binary attachment restored as a :class:`BinaryDoc` under the field
+    named by the ``"_bindoc"`` marker (the marker itself is stripped).
+    """
     if flags & FRAME_FLAG_DEFLATE:
         try:
             unpacker = zlib.decompressobj(wbits=-zlib.MAX_WBITS)
             body = unpacker.decompress(body) + unpacker.flush()
         except zlib.error as exc:
             raise WireError(f"bad deflate frame payload: {exc}") from exc
+    if flags & FRAME_FLAG_BINARY_DOC:
+        if len(body) < 4:
+            raise WireError("bindoc frame body shorter than its length prefix")
+        json_len = int.from_bytes(body[:4], "big")
+        if json_len > len(body) - 4:
+            raise WireError(
+                f"bindoc json length {json_len} exceeds body "
+                f"({len(body) - 4} bytes after prefix)"
+            )
+        head, doc = body[4 : 4 + json_len], body[4 + json_len :]
+        try:
+            payload = json.loads(head)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise WireError(f"bad bindoc frame message: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise WireError(
+                f"frame payload must be an object, got {type(payload).__name__}"
+            )
+        field = payload.pop("_bindoc", None)
+        if not isinstance(field, str) or not field:
+            raise WireError("bindoc frame missing its _bindoc field marker")
+        payload[field] = BinaryDoc(bytes(doc))
+        return payload
     try:
         payload = json.loads(body)
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:

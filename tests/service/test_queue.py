@@ -130,6 +130,108 @@ class TestSpoolPersistence:
         assert JobQueue(tmp_path).quarantined == []
 
 
+class TestSpoolCompression:
+    def test_large_results_deflate_on_disk_and_sniff_back(self, tmp_path):
+        from repro.service.queue import (
+            SPOOL_COMPRESS_THRESHOLD,
+            SPOOL_DEFLATE_MAGIC,
+        )
+
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(payload(0), shard=0).job_id
+        result = {"benchmark": "big", "pad": "x" * SPOOL_COMPRESS_THRESHOLD}
+        queue.mark_done(job_id, result)
+        raw = (tmp_path / "results" / f"{job_id}.json").read_bytes()
+        assert raw.startswith(SPOOL_DEFLATE_MAGIC)
+        assert len(raw) < SPOOL_COMPRESS_THRESHOLD  # x*N deflates well
+        assert queue.load_result(job_id) == result
+        # a restarted queue sniffs the compressed record too
+        assert JobQueue(tmp_path).load_result(job_id) == result
+
+    def test_small_results_stay_plain_json(self, tmp_path):
+        from repro.service.queue import SPOOL_DEFLATE_MAGIC
+
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.mark_done(job_id, {"benchmark": "small", "depth": 3})
+        raw = (tmp_path / "results" / f"{job_id}.json").read_bytes()
+        assert not raw.startswith(SPOOL_DEFLATE_MAGIC)
+        json.loads(raw)  # a plain JSON document, as every old reader expects
+
+    def test_old_plain_spool_results_still_load(self, tmp_path):
+        # a result written by a pre-compression daemon: plain JSON on disk
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.mark_done(job_id, {"benchmark": "x"})
+        (tmp_path / "results" / f"{job_id}.json").write_text(
+            json.dumps({"benchmark": "legacy", "depth": 9})
+        )
+        assert JobQueue(tmp_path).load_result(job_id) == {
+            "benchmark": "legacy",
+            "depth": 9,
+        }
+
+    def test_corrupt_result_payload_is_none_not_fatal(self, tmp_path):
+        from repro.service.queue import SPOOL_DEFLATE_MAGIC
+
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.mark_done(job_id, {"benchmark": "x"})
+        (tmp_path / "results" / f"{job_id}.json").write_bytes(
+            SPOOL_DEFLATE_MAGIC + b"\x00not-deflate"
+        )
+        assert JobQueue(tmp_path).load_result(job_id) is None
+
+
+class TestProgramSpool:
+    def _done_job(self, queue):
+        job_id = queue.submit(payload(0), shard=0).job_id
+        queue.mark_done(job_id, {"benchmark": "x"})
+        return job_id
+
+    def test_binary_programs_spool_to_bin_files(self, tmp_path):
+        from repro.core import binformat
+        from repro.core.program import ProgramStore
+
+        store = ProgramStore(num_qubits=2)
+        store.end_stage()
+        record = binformat.encode_program(store)
+        queue = JobQueue(tmp_path)
+        job_id = self._done_job(queue)
+        queue.store_program(job_id, record)
+        assert (tmp_path / "programs" / f"{job_id}.bin").read_bytes() == record
+        assert queue.load_program_bytes(job_id) == record
+        # the JSON view decodes the binary record transparently
+        doc = queue.load_program(job_id)
+        assert doc["num_qubits"] == 2 and doc["format_version"] == 2
+
+    def test_legacy_json_programs_still_load(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job_id = self._done_job(queue)
+        queue.store_program(job_id, {"num_qubits": 3, "stages": []})
+        assert (tmp_path / "programs" / f"{job_id}.json").exists()
+        assert queue.load_program(job_id) == {"num_qubits": 3, "stages": []}
+        # no binary record exists, so the bytes view reports none
+        assert queue.load_program_bytes(job_id) is None
+
+    def test_memory_fallback_handles_both_shapes(self):
+        from repro.core import binformat
+        from repro.core.program import ProgramStore
+
+        store = ProgramStore(num_qubits=1)
+        store.end_stage()
+        record = binformat.encode_program(store)
+        queue = JobQueue()  # no spool directory: in-memory only
+        binary_id = self._done_job(queue)
+        queue.store_program(binary_id, record)
+        assert queue.load_program_bytes(binary_id) == record
+        assert queue.load_program(binary_id)["num_qubits"] == 1
+        legacy_id = self._done_job(queue)
+        queue.store_program(legacy_id, {"num_qubits": 9})
+        assert queue.load_program_bytes(legacy_id) is None
+        assert queue.load_program(legacy_id) == {"num_qubits": 9}
+
+
 class TestLeases:
     def test_acquire_stamps_lease_and_counts_attempt(self):
         now = [1000.0]

@@ -92,6 +92,14 @@ def test_streamed_program_is_bit_identical_and_bounded(tmp_path):
         )
         assert events[-1]["index"] == events[-1]["total"]
 
+        # The transfer actually rode the binary columnar codec: the daemon
+        # advertised bindoc support and every program_chunk arrived as a
+        # packed v3 record, none as JSON fallback.
+        assert client._server_bindoc, "daemon did not advertise bindoc"
+        stats = client.last_stream_stats
+        assert stats is not None and stats["binary_chunks"] > 0, stats
+        assert stats["json_chunks"] == 0, stats
+
         # The streamed program reassembles bit-identically to the classic
         # whole-document fetch.
         assert store is not None and store.num_stages > 0

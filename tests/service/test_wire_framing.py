@@ -9,14 +9,19 @@ from repro.core.program import ProgramStore
 from repro.generators import qaoa_random, qsim_random
 from repro.hardware import RAAArchitecture
 from repro.service.wire import (
+    FRAME_FLAG_BINARY_DOC,
+    FRAME_FLAG_DEFLATE,
     FRAME_HEADER_LEN,
     FRAME_MAGIC,
+    FRAME_VERSION,
     WIRE_COMPRESS_THRESHOLD,
     WIRE_GZIP_ENCODING,
+    BinaryDoc,
     WireError,
     decode_frame,
     decode_line,
     decode_program,
+    encode_bindoc_frame,
     encode_frame,
     encode_line,
     encode_program,
@@ -197,6 +202,80 @@ class TestBinaryFrames:
             decode_frame(header + body)
 
 
+class TestBindocFrames:
+    """Binary-doc frames: a JSON message plus a raw v3 record in one body."""
+
+    DOC = b"\xabP3" + bytes(range(256))  # any bytes at the framing layer
+
+    def test_small_bindoc_roundtrip(self):
+        data = encode_bindoc_frame(
+            {"ok": True, "op": "program"}, "program", self.DOC
+        )
+        assert data[:2] == FRAME_MAGIC
+        assert data[3] & FRAME_FLAG_BINARY_DOC
+        assert not data[3] & FRAME_FLAG_DEFLATE
+        payload = decode_frame(data)
+        blob = payload.pop("program")
+        assert isinstance(blob, BinaryDoc) and blob.data == self.DOC
+        # the marker is stripped; nothing else leaks through
+        assert payload == {"ok": True, "op": "program"}
+
+    def test_large_bindoc_deflates_as_a_whole(self):
+        doc = b"\xabP3" + b"\x07" * (WIRE_COMPRESS_THRESHOLD + 1)
+        data = encode_bindoc_frame({"ok": True, "op": "p"}, "program", doc)
+        assert data[3] & FRAME_FLAG_DEFLATE
+        assert len(data) < len(doc)  # constant runs deflate well
+        assert decode_frame(data)["program"].data == doc
+
+    def test_doc_bytes_are_binary_safe(self):
+        # newlines, frame magic, and the JSON length prefix inside the
+        # doc must not confuse the framing
+        doc = b"\n" + FRAME_MAGIC + (2**31).to_bytes(4, "big") + b"\x00\xff"
+        data = encode_bindoc_frame({"ok": True, "op": "p"}, "chunk", doc)
+        assert decode_frame(data)["chunk"].data == doc
+
+    def test_field_collision_rejected(self):
+        with pytest.raises(WireError, match="already has field"):
+            encode_bindoc_frame({"program": 1, "op": "p"}, "program", b"x")
+
+    def test_bindoc_json_length_past_body_rejected(self):
+        body = (999).to_bytes(4, "big") + b"{}"
+        header = FRAME_MAGIC + bytes(
+            (FRAME_VERSION, FRAME_FLAG_BINARY_DOC)
+        ) + len(body).to_bytes(4, "big")
+        with pytest.raises(WireError, match="bindoc json length"):
+            decode_frame(header + body)
+
+    def test_bindoc_without_marker_rejected(self):
+        head = json.dumps({"ok": True, "op": "p"}).encode()
+        body = len(head).to_bytes(4, "big") + head + b"doc"
+        header = FRAME_MAGIC + bytes(
+            (FRAME_VERSION, FRAME_FLAG_BINARY_DOC)
+        ) + len(body).to_bytes(4, "big")
+        with pytest.raises(WireError, match="_bindoc field marker"):
+            decode_frame(header + body)
+
+    def test_binarydoc_decodes_real_records(self):
+        from repro.core import binformat
+
+        circuit = qsim_random(8, seed=8)
+        arch = RAAArchitecture.default(side=4)
+        store = AtomiqueCompiler(arch, AtomiqueConfig(seed=7)).compile(
+            circuit
+        ).program
+        restored = BinaryDoc(binformat.encode_program(store)).to_store()
+        assert restored.gate_n_vib == store.gate_n_vib
+        assert restored.off_gate == store.off_gate
+        chunk = store.chunk_doc(0, store.num_stages)
+        via_wire = BinaryDoc(binformat.encode_chunk(chunk)).to_chunk()
+        assert via_wire == chunk
+        # a program record is not a chunk record, and garbage is neither
+        with pytest.raises(WireError, match="bad binary chunk"):
+            BinaryDoc(binformat.encode_program(store)).to_chunk()
+        with pytest.raises(WireError, match="bad binary program"):
+            BinaryDoc(b"\x00garbage").to_store()
+
+
 class TestOldServerCompat:
     """A pre-gzip daemon (plain ``json.loads``, no envelope unwrapping,
     no ping capability advert) must keep working with the new client,
@@ -357,6 +436,95 @@ class TestFrameNegotiation:
 
         message = asyncio.run(run())
         assert message is not None and "truncated" in message
+
+
+class TestBindocNegotiation:
+    """Cross-version matrix for the binary-doc bit: packed v3 records flow
+    only when both ends advertise them; unupgraded peers keep exchanging
+    the same JSON documents byte for byte."""
+
+    def _serve(self, tmp_path, body):
+        import asyncio
+
+        from repro.service.client import ServiceClient
+        from repro.service.server import CompileService, ServiceServer
+
+        async def run():
+            service = CompileService(
+                inline=True, shards=1, spool_dir=tmp_path / "spool"
+            )
+            server = ServiceServer(service, socket_path=tmp_path / "sock")
+            await server.start()
+            client = ServiceClient(
+                socket_path=tmp_path / "sock", timeout=120.0
+            )
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(None, body, client)
+            finally:
+                await server.aclose()
+
+        return asyncio.run(run())
+
+    @staticmethod
+    def _job():
+        from repro.baselines.registry import CompileOptions
+        from repro.circuits.random_circuits import random_circuit
+        from repro.experiments import raa_for
+        from repro.experiments.batch import CompileJob
+
+        circuit = random_circuit(12, 10, 3, seed=3)
+        return CompileJob(
+            "Atomique", circuit, CompileOptions(raa=raa_for(circuit))
+        )
+
+    def test_ping_advertises_bindoc(self, tmp_path):
+        def body(client):
+            assert client._server_bindoc is None  # unknown before any ping
+            client.ping()
+            return client._server_bindoc
+
+        assert self._serve(tmp_path, body) is True
+
+    def test_new_pair_ships_binary_docs_bit_identically(self, tmp_path):
+        from repro.core.serialize import dumps
+
+        def body(client):
+            job_id = client.submit(self._job(), keep_program=True)
+            whole = client.program(job_id)  # rides a bindoc frame
+            metrics, streamed = client.result_stream(
+                job_id, chunk_stages=8
+            )
+            stats = client.last_stream_stats
+            # every chunk arrived packed, none as JSON fallback
+            assert stats["binary_chunks"] > 0 and stats["json_chunks"] == 0
+            return dumps(whole), dumps(streamed)
+
+        whole, streamed = self._serve(tmp_path, body)
+        assert whole == streamed
+
+    def test_old_client_against_new_server_keeps_json(self, tmp_path):
+        from repro.core.serialize import dumps
+
+        def body(client):
+            job_id = client.submit(self._job(), keep_program=True)
+            upgraded = dumps(client.program(job_id))
+            # an unupgraded peer: no frames, no bindoc, no gzip — the
+            # server must serve the classic JSON documents
+            client._server_frame = False
+            client._server_bindoc = False
+            client._server_gzip = False
+            legacy = dumps(client.program(job_id))
+            metrics, streamed = client.result_stream(
+                job_id, chunk_stages=8
+            )
+            stats = client.last_stream_stats
+            assert stats["binary_chunks"] == 0 and stats["json_chunks"] > 0
+            return upgraded, legacy, dumps(streamed)
+
+        upgraded, legacy, streamed = self._serve(tmp_path, body)
+        # both wire shapes reassemble to the identical serialized program
+        assert upgraded == legacy == streamed
 
 
 class TestClientServerCompression(object):
